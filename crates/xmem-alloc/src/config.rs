@@ -1,0 +1,180 @@
+use serde::{Deserialize, Serialize};
+
+const MIB: usize = 1024 * 1024;
+
+/// Behaviour knobs of the [`crate::CachingAllocator`].
+///
+/// The defaults ([`AllocatorConfig::pytorch_defaults`]) mirror the constants
+/// in PyTorch's `CUDACachingAllocator.cpp` (release/2.6). The ablation
+/// constructors switch off individual mechanisms so their contribution to
+/// estimation accuracy can be measured (DESIGN.md §4, ablation benches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocatorConfig {
+    /// All block sizes are rounded up to a multiple of this (512 B).
+    pub min_block_size: usize,
+    /// Requests at or below this size are served from the small pool (1 MiB).
+    pub small_size: usize,
+    /// Segment size for the small pool (2 MiB).
+    pub small_buffer: usize,
+    /// Segment size for large requests below `min_large_alloc` (20 MiB).
+    pub large_buffer: usize,
+    /// Requests at or above this bypass `large_buffer` sizing (10 MiB).
+    pub min_large_alloc: usize,
+    /// Huge segment sizes are rounded up to a multiple of this (2 MiB).
+    pub round_large: usize,
+    /// When `false`, requests are not rounded to `min_block_size`
+    /// (ablation: shows the cost of ignoring hardware alignment, §3.4 i).
+    pub round_up: bool,
+    /// When `false`, freed segments are returned to the device immediately
+    /// instead of being cached (ablation: a non-caching allocator).
+    pub caching_enabled: bool,
+    /// When `false`, cached segments are *not* reclaimed before reporting
+    /// OOM (the single-level behaviour the paper attributes to DNNMem §5.1).
+    pub reclaim_on_oom: bool,
+    /// Mirrors `max_split_size_mb`: free blocks at least this large are
+    /// only handed to requests that are themselves at least this large.
+    /// `None` disables the check (the PyTorch default).
+    pub max_split_size: Option<usize>,
+    /// Mirrors `garbage_collection_threshold`: when reserved memory
+    /// exceeds this fraction of usable capacity, cached whole segments are
+    /// proactively released before requesting a new one. `None` disables
+    /// proactive collection (the PyTorch default).
+    pub gc_threshold: Option<f64>,
+}
+
+impl AllocatorConfig {
+    /// The PyTorch 2.6 `CUDACachingAllocator` constants.
+    #[must_use]
+    pub fn pytorch_defaults() -> Self {
+        AllocatorConfig {
+            min_block_size: 512,
+            small_size: MIB,
+            small_buffer: 2 * MIB,
+            large_buffer: 20 * MIB,
+            min_large_alloc: 10 * MIB,
+            round_large: 2 * MIB,
+            round_up: true,
+            caching_enabled: true,
+            reclaim_on_oom: true,
+            max_split_size: None,
+            gc_threshold: None,
+        }
+    }
+
+    /// Ablation: no request rounding.
+    #[must_use]
+    pub fn without_round_up() -> Self {
+        AllocatorConfig {
+            round_up: false,
+            ..Self::pytorch_defaults()
+        }
+    }
+
+    /// Ablation: freed segments are returned to the device eagerly.
+    #[must_use]
+    pub fn without_caching() -> Self {
+        AllocatorConfig {
+            caching_enabled: false,
+            ..Self::pytorch_defaults()
+        }
+    }
+
+    /// Ablation / DNNMem mode: no cached-segment reclamation before OOM.
+    #[must_use]
+    pub fn without_reclaim() -> Self {
+        AllocatorConfig {
+            reclaim_on_oom: false,
+            ..Self::pytorch_defaults()
+        }
+    }
+
+    /// Rounds a request up per `min_block_size` (identity when `round_up`
+    /// is disabled, except that zero-sized requests still occupy one
+    /// minimum block).
+    #[must_use]
+    pub fn round_size(&self, size: usize) -> usize {
+        if !self.round_up {
+            return size.max(1);
+        }
+        if size < self.min_block_size {
+            self.min_block_size
+        } else {
+            size.div_ceil(self.min_block_size) * self.min_block_size
+        }
+    }
+
+    /// Segment size requested from the device for a rounded block size —
+    /// PyTorch's `get_allocation_size`.
+    #[must_use]
+    pub fn allocation_size(&self, rounded: usize) -> usize {
+        if rounded <= self.small_size {
+            self.small_buffer
+        } else if rounded < self.min_large_alloc {
+            self.large_buffer
+        } else {
+            rounded.div_ceil(self.round_large) * self.round_large
+        }
+    }
+
+    /// Whether a free block of `block_size` serving a request of `size`
+    /// should be split (PyTorch's `should_split`).
+    #[must_use]
+    pub fn should_split(&self, pool_is_small: bool, block_size: usize, size: usize) -> bool {
+        let remaining = block_size - size;
+        if pool_is_small {
+            remaining >= self.min_block_size
+        } else {
+            remaining > self.small_size
+        }
+    }
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        Self::pytorch_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_size_matches_pytorch() {
+        let c = AllocatorConfig::pytorch_defaults();
+        assert_eq!(c.round_size(1), 512);
+        assert_eq!(c.round_size(512), 512);
+        assert_eq!(c.round_size(513), 1024);
+        assert_eq!(c.round_size(4000), 4096);
+        assert_eq!(c.round_size(0), 512);
+    }
+
+    #[test]
+    fn round_size_identity_when_disabled() {
+        let c = AllocatorConfig::without_round_up();
+        assert_eq!(c.round_size(513), 513);
+        assert_eq!(c.round_size(0), 1);
+    }
+
+    #[test]
+    fn allocation_size_tiers() {
+        let c = AllocatorConfig::pytorch_defaults();
+        assert_eq!(c.allocation_size(512), 2 * MIB); // small
+        assert_eq!(c.allocation_size(MIB), 2 * MIB); // boundary is small
+        assert_eq!(c.allocation_size(MIB + 512), 20 * MIB); // large buffer
+        assert_eq!(c.allocation_size(10 * MIB), 10 * MIB); // exact huge
+        assert_eq!(c.allocation_size(10 * MIB + 512), 12 * MIB); // rounded up to 2 MiB
+    }
+
+    #[test]
+    fn should_split_pool_rules() {
+        let c = AllocatorConfig::pytorch_defaults();
+        // Small pool splits whenever >= 512 remains.
+        assert!(c.should_split(true, 2 * MIB, 1024));
+        assert!(!c.should_split(true, 1024, 1024));
+        assert!(!c.should_split(true, 1024 + 511, 1024));
+        // Large pool splits only when more than 1 MiB remains.
+        assert!(c.should_split(false, 20 * MIB, 2 * MIB));
+        assert!(!c.should_split(false, 2 * MIB + MIB, 2 * MIB));
+    }
+}

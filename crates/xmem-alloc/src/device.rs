@@ -1,0 +1,204 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The device (driver) level of the memory chain — a capacity-limited,
+/// page-granular allocator standing in for `cudaMalloc`/`cudaFree`.
+///
+/// Virtual addresses are handed out monotonically (the CUDA virtual address
+/// space is effectively unbounded); capacity accounting is what matters.
+/// `reserved_external` models memory the job cannot use: other processes
+/// (`M_init`) plus the CUDA context / framework overhead (`M_fm`) from the
+/// paper's notation (Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceAllocator {
+    capacity: u64,
+    page: u64,
+    reserved_external: u64,
+    used: u64,
+    peak_used: u64,
+    next_addr: u64,
+    allocs: HashMap<u64, u64>,
+    num_allocs: u64,
+    num_frees: u64,
+}
+
+impl DeviceAllocator {
+    /// Creates a device with `capacity` bytes, `page`-byte allocation
+    /// granularity (2 MiB for modern CUDA drivers) and `reserved_external`
+    /// bytes already unavailable to the job.
+    ///
+    /// # Panics
+    /// Panics if `page` is zero.
+    #[must_use]
+    pub fn new(capacity: u64, page: u64, reserved_external: u64) -> Self {
+        assert!(page > 0, "page granularity must be non-zero");
+        DeviceAllocator {
+            capacity,
+            page,
+            reserved_external,
+            used: 0,
+            peak_used: 0,
+            // Start away from zero so address 0 never appears (NULL-like).
+            next_addr: 0x7f00_0000_0000,
+            allocs: HashMap::new(),
+            num_allocs: 0,
+            num_frees: 0,
+        }
+    }
+
+    /// Unlimited device for pure framework-level simulations (the paper's
+    /// Fig. 3 example and the one-level ablation).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        DeviceAllocator::new(u64::MAX / 2, 2 << 20, 0)
+    }
+
+    /// Total device capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes unavailable to the job (other processes + framework context).
+    #[must_use]
+    pub fn reserved_external(&self) -> u64 {
+        self.reserved_external
+    }
+
+    /// Adjusts the external reservation (used by the second validation
+    /// round, which caps the job at `M_init + M_fm + estimate`).
+    pub fn set_reserved_external(&mut self, bytes: u64) {
+        self.reserved_external = bytes;
+    }
+
+    /// Bytes currently allocated through this device (page-rounded).
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Peak of [`DeviceAllocator::used`].
+    #[must_use]
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Total bytes NVML would report as used: external reservations plus
+    /// job allocations.
+    #[must_use]
+    pub fn total_used(&self) -> u64 {
+        self.reserved_external + self.used
+    }
+
+    /// Bytes still allocatable.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.capacity
+            .saturating_sub(self.reserved_external)
+            .saturating_sub(self.used)
+    }
+
+    fn round_page(&self, size: u64) -> u64 {
+        size.div_ceil(self.page) * self.page
+    }
+
+    /// Allocates `size` bytes (rounded to page granularity), returning the
+    /// base address, or `None` on device OOM.
+    pub fn alloc(&mut self, size: u64) -> Option<u64> {
+        let rounded = self.round_page(size.max(1));
+        if rounded > self.available() {
+            return None;
+        }
+        let addr = self.next_addr;
+        self.next_addr += rounded;
+        self.used += rounded;
+        self.peak_used = self.peak_used.max(self.used);
+        self.allocs.insert(addr, rounded);
+        self.num_allocs += 1;
+        Some(addr)
+    }
+
+    /// Frees an allocation, returning its rounded size.
+    ///
+    /// # Panics
+    /// Panics if `addr` was not returned by [`DeviceAllocator::alloc`] (a
+    /// simulation bug, never a workload condition).
+    pub fn free(&mut self, addr: u64) -> u64 {
+        let size = self
+            .allocs
+            .remove(&addr)
+            .expect("device free of unknown address");
+        self.used -= size;
+        self.num_frees += 1;
+        size
+    }
+
+    /// Number of live device allocations.
+    #[must_use]
+    pub fn live_allocs(&self) -> usize {
+        self.allocs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn alloc_rounds_to_page() {
+        let mut d = DeviceAllocator::new(100 * MIB, 2 * MIB, 0);
+        let a = d.alloc(1).unwrap();
+        assert_eq!(d.used(), 2 * MIB);
+        assert_eq!(d.free(a), 2 * MIB);
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut d = DeviceAllocator::new(10 * MIB, 2 * MIB, 0);
+        assert!(d.alloc(8 * MIB).is_some());
+        assert!(d.alloc(4 * MIB).is_none()); // only 2 MiB left
+        assert!(d.alloc(2 * MIB).is_some());
+        assert_eq!(d.available(), 0);
+    }
+
+    #[test]
+    fn external_reservation_reduces_availability() {
+        let mut d = DeviceAllocator::new(10 * MIB, 2 * MIB, 6 * MIB);
+        assert_eq!(d.available(), 4 * MIB);
+        assert!(d.alloc(6 * MIB).is_none());
+        assert!(d.alloc(4 * MIB).is_some());
+        assert_eq!(d.total_used(), 10 * MIB);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut d = DeviceAllocator::new(100 * MIB, 2 * MIB, 0);
+        let a = d.alloc(10 * MIB).unwrap();
+        let b = d.alloc(10 * MIB).unwrap();
+        d.free(a);
+        d.free(b);
+        assert_eq!(d.peak_used(), 20 * MIB);
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown address")]
+    fn double_free_panics() {
+        let mut d = DeviceAllocator::new(100 * MIB, 2 * MIB, 0);
+        let a = d.alloc(MIB).unwrap();
+        d.free(a);
+        d.free(a);
+    }
+
+    #[test]
+    fn addresses_are_unique_and_nonzero() {
+        let mut d = DeviceAllocator::new(100 * MIB, 2 * MIB, 0);
+        let a = d.alloc(MIB).unwrap();
+        let b = d.alloc(MIB).unwrap();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

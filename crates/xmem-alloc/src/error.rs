@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Out-of-memory error reported by the two-level allocator.
+///
+/// Carries the allocator state at failure time so callers (the runtime's OOM
+/// handling and the evaluation protocol) can report it the way a CUDA OOM
+/// message does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes originally requested by the caller.
+    pub requested: usize,
+    /// Request after rounding.
+    pub rounded: usize,
+    /// Segment size that was asked of the device.
+    pub segment_request: usize,
+    /// Device capacity available to the framework (capacity minus external
+    /// reservations).
+    pub device_capacity: u64,
+    /// Bytes currently reserved in segments by the caching allocator.
+    pub reserved: u64,
+    /// Bytes currently allocated to live blocks.
+    pub allocated: u64,
+    /// Whether cached-segment reclamation was attempted before failing.
+    pub reclaim_attempted: bool,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: tried to allocate {} bytes (segment request {}; \
+             {} reserved, {} allocated, {} capacity, reclaim {})",
+            self.requested,
+            self.segment_request,
+            self.reserved,
+            self.allocated,
+            self.device_capacity,
+            if self.reclaim_attempted {
+                "attempted"
+            } else {
+                "skipped"
+            }
+        )
+    }
+}
+
+impl Error for OomError {}

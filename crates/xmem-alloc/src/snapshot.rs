@@ -1,0 +1,195 @@
+use crate::{MemoryCounters, PoolKind};
+use serde::{Deserialize, Serialize};
+
+/// Allocation state of a block inside a segment snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Block is handed out to a caller.
+    Allocated,
+    /// Block is cached, available for reuse.
+    Free,
+}
+
+/// One block within a [`SegmentSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSnapshot {
+    /// Offset from the segment base address.
+    pub offset: u64,
+    /// Rounded block size in bytes.
+    pub size: u64,
+    /// Originally requested size (0 for free blocks).
+    pub requested: u64,
+    /// Allocation state.
+    pub state: BlockState,
+}
+
+/// One device segment and its block tiling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSnapshot {
+    /// Device base address.
+    pub addr: u64,
+    /// Segment size in bytes.
+    pub size: u64,
+    /// Owning pool.
+    pub pool: PoolKind,
+    /// Blocks ordered by offset; they tile the segment exactly.
+    pub blocks: Vec<BlockSnapshot>,
+}
+
+impl SegmentSnapshot {
+    /// Bytes of this segment occupied by allocated blocks.
+    #[must_use]
+    pub fn active_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.state == BlockState::Allocated)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    /// External fragmentation of the segment: cached bytes that exist but
+    /// are unusable as one contiguous run.
+    #[must_use]
+    pub fn largest_free_run(&self) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.state == BlockState::Free)
+            .map(|b| b.size)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Full state of a [`crate::CachingAllocator`] at one instant — the
+/// stand-in for PyTorch's `torch.cuda.memory_snapshot()` used to validate
+/// the Memory Simulator (paper Fig. 6) and the Analyzer output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocatorSnapshot {
+    /// Virtual timestamp at capture (µs).
+    pub ts_us: u64,
+    /// Segments ordered by base address.
+    pub segments: Vec<SegmentSnapshot>,
+    /// Counter state at capture.
+    pub counters: MemoryCounters,
+}
+
+impl AllocatorSnapshot {
+    /// Total reserved bytes (sum of segment sizes).
+    #[must_use]
+    pub fn reserved_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.size).sum()
+    }
+
+    /// Total allocated-block bytes across segments.
+    #[must_use]
+    pub fn active_bytes(&self) -> u64 {
+        self.segments.iter().map(SegmentSnapshot::active_bytes).sum()
+    }
+}
+
+/// Structural difference between two allocator snapshots — used to
+/// validate the Memory Simulator against real allocator state (the
+/// paper's Fig. 6 check, and the Analyzer's snapshot verification hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotDiff {
+    /// `other.reserved - self.reserved` in bytes.
+    pub reserved_delta: i64,
+    /// `other.active - self.active` in bytes.
+    pub active_delta: i64,
+    /// `other.segments - self.segments` count.
+    pub segment_count_delta: i64,
+}
+
+impl SnapshotDiff {
+    /// Whether the snapshots agree within `tolerance_bytes` on both byte
+    /// quantities.
+    #[must_use]
+    pub fn within(&self, tolerance_bytes: u64) -> bool {
+        self.reserved_delta.unsigned_abs() <= tolerance_bytes
+            && self.active_delta.unsigned_abs() <= tolerance_bytes
+    }
+}
+
+impl AllocatorSnapshot {
+    /// Diffs `other` against `self`.
+    #[must_use]
+    pub fn diff(&self, other: &AllocatorSnapshot) -> SnapshotDiff {
+        SnapshotDiff {
+            reserved_delta: other.reserved_bytes() as i64 - self.reserved_bytes() as i64,
+            active_delta: other.active_bytes() as i64 - self.active_bytes() as i64,
+            segment_count_delta: other.segments.len() as i64 - self.segments.len() as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> SegmentSnapshot {
+        SegmentSnapshot {
+            addr: 0x1000,
+            size: 2048,
+            pool: PoolKind::Small,
+            blocks: vec![
+                BlockSnapshot {
+                    offset: 0,
+                    size: 512,
+                    requested: 100,
+                    state: BlockState::Allocated,
+                },
+                BlockSnapshot {
+                    offset: 512,
+                    size: 1024,
+                    requested: 0,
+                    state: BlockState::Free,
+                },
+                BlockSnapshot {
+                    offset: 1536,
+                    size: 512,
+                    requested: 512,
+                    state: BlockState::Allocated,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn segment_accounting() {
+        let s = seg();
+        assert_eq!(s.active_bytes(), 1024);
+        assert_eq!(s.largest_free_run(), 1024);
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_tolerance() {
+        let a = AllocatorSnapshot {
+            ts_us: 0,
+            segments: vec![seg()],
+            counters: MemoryCounters::default(),
+        };
+        let b = AllocatorSnapshot {
+            ts_us: 1,
+            segments: vec![seg(), seg()],
+            counters: MemoryCounters::default(),
+        };
+        let d = a.diff(&b);
+        assert_eq!(d.reserved_delta, 2048);
+        assert_eq!(d.active_delta, 1024);
+        assert_eq!(d.segment_count_delta, 1);
+        assert!(d.within(2048));
+        assert!(!d.within(1000));
+        assert_eq!(a.diff(&a), SnapshotDiff { reserved_delta: 0, active_delta: 0, segment_count_delta: 0 });
+    }
+
+    #[test]
+    fn snapshot_totals() {
+        let snap = AllocatorSnapshot {
+            ts_us: 7,
+            segments: vec![seg(), seg()],
+            counters: MemoryCounters::default(),
+        };
+        assert_eq!(snap.reserved_bytes(), 4096);
+        assert_eq!(snap.active_bytes(), 2048);
+    }
+}

@@ -1,0 +1,115 @@
+use serde::{Deserialize, Serialize};
+
+/// Which free pool a segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Requests of at most `small_size` (1 MiB by default).
+    Small,
+    /// Everything larger.
+    Large,
+}
+
+/// Live byte counters of a [`crate::CachingAllocator`], in the three
+/// meanings PyTorch distinguishes:
+///
+/// * `allocated` — bytes the *caller* asked for (the paper's "Tensor"
+///   memory, Fig. 1 green/red areas);
+/// * `active` — bytes occupied by allocated blocks after rounding;
+/// * `reserved` — bytes held in segments obtained from the device (the
+///   paper's "Segment" memory — what NVML observes and what estimation must
+///   predict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryCounters {
+    /// Requested bytes currently allocated.
+    pub allocated: u64,
+    /// Rounded bytes currently allocated.
+    pub active: u64,
+    /// Segment bytes currently reserved from the device.
+    pub reserved: u64,
+    /// High-water mark of `allocated`.
+    pub peak_allocated: u64,
+    /// High-water mark of `active`.
+    pub peak_active: u64,
+    /// High-water mark of `reserved`.
+    pub peak_reserved: u64,
+    /// Number of successful block allocations.
+    pub num_allocs: u64,
+    /// Number of block frees.
+    pub num_frees: u64,
+    /// Number of segments requested from the device.
+    pub num_segments_allocated: u64,
+    /// Number of segments returned to the device.
+    pub num_segments_released: u64,
+    /// Number of times cached segments were reclaimed to satisfy a request.
+    pub num_reclaims: u64,
+}
+
+impl MemoryCounters {
+    pub(crate) fn on_alloc(&mut self, requested: u64, rounded: u64) {
+        self.allocated += requested;
+        self.active += rounded;
+        self.num_allocs += 1;
+        self.peak_allocated = self.peak_allocated.max(self.allocated);
+        self.peak_active = self.peak_active.max(self.active);
+    }
+
+    pub(crate) fn on_free(&mut self, requested: u64, rounded: u64) {
+        self.allocated -= requested;
+        self.active -= rounded;
+        self.num_frees += 1;
+    }
+
+    pub(crate) fn on_segment_alloc(&mut self, bytes: u64) {
+        self.reserved += bytes;
+        self.num_segments_allocated += 1;
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+    }
+
+    pub(crate) fn on_segment_release(&mut self, bytes: u64) {
+        self.reserved -= bytes;
+        self.num_segments_released += 1;
+    }
+}
+
+/// One point of the memory-usage curve (paper Figs. 1 and 6): the counter
+/// state after an allocator event, stamped with the caller's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Virtual time in microseconds (caller-provided).
+    pub ts_us: u64,
+    /// Requested bytes allocated at this instant ("Tensor" curve).
+    pub allocated: u64,
+    /// Segment bytes reserved at this instant ("Segment" curve).
+    pub reserved: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_peaks() {
+        let mut c = MemoryCounters::default();
+        c.on_alloc(100, 512);
+        c.on_alloc(100, 512);
+        c.on_free(100, 512);
+        assert_eq!(c.allocated, 100);
+        assert_eq!(c.active, 512);
+        assert_eq!(c.peak_allocated, 200);
+        assert_eq!(c.peak_active, 1024);
+        assert_eq!(c.num_allocs, 2);
+        assert_eq!(c.num_frees, 1);
+    }
+
+    #[test]
+    fn segment_counters() {
+        let mut c = MemoryCounters::default();
+        c.on_segment_alloc(2 << 20);
+        c.on_segment_alloc(20 << 20);
+        c.on_segment_release(2 << 20);
+        assert_eq!(c.reserved, 20 << 20);
+        assert_eq!(c.peak_reserved, 22 << 20);
+        assert_eq!(c.num_segments_allocated, 2);
+        assert_eq!(c.num_segments_released, 1);
+    }
+}

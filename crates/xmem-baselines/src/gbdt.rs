@@ -1,0 +1,312 @@
+//! Gradient-boosted regression trees, from scratch — the learning substrate
+//! for the SchedTune baseline.
+//!
+//! Squared-error boosting with exact greedy splits: each round fits a
+//! depth-bounded regression tree to the current residuals and shrinks it by
+//! the learning rate. No external ML dependency is used (DESIGN.md §1).
+
+use serde::{Deserialize, Serialize};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage per round.
+    pub learning_rate: f64,
+    /// Minimum samples per leaf (regularization).
+    pub min_samples_leaf: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_trees: 120,
+            max_depth: 4,
+            learning_rate: 0.1,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// One regression tree (nodes in a flat arena; root at index 0).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn fit(
+        x: &[Vec<f64>],
+        residuals: &[f64],
+        indices: &[usize],
+        params: &GbdtParams,
+    ) -> Self {
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.grow(x, residuals, indices, params, 0);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        residuals: &[f64],
+        indices: &[usize],
+        params: &GbdtParams,
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| residuals[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        match best_split(x, residuals, indices, params.min_samples_leaf) {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| x[i][feature] <= threshold);
+                // Reserve this node's slot, then grow children.
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.grow(x, residuals, &left_idx, params, depth + 1);
+                let right = self.grow(x, residuals, &right_idx, params, depth + 1);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Exact greedy split search: minimize total SSE over all (feature,
+/// threshold) candidates.
+fn best_split(
+    x: &[Vec<f64>],
+    residuals: &[f64],
+    indices: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let n_features = x[indices[0]].len();
+    let total_sum: f64 = indices.iter().map(|&i| residuals[i]).sum();
+    let total_sq: f64 = indices.iter().map(|&i| residuals[i] * residuals[i]).sum();
+    let n = indices.len() as f64;
+    let base_sse = total_sq - total_sum * total_sum / n;
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    #[allow(clippy::needless_range_loop)] // feature indexes per-sample rows, not one slice
+    for feature in 0..n_features {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_by(|&a, &b| {
+            x[a][feature]
+                .partial_cmp(&x[b][feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (count, window) in sorted.windows(2).enumerate() {
+            let i = window[0];
+            left_sum += residuals[i];
+            left_sq += residuals[i] * residuals[i];
+            let left_n = (count + 1) as f64;
+            let right_n = n - left_n;
+            if (count + 1) < min_leaf || (right_n as usize) < min_leaf {
+                continue;
+            }
+            let (xa, xb) = (x[i][feature], x[window[1]][feature]);
+            if xa == xb {
+                continue; // no threshold separates equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / left_n)
+                + (right_sq - right_sum * right_sum / right_n);
+            if best.as_ref().is_none_or(|&(_, _, b)| sse < b) {
+                best = Some((feature, (xa + xb) / 2.0, sse));
+            }
+        }
+    }
+    best.and_then(|(f, t, sse)| (sse < base_sse - 1e-12).then_some((f, t)))
+}
+
+/// A fitted gradient-boosting model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    base: f64,
+    trees: Vec<Tree>,
+    learning_rate: f64,
+}
+
+impl Gbdt {
+    /// Fits the ensemble to `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when `x` and `y` are empty or of different lengths.
+    #[must_use]
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &GbdtParams) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len(), "non-empty, aligned data");
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut predictions = vec![base; y.len()];
+        let indices: Vec<usize> = (0..y.len()).collect();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let residuals: Vec<f64> = y
+                .iter()
+                .zip(&predictions)
+                .map(|(yi, pi)| yi - pi)
+                .collect();
+            let tree = Tree::fit(x, &residuals, &indices, params);
+            for (i, pred) in predictions.iter_mut().enumerate() {
+                *pred += params.learning_rate * tree.predict(&x[i]);
+            }
+            trees.push(tree);
+        }
+        Gbdt {
+            base,
+            trees,
+            learning_rate: params.learning_rate,
+        }
+    }
+
+    /// Predicts for one feature vector.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(features))
+                    .sum::<f64>()
+    }
+
+    /// Number of trees in the ensemble.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the ensemble is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 3*a + b^2, on a small grid.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..12 {
+            for b in 0..12 {
+                x.push(vec![a as f64, b as f64]);
+                y.push(3.0 * a as f64 + (b * b) as f64);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_training_data() {
+        let (x, y) = grid();
+        let model = Gbdt::fit(&x, &y, &GbdtParams::default());
+        let mse = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (model.predict(xi) - yi).powi(2))
+            .sum::<f64>()
+            / y.len() as f64;
+        let var = {
+            let mean = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64
+        };
+        assert!(mse < 0.05 * var, "mse {mse} should beat 5% of variance {var}");
+    }
+
+    #[test]
+    fn interpolates_in_range() {
+        let (x, y) = grid();
+        let model = Gbdt::fit(&x, &y, &GbdtParams::default());
+        let pred = model.predict(&[5.5, 5.5]);
+        let truth = 3.0 * 5.5 + 5.5 * 5.5;
+        assert!((pred - truth).abs() / truth < 0.25);
+    }
+
+    #[test]
+    fn extrapolation_saturates_at_leaves() {
+        // Trees cannot extrapolate: far outside the training range the
+        // prediction flattens — the mechanism behind SchedTune's
+        // cold-start failures.
+        let (x, y) = grid();
+        let model = Gbdt::fit(&x, &y, &GbdtParams::default());
+        let at_edge = model.predict(&[11.0, 11.0]);
+        let far_out = model.predict(&[100.0, 100.0]);
+        assert!((at_edge - far_out).abs() < 1.0);
+    }
+
+    #[test]
+    fn constant_target_yields_base_prediction() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let y = vec![7.0; 4];
+        let model = Gbdt::fit(&x, &y, &GbdtParams::default());
+        assert!((model.predict(&[2.5]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (x, y) = grid();
+        let model = Gbdt::fit(&x, &y, &GbdtParams { n_trees: 10, ..GbdtParams::default() });
+        let json = serde_json::to_string(&model).unwrap();
+        let back: Gbdt = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.predict(&[3.0, 3.0]), back.predict(&[3.0, 3.0]));
+        assert_eq!(back.len(), 10);
+        assert!(!back.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproductions of the three baseline estimators the paper compares
+//! against (§4.1.1), each with the methodological strengths and weaknesses
+//! §5 attributes to it:
+//!
+//! * [`DnnMem`] — static computational-graph analysis with a one-level BFC
+//!   allocator simulation. A-priori and GPU-free, but blind to optimizer
+//!   state, code placement (`zero_grad`), auxiliary autograd buffers and
+//!   the device-level reclaim path.
+//! * [`SchedTune`] — a gradient-boosted-trees regressor (implemented from
+//!   scratch in [`gbdt`]) over model/hardware features, trained on
+//!   historical runs of a *subset* of models. Fast, but generalizes poorly
+//!   to unseen architectures (the cold-start problem).
+//! * [`LlMem`] — direct GPU measurement: runs the job at batch 1 and 2 on
+//!   the *target* GPU and extrapolates linearly. Potentially accurate but
+//!   consumes the scarce resource, can itself OOM, and mis-extrapolates
+//!   allocator nonlinearity. Transformer-only.
+//!
+//! All estimators (and xMem, adapted in `xmem-eval`) implement
+//! [`MemoryEstimator`], the interface the evaluation harness drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dnnmem;
+pub mod gbdt;
+mod llmem;
+mod schedtune;
+mod traits;
+
+pub use dnnmem::DnnMem;
+pub use llmem::LlMem;
+pub use schedtune::{SchedTune, SchedTuneTrainingReport};
+pub use traits::{EstimateOutcome, MemoryEstimator};

@@ -1,0 +1,188 @@
+//! LLMem reproduction (Kim et al., IJCAI 2024) — the paper's
+//! representative of direct GPU measurement (§5.3).
+//!
+//! LLMem estimates fine-tuning memory for transformer LMs by combining a
+//! closed-form static model (weights, gradients, optimizer state) with a
+//! *measured* per-batch dynamic share obtained by executing the job at
+//! batch 1 on the target GPU, then extrapolating linearly to the requested
+//! batch size. Faithful properties:
+//!
+//! * consumes the target GPU (violating the paper's zero-overhead
+//!   requirement — flagged via [`MemoryEstimator::consumes_gpu`]);
+//! * the calibration run can itself OOM, in which case the estimator
+//!   fails outright (`None`);
+//! * linear extrapolation misses allocator nonlinearity — segment
+//!   granularity, caching and batch-independent buffers make `peak(b)`
+//!   piecewise, so the batch-1 share amplified 10–50× scatters the
+//!   estimate;
+//! * transformer-only: CNN workloads are unsupported (absent boxes in
+//!   Fig. 7a/7c).
+
+use crate::traits::{EstimateOutcome, MemoryEstimator};
+use xmem_graph::ArchClass;
+use xmem_models::ModelId;
+use xmem_runtime::{run_on_gpu, GpuDevice, TrainJobSpec};
+
+/// The LLMem estimator.
+#[derive(Debug, Clone, Default)]
+pub struct LlMem {
+    _private: (),
+}
+
+impl LlMem {
+    /// Creates the estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        LlMem::default()
+    }
+}
+
+impl MemoryEstimator for LlMem {
+    fn name(&self) -> &'static str {
+        "LLMem"
+    }
+
+    fn supports(&self, model: ModelId) -> bool {
+        model.info().arch == ArchClass::Transformer
+    }
+
+    fn estimate(&self, spec: &TrainJobSpec, device: &GpuDevice) -> Option<EstimateOutcome> {
+        if !self.supports(spec.model) {
+            return None;
+        }
+        // Analytic static footprint from the model card: weights, their
+        // gradients and optimizer state (LLMem models these in closed form
+        // for transformer fine-tuning).
+        let graph = spec.model.build();
+        let params: u64 = graph.param_bytes();
+        let mut grads = 0u64;
+        let mut states = 0u64;
+        for p in graph.params() {
+            if p.trainable {
+                grads += p.spec.size_bytes() as u64;
+                states += spec.optimizer.state_bytes(&p.spec);
+            }
+        }
+        let static_bytes = params + grads + states;
+        // Analytic activation footprint at batch b: the sum of operator
+        // output tensors (LLMem's closed-form per-layer accounting).
+        let analytic_act = |batch: usize| -> u64 {
+            let inputs = graph.input_specs(batch, spec.seq);
+            match graph.infer_shapes(&inputs) {
+                Ok(shapes) => graph
+                    .nodes()
+                    .iter()
+                    .filter(|n| !n.is_input() && !n.op.is_view())
+                    .map(|n| match n.op {
+                        // The LM-head loss materializes log-probabilities
+                        // the size of the logits — LLMem's analytic model
+                        // accounts for them explicitly.
+                        xmem_graph::OpKind::CrossEntropyLoss => n
+                            .inputs
+                            .first()
+                            .map_or(0, |i| shapes[i.index()].size_bytes() as u64),
+                        _ => shapes[n.id.index()].size_bytes() as u64,
+                    })
+                    .sum(),
+                Err(_) => 0,
+            }
+        };
+        // One calibration execution at batch 1 on the *target* GPU (this
+        // consumes the GPU and can itself OOM). It absorbs the analytic
+        // model's systematic error into a scale factor.
+        let probe_spec = TrainJobSpec {
+            batch: 1,
+            iterations: 2,
+            seed: spec.seed ^ 0xaa,
+            ..spec.clone()
+        };
+        let probe = run_on_gpu(&probe_spec, device, None, false);
+        if probe.oom {
+            return None;
+        }
+        // LLMem reads the framework's tensor-level peak
+        // (`torch.cuda.max_memory_allocated`) rather than NVML, so the
+        // calibration is free of segment-cache slack — and consequently
+        // the final prediction misses exactly that slack.
+        let measured_dyn_1 = probe.counters.peak_allocated.saturating_sub(static_bytes);
+        let act_1 = analytic_act(1).max(1);
+        // The analytic activation model is a lower bound by construction;
+        // the measurement only refines it upward (at batch 1 the true peak
+        // often sits in the gradient phase, which would otherwise crush
+        // the calibration factor toward zero).
+        let calibration = (measured_dyn_1 as f64 / act_1 as f64).max(1.0);
+        // Tensor-level prediction: blind to the tensor→segment gap
+        // (allocator caching/fragmentation), which it systematically
+        // undershoots by.
+        let job = static_bytes as f64 + calibration * analytic_act(spec.batch) as f64;
+        let predicted = device.framework_bytes + job as u64;
+        Some(EstimateOutcome::from_peak(predicted, device))
+    }
+
+    fn consumes_gpu(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_optim::OptimizerKind;
+
+    #[test]
+    fn rejects_cnns() {
+        let e = LlMem::new();
+        assert!(!e.supports(ModelId::ResNet101));
+        let spec = TrainJobSpec::new(ModelId::ResNet101, OptimizerKind::Adam, 32);
+        assert!(e.estimate(&spec, &GpuDevice::rtx3060()).is_none());
+    }
+
+    #[test]
+    fn estimates_transformers_with_bounded_error_at_small_batch() {
+        let e = LlMem::new();
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 5)
+            .with_iterations(3);
+        let est = e.estimate(&spec, &device).unwrap();
+        let gt = run_on_gpu(&spec, &device, None, false);
+        assert!(!gt.oom);
+        let err = (est.peak_bytes as f64 - gt.peak_nvml as f64).abs() / gt.peak_nvml as f64;
+        assert!(err < 0.5, "small-batch error {err:.3}");
+    }
+
+    #[test]
+    fn extrapolation_error_grows_with_batch() {
+        let e = LlMem::new();
+        let device = GpuDevice::rtx3060();
+        let rel_err = |batch: usize| -> f64 {
+            let spec = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::AdamW, batch)
+                .with_iterations(3);
+            let est = e.estimate(&spec, &device).unwrap();
+            let gt = run_on_gpu(&spec, &device, None, false);
+            assert!(!gt.oom);
+            (est.peak_bytes as f64 - gt.peak_nvml as f64).abs() / gt.peak_nvml as f64
+        };
+        // Not strictly monotone, but far extrapolation must be clearly
+        // worse than near extrapolation on average.
+        let near = rel_err(4);
+        let far = rel_err(40);
+        assert!(
+            far > near * 0.8,
+            "far extrapolation ({far:.3}) should not beat near ({near:.3}) decisively"
+        );
+    }
+
+    #[test]
+    fn fails_when_probes_oom() {
+        // Pythia-1B + AdamW cannot fit even batch 1 on 12 GiB: the probe
+        // runs OOM and LLMem reports failure.
+        let e = LlMem::new();
+        let spec = TrainJobSpec::new(ModelId::Pythia1B, OptimizerKind::AdamW, 4);
+        assert!(e.estimate(&spec, &GpuDevice::rtx3060()).is_none());
+    }
+
+    #[test]
+    fn declares_gpu_consumption() {
+        assert!(LlMem::new().consumes_gpu());
+    }
+}

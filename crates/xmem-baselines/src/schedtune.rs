@@ -1,0 +1,230 @@
+//! SchedTune reproduction (Albahar et al., CCGrid 2022) — the paper's
+//! representative of data-driven estimation (§5.2).
+//!
+//! SchedTune trains a regression model on historical executions: features
+//! describing the model/job/hardware, labels from measured peaks. It is
+//! fast at inference time and needs no GPU at estimation time, but it
+//! generalizes poorly to architectures outside its training distribution —
+//! the cold-start problem the paper demonstrates (negative transformer MCP
+//! in Table 3).
+//!
+//! The training corpus here is generated from simulated-GPU runs of a
+//! deliberately *historical* model subset (pre-2020 architectures plus the
+//! two most common LMs), exactly the situation of a cluster that has been
+//! logging yesterday's workloads.
+
+use crate::gbdt::{Gbdt, GbdtParams};
+use crate::traits::{EstimateOutcome, MemoryEstimator};
+use serde::{Deserialize, Serialize};
+use xmem_graph::ArchClass;
+use xmem_models::ModelId;
+use xmem_optim::OptimizerKind;
+use xmem_runtime::{run_on_gpu, GpuDevice, TrainJobSpec};
+
+/// The historical model subset the regressor is trained on.
+const TRAINING_MODELS: [ModelId; 6] = [
+    ModelId::Vgg16,
+    ModelId::ResNet101,
+    ModelId::MobileNetV2,
+    ModelId::MnasNet,
+    ModelId::DistilGpt2,
+    ModelId::Gpt2,
+];
+
+/// Feature extraction: everything a scheduler knows *before* running the
+/// job (model card + job request + device).
+fn features(spec: &TrainJobSpec, device: &GpuDevice) -> Vec<f64> {
+    let info = spec.model.info();
+    let graph = spec.model.build();
+    let param_bytes = graph.param_bytes() as f64;
+    let seq = if spec.seq == 0 {
+        info.default_seq
+    } else {
+        spec.seq
+    } as f64;
+    let input_numel: f64 = graph
+        .input_specs(spec.batch, spec.seq)
+        .iter()
+        .map(|s| s.numel() as f64)
+        .sum();
+    vec![
+        (param_bytes.max(1.0)).log2(),
+        spec.batch as f64,
+        input_numel.log2(),
+        // State slots per parameter distinguish optimizer families.
+        match spec.optimizer {
+            OptimizerKind::Sgd { momentum: false } => 0.0,
+            OptimizerKind::Sgd { momentum: true }
+            | OptimizerKind::RMSprop
+            | OptimizerKind::Adagrad => 1.0,
+            OptimizerKind::Adam | OptimizerKind::AdamW => 2.0,
+            OptimizerKind::Adafactor => 0.1,
+        },
+        match info.arch {
+            ArchClass::Cnn => 0.0,
+            ArchClass::Transformer => 1.0,
+        },
+        graph.op_count() as f64,
+        seq,
+        (device.capacity as f64).log2(),
+    ]
+}
+
+/// Summary of corpus generation (returned for diagnostics/tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedTuneTrainingReport {
+    /// Number of historical runs harvested (OOM runs are unusable).
+    pub samples: usize,
+    /// Historical runs that hit OOM and were discarded.
+    pub discarded_oom: usize,
+}
+
+/// The SchedTune estimator: a fitted GBDT over job features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedTune {
+    model: Gbdt,
+    /// Corpus statistics.
+    pub report: SchedTuneTrainingReport,
+}
+
+impl SchedTune {
+    /// Trains on the historical corpus: the subset models swept over a few
+    /// batch sizes and optimizers on both commodity GPUs, labelled with the
+    /// measured NVML peak. Deterministic given `seed`.
+    #[must_use]
+    pub fn train(seed: u64) -> Self {
+        let mut x: Vec<Vec<f64>> = Vec::new();
+        let mut y: Vec<f64> = Vec::new();
+        let mut report = SchedTuneTrainingReport::default();
+        let devices = [GpuDevice::rtx3060(), GpuDevice::rtx4060()];
+        let optimizers = [
+            OptimizerKind::Sgd { momentum: true },
+            OptimizerKind::Adam,
+            OptimizerKind::AdamW,
+        ];
+        for (i, model) in TRAINING_MODELS.into_iter().enumerate() {
+            let grid = model.info().batch_grid;
+            // Historical logs rarely cover the full grid: take 4 points.
+            let batches: Vec<usize> = grid
+                .values()
+                .into_iter()
+                .step_by(2)
+                .take(4)
+                .collect();
+            for (j, &batch) in batches.iter().enumerate() {
+                for (k, &opt) in optimizers.iter().enumerate() {
+                    for (d, device) in devices.iter().enumerate() {
+                        let run_seed =
+                            seed ^ ((i as u64) << 24 | (j as u64) << 16 | (k as u64) << 8 | d as u64);
+                        let spec = TrainJobSpec::new(model, opt, batch)
+                            .with_iterations(3)
+                            .with_seed(run_seed);
+                        let gt = run_on_gpu(&spec, device, None, false);
+                        if gt.oom {
+                            report.discarded_oom += 1;
+                            continue;
+                        }
+                        x.push(features(&spec, device));
+                        y.push(gt.peak_nvml as f64);
+                        report.samples += 1;
+                    }
+                }
+            }
+        }
+        let model = Gbdt::fit(&x, &y, &GbdtParams::default());
+        report.samples = y.len();
+        SchedTune { model, report }
+    }
+
+    /// Serializes the fitted model (pre-trained deployment).
+    ///
+    /// # Errors
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads a fitted model.
+    ///
+    /// # Errors
+    /// Propagates deserialization failures.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl MemoryEstimator for SchedTune {
+    fn name(&self) -> &'static str {
+        "SchedTune"
+    }
+
+    fn supports(&self, _model: ModelId) -> bool {
+        true
+    }
+
+    fn estimate(&self, spec: &TrainJobSpec, device: &GpuDevice) -> Option<EstimateOutcome> {
+        let predicted = self.model.predict(&features(spec, device)).max(0.0) as u64;
+        Some(EstimateOutcome::from_peak(predicted, device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> SchedTune {
+        SchedTune::train(42)
+    }
+
+    #[test]
+    fn training_produces_a_usable_corpus() {
+        let st = trained();
+        assert!(st.report.samples > 50, "got {}", st.report.samples);
+    }
+
+    #[test]
+    fn in_distribution_predictions_are_reasonable() {
+        let st = trained();
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(ModelId::ResNet101, OptimizerKind::Adam, 300)
+            .with_iterations(3)
+            .with_seed(999);
+        let est = st.estimate(&spec, &device).unwrap();
+        let gt = run_on_gpu(&spec, &device, None, false);
+        assert!(!gt.oom);
+        let err = (est.peak_bytes as f64 - gt.peak_nvml as f64).abs() / gt.peak_nvml as f64;
+        assert!(err < 0.35, "in-distribution error {err:.3}");
+    }
+
+    #[test]
+    fn cold_start_architectures_mispredict() {
+        // Pythia-1B is far outside the training distribution; tree models
+        // cannot extrapolate, so the error is large.
+        let st = trained();
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(
+            ModelId::Pythia1B,
+            OptimizerKind::Sgd { momentum: false },
+            2,
+        )
+        .with_iterations(3);
+        let est = st.estimate(&spec, &device).unwrap();
+        let gt = run_on_gpu(&spec, &device, None, false);
+        assert!(!gt.oom);
+        let err = (est.peak_bytes as f64 - gt.peak_nvml as f64).abs() / gt.peak_nvml as f64;
+        assert!(err > 0.25, "cold-start error should be large, got {err:.3}");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let st = trained();
+        let json = st.to_json().unwrap();
+        let back = SchedTune::from_json(&json).unwrap();
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(ModelId::Vgg16, OptimizerKind::Adam, 200);
+        assert_eq!(
+            st.estimate(&spec, &device),
+            back.estimate(&spec, &device)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! The estimator interface the evaluation harness drives.
+
+use serde::{Deserialize, Serialize};
+use xmem_models::ModelId;
+use xmem_runtime::{GpuDevice, TrainJobSpec};
+
+/// One estimator invocation's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EstimateOutcome {
+    /// Predicted peak total device memory (job + framework), in bytes.
+    pub peak_bytes: u64,
+    /// Whether the estimator predicts the job will not fit the device
+    /// (Eq. 1: `peak > M^max`).
+    pub oom_predicted: bool,
+}
+
+impl EstimateOutcome {
+    /// Builds an outcome from a peak prediction and the device capacity.
+    #[must_use]
+    pub fn from_peak(peak_bytes: u64, device: &GpuDevice) -> Self {
+        EstimateOutcome {
+            peak_bytes,
+            oom_predicted: peak_bytes > device.capacity - device.init_bytes,
+        }
+    }
+}
+
+/// A peak-GPU-memory estimator (xMem or a baseline).
+pub trait MemoryEstimator {
+    /// Estimator name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Whether the estimator supports this model at all (LLMem is
+    /// transformer-only; absent boxes in Fig. 7 come from this).
+    fn supports(&self, model: ModelId) -> bool;
+
+    /// Produces an estimate for a job on a device, or `None` when the
+    /// estimator fails outright (e.g. LLMem's measurement runs OOM).
+    fn estimate(&self, spec: &TrainJobSpec, device: &GpuDevice) -> Option<EstimateOutcome>;
+
+    /// Whether the estimation procedure consumes the target GPU (LLMem
+    /// does; the paper's zero-GPU-overhead requirement).
+    fn consumes_gpu(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_flags_oom_above_capacity() {
+        let d = GpuDevice::rtx4060(); // 8 GiB
+        let fit = EstimateOutcome::from_peak(6 << 30, &d);
+        assert!(!fit.oom_predicted);
+        let over = EstimateOutcome::from_peak(9 << 30, &d);
+        assert!(over.oom_predicted);
+    }
+}

@@ -1,0 +1,32 @@
+//! The headline aggregate of §1/§7: xMem's improvement over the best
+//! baseline — MRE −91 %, PEF −75 %, MCP +368 % in the paper.
+
+use xmem_bench::{campaign_records, BenchArgs, Setting};
+use xmem_eval::summary::headline;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut records = campaign_records(&args, Setting::Anova);
+    records.extend(campaign_records(&args, Setting::MonteCarlo));
+    let h = headline(&records).expect("records for xMem and baselines");
+    println!("Headline aggregate over {} records:", records.len());
+    println!(
+        "  MRE: xMem {:.1}% vs best baseline {:.1}%  ->  reduced by {:.0}%",
+        h.xmem_mre * 100.0,
+        h.best_baseline_mre * 100.0,
+        h.mre_reduction * 100.0
+    );
+    println!(
+        "  PEF: xMem {:.1}% vs best baseline {:.1}%  ->  reduced by {:.0}%",
+        h.xmem_pef * 100.0,
+        h.best_baseline_pef * 100.0,
+        h.pef_reduction * 100.0
+    );
+    println!(
+        "  MCP: xMem {:.2} GiB vs best baseline {:.2} GiB  ->  increased by {:.0}%",
+        h.xmem_mcp_gib,
+        h.best_baseline_mcp_gib,
+        h.mcp_increase * 100.0
+    );
+    println!("Paper: MRE -91%, PEF -75%, MCP +368%.");
+}

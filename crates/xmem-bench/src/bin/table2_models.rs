@@ -1,0 +1,31 @@
+//! Table 2: the model/optimizer inventory of the evaluation, with our
+//! reproduced parameter counts next to the published ones.
+
+use xmem_eval::anova::optimizers_for;
+use xmem_models::ModelId;
+
+fn main() {
+    println!(
+        "{:<32} {:<12} {:>14} {:>14} {:>7} {:<12} {:<30}",
+        "model", "class", "params(pub)", "params(ours)", "RQ5", "batch grid", "optimizers"
+    );
+    for model in ModelId::all() {
+        let info = model.info();
+        let graph = model.build();
+        let grid = info.batch_grid;
+        let opts: Vec<&str> = optimizers_for(info.arch)
+            .iter()
+            .map(|o| o.name())
+            .collect();
+        println!(
+            "{:<32} {:<12} {:>14} {:>14} {:>7} {:<12} {:<30}",
+            info.name,
+            info.arch.label(),
+            info.published_params,
+            graph.trainable_param_elems(),
+            if info.rq5_only { "yes" } else { "" },
+            format!("{}..{}/{}", grid.min, grid.max, grid.step),
+            opts.join(",")
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Table 3: average memory-conservation potential (MCP, Eq. 8) in GiB per
+//! estimator, split by architecture class — Monte Carlo records only, as
+//! in the paper (§4.4).
+
+use std::fmt::Write as _;
+use xmem_bench::{campaign_records, write_artifact, BenchArgs, Setting};
+use xmem_eval::summary::mcp_table;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("Table 3: memory conservation potential (Monte Carlo)");
+    let records = campaign_records(&args, Setting::MonteCarlo);
+    let table = mcp_table(&records);
+    let fmt = |v: Option<f64>| v.map_or_else(|| "N/A".to_string(), |x| format!("{x:.2}"));
+    println!(
+        "{:<12} {:>10} {:>14} {:>10}",
+        "estimator", "CNN", "Transformer", "Overall"
+    );
+    let mut csv = String::from("estimator,cnn_gib,transformer_gib,overall_gib\n");
+    for row in &table {
+        println!(
+            "{:<12} {:>10} {:>14} {:>10}",
+            row.estimator,
+            fmt(row.cnn_gib),
+            fmt(row.transformer_gib),
+            fmt(row.overall_gib)
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}",
+            row.estimator,
+            fmt(row.cnn_gib),
+            fmt(row.transformer_gib),
+            fmt(row.overall_gib)
+        );
+    }
+    write_artifact(&args.out_dir, "table3_mcp.csv", &csv);
+    println!("Paper: DNNMem 3.08/1.29/2.11, SchedTune 5.81/-4.42/0.38,");
+    println!("       LLMem N/A/1.68/1.69, xMem 8.67/7.07/7.82 (GB).");
+}

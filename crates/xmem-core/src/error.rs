@@ -1,0 +1,25 @@
+use std::error::Error;
+use std::fmt;
+
+/// Failure of the estimation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The trace contains no memory instants to analyze.
+    EmptyTrace,
+    /// The trace lacks iteration markers (`ProfilerStep#k`), so phases
+    /// cannot be delimited.
+    MissingIterations,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::EmptyTrace => write!(f, "trace contains no memory events"),
+            EstimateError::MissingIterations => {
+                write!(f, "trace contains no ProfilerStep iteration markers")
+            }
+        }
+    }
+}
+
+impl Error for EstimateError {}

@@ -1,0 +1,257 @@
+//! The public estimation facade: Analyzer → Orchestrator → Simulator.
+
+use crate::analyzer::{Analyzer, BlockCategory};
+use crate::orchestrator::Orchestrator;
+use crate::simulator::Simulator;
+use crate::EstimateError;
+use serde::{Deserialize, Serialize};
+use xmem_alloc::{AllocatorConfig, TimelinePoint};
+use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
+use xmem_trace::Trace;
+
+/// Estimation configuration.
+#[derive(Debug, Clone)]
+pub struct EstimatorConfig {
+    /// Target device (capacity + framework overhead model).
+    pub device: GpuDevice,
+    /// Framework-allocator behaviour (ablation hook).
+    pub allocator: AllocatorConfig,
+    /// Orchestrator switches (ablation hooks).
+    pub orchestrator: Orchestrator,
+    /// Record the estimated usage curve.
+    pub record_timeline: bool,
+    /// Conservative allowance for CUDA-context variance: real framework
+    /// overhead fluctuates a few MiB run to run, so the usable estimate
+    /// budgets for the upper end (needed for the estimate to work as a
+    /// hard memory cap, §4.1.4's second validation round).
+    pub context_allowance: u64,
+}
+
+impl EstimatorConfig {
+    /// Paper-default configuration for a target device.
+    #[must_use]
+    pub fn for_device(device: GpuDevice) -> Self {
+        EstimatorConfig {
+            device,
+            allocator: AllocatorConfig::pytorch_defaults(),
+            orchestrator: Orchestrator::default(),
+            record_timeline: false,
+            context_allowance: 8 << 20,
+        }
+    }
+
+    /// Enables usage-curve recording.
+    #[must_use]
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+}
+
+/// Per-category block statistics of an analysis (diagnostics and the
+/// detailed report).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// `(category name, block count, total bytes)` triples.
+    pub categories: Vec<(String, usize, u64)>,
+    /// Blocks dropped by the script filter.
+    pub filtered_blocks: usize,
+    /// Blocks whose lifecycle the Orchestrator adjusted.
+    pub adjusted_blocks: usize,
+    /// Lifecycle anomalies (unmatched frees).
+    pub unmatched_frees: usize,
+}
+
+/// The estimation result (paper: `M̂^peak` plus the optional usage curve).
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated peak total device usage: job segments + framework
+    /// overhead. Directly comparable with NVML-sampled ground truth.
+    pub peak_bytes: u64,
+    /// Estimated job-only peak (segment memory, no framework overhead).
+    pub job_peak_bytes: u64,
+    /// Estimated peak tensor (allocated) bytes.
+    pub tensor_peak_bytes: u64,
+    /// Predicted OOM on the target device (Eq. 1).
+    pub oom_predicted: bool,
+    /// Estimated usage curve when recording was enabled.
+    pub curve: Vec<TimelinePoint>,
+    /// Analysis diagnostics.
+    pub stats: AnalysisStats,
+}
+
+/// The xMem estimator.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    config: EstimatorConfig,
+}
+
+impl Estimator {
+    /// Creates an estimator.
+    #[must_use]
+    pub fn new(config: EstimatorConfig) -> Self {
+        Estimator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Estimates from an existing CPU profiler trace (the a-priori path:
+    /// the job never ran on a GPU).
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for malformed traces.
+    pub fn estimate_trace(&self, trace: &Trace) -> Result<Estimate, EstimateError> {
+        let analyzed = Analyzer::new().analyze(trace)?;
+        let sequence = self.config.orchestrator.orchestrate(&analyzed);
+
+        let device = &self.config.device;
+        let mut simulator = Simulator {
+            allocator: self.config.allocator.clone(),
+            capacity: Some(device.capacity - device.init_bytes),
+            framework_bytes: device.framework_bytes,
+            record_timeline: self.config.record_timeline,
+        };
+        if self.config.record_timeline {
+            simulator = simulator.with_timeline();
+        }
+        let sim = simulator.replay(&sequence);
+
+        let job_peak = sim.peak_reserved;
+        let peak_total = job_peak + device.framework_bytes + self.config.context_allowance;
+        let oom_predicted = sim.oom || peak_total > device.capacity - device.init_bytes;
+
+        let mut categories: Vec<(String, usize, u64)> = Vec::new();
+        for cat in [
+            BlockCategory::Parameter,
+            BlockCategory::BatchData,
+            BlockCategory::Activation,
+            BlockCategory::Gradient,
+            BlockCategory::BackwardTemp,
+            BlockCategory::OptimizerState,
+            BlockCategory::OptimizerScratch,
+            BlockCategory::Workspace,
+            BlockCategory::Script,
+        ] {
+            categories.push((
+                format!("{cat:?}"),
+                analyzed.count(cat),
+                analyzed.bytes(cat),
+            ));
+        }
+
+        Ok(Estimate {
+            peak_bytes: peak_total,
+            job_peak_bytes: job_peak,
+            tensor_peak_bytes: sim.peak_allocated,
+            oom_predicted,
+            curve: sim.timeline,
+            stats: AnalysisStats {
+                categories,
+                filtered_blocks: sequence.filtered_blocks,
+                adjusted_blocks: sequence.adjusted_blocks,
+                unmatched_frees: analyzed.lifecycle_stats.unmatched_frees,
+            },
+        })
+    }
+
+    /// Profiles the job on the CPU backend, then estimates — the
+    /// end-to-end a-priori workflow of the paper's Fig. 4.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures (the generated trace is well-formed,
+    /// so failures indicate configuration errors).
+    pub fn estimate_job(&self, spec: &TrainJobSpec) -> Result<Estimate, EstimateError> {
+        let trace = profile_on_cpu(spec);
+        self.estimate_trace(&trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_models::ModelId;
+    use xmem_optim::OptimizerKind;
+    use xmem_runtime::{run_on_gpu, ZeroGradPos};
+
+    fn spec(model: ModelId, opt: OptimizerKind, batch: usize) -> TrainJobSpec {
+        TrainJobSpec::new(model, opt, batch).with_iterations(3)
+    }
+
+    fn accuracy(model: ModelId, opt: OptimizerKind, batch: usize) -> f64 {
+        let device = GpuDevice::rtx3060();
+        let s = spec(model, opt, batch);
+        let est = Estimator::new(EstimatorConfig::for_device(device))
+            .estimate_job(&s)
+            .unwrap();
+        let gt = run_on_gpu(&s, &device, None, false);
+        assert!(!gt.oom, "ground truth must fit for accuracy checks");
+        (est.peak_bytes as f64 - gt.peak_nvml as f64).abs() / gt.peak_nvml as f64
+    }
+
+    #[test]
+    fn small_cnn_estimate_is_accurate() {
+        let err = accuracy(ModelId::MobileNetV3Small, OptimizerKind::Adam, 64);
+        assert!(err < 0.10, "relative error {err:.3} too high");
+    }
+
+    #[test]
+    fn transformer_estimate_is_accurate() {
+        let err = accuracy(ModelId::DistilGpt2, OptimizerKind::AdamW, 8);
+        assert!(err < 0.10, "relative error {err:.3} too high");
+    }
+
+    #[test]
+    fn estimate_includes_framework_overhead() {
+        let device = GpuDevice::rtx3060();
+        let s = spec(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let est = Estimator::new(EstimatorConfig::for_device(device))
+            .estimate_job(&s)
+            .unwrap();
+        assert_eq!(
+            est.peak_bytes,
+            est.job_peak_bytes + device.framework_bytes + (8 << 20)
+        );
+        assert!(est.tensor_peak_bytes <= est.job_peak_bytes);
+    }
+
+    #[test]
+    fn oom_is_predicted_when_job_exceeds_capacity() {
+        // Pythia-1B with AdamW needs ~16 GiB of params+grads+state alone —
+        // it cannot fit a 12 GiB device at any batch size.
+        let device = GpuDevice::rtx3060();
+        let s = spec(ModelId::Pythia1B, OptimizerKind::AdamW, 2);
+        let est = Estimator::new(EstimatorConfig::for_device(device))
+            .estimate_job(&s)
+            .unwrap();
+        assert!(est.oom_predicted);
+        let gt = run_on_gpu(&s, &device, None, false);
+        assert!(gt.oom, "ground truth agrees");
+    }
+
+    #[test]
+    fn zero_grad_placement_shifts_estimate() {
+        let device = GpuDevice::rtx3060();
+        let pos0 = spec(ModelId::DistilGpt2, OptimizerKind::AdamW, 8);
+        let pos1 = pos0.clone().with_zero_grad(ZeroGradPos::IterStart);
+        let estimator = Estimator::new(EstimatorConfig::for_device(device));
+        let e0 = estimator.estimate_job(&pos0).unwrap();
+        let e1 = estimator.estimate_job(&pos1).unwrap();
+        assert_ne!(e0.peak_bytes, e1.peak_bytes, "Fig. 1 sensitivity");
+    }
+
+    #[test]
+    fn curve_is_available_on_request() {
+        let device = GpuDevice::rtx3060();
+        let s = spec(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let est = Estimator::new(EstimatorConfig::for_device(device).with_timeline())
+            .estimate_job(&s)
+            .unwrap();
+        assert!(!est.curve.is_empty());
+        let peak_from_curve = est.curve.iter().map(|p| p.reserved).max().unwrap();
+        assert_eq!(peak_from_curve, est.job_peak_bytes);
+    }
+}

@@ -1,0 +1,293 @@
+//! Execution-window indices (paper §3.2, Analyzer step 2).
+//!
+//! Rebuilds, from span events, the structures the attribution pass queries:
+//! operator windows (`cpu_op`), component windows (`python_function`) and
+//! the training-phase annotation windows (`user_annotation`).
+
+use serde::{Deserialize, Serialize};
+use xmem_trace::{names, EventCategory, Trace};
+
+/// One operator execution window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpWindow {
+    /// Kernel name (`aten::…` or autograd node).
+    pub name: String,
+    /// Start timestamp (µs).
+    pub start: u64,
+    /// End timestamp (exclusive).
+    pub end: u64,
+    /// Forward/backward linking sequence number, when recorded.
+    pub seq: Option<u64>,
+    /// Whether this is a backward-engine node.
+    pub is_backward: bool,
+    /// Whether this is a gradient-accumulation node.
+    pub is_accumulate_grad: bool,
+}
+
+/// A component (module) window derived from `python_function` spans.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentWindow {
+    /// Module path (e.g. `transformer.h.0`).
+    pub name: String,
+    /// Start timestamp.
+    pub start: u64,
+    /// End timestamp (exclusive).
+    pub end: u64,
+}
+
+/// Training-phase windows from `user_annotation` events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotationIndex {
+    /// `(iteration, start, end)` of each `ProfilerStep#k`.
+    pub iterations: Vec<(u32, u64, u64)>,
+    /// `optimizer.zero_grad()` windows.
+    pub zero_grads: Vec<(u64, u64)>,
+    /// `optimizer.step()` windows.
+    pub optimizer_steps: Vec<(u64, u64)>,
+    /// Dataloader fetch windows.
+    pub dataloads: Vec<(u64, u64)>,
+    /// `loss.backward()` windows.
+    pub backwards: Vec<(u64, u64)>,
+    /// Model-loading window (`model.to(device)`).
+    pub model_load: Option<(u64, u64)>,
+}
+
+impl AnnotationIndex {
+    /// Whether `ts` falls within any of the given windows.
+    fn contains(windows: &[(u64, u64)], ts: u64) -> bool {
+        windows.iter().any(|&(s, e)| s <= ts && ts < e)
+    }
+
+    /// Whether `ts` is inside a dataloader fetch.
+    #[must_use]
+    pub fn in_dataload(&self, ts: u64) -> bool {
+        Self::contains(&self.dataloads, ts)
+    }
+
+    /// Whether `ts` is inside an `optimizer.step()` window.
+    #[must_use]
+    pub fn in_optimizer_step(&self, ts: u64) -> bool {
+        Self::contains(&self.optimizer_steps, ts)
+    }
+
+    /// Whether `ts` is inside a `loss.backward()` window.
+    #[must_use]
+    pub fn in_backward(&self, ts: u64) -> bool {
+        Self::contains(&self.backwards, ts)
+    }
+
+    /// Whether `ts` is inside the model-loading window.
+    #[must_use]
+    pub fn in_model_load(&self, ts: u64) -> bool {
+        self.model_load.is_some_and(|(s, e)| s <= ts && ts < e)
+    }
+
+    /// End of the iteration containing `ts`, if any.
+    #[must_use]
+    pub fn iteration_end(&self, ts: u64) -> Option<u64> {
+        self.iterations
+            .iter()
+            .find(|&&(_, s, e)| s <= ts && ts < e)
+            .map(|&(_, _, e)| e)
+    }
+
+    /// End of the first `zero_grad` window starting at or after `ts`.
+    #[must_use]
+    pub fn next_zero_grad_end(&self, ts: u64) -> Option<u64> {
+        self.zero_grads
+            .iter()
+            .filter(|&&(s, _)| s >= ts)
+            .map(|&(_, e)| e)
+            .min()
+    }
+}
+
+/// The full window index of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowIndex {
+    ops: Vec<OpWindow>,
+    components: Vec<ComponentWindow>,
+    /// Annotation windows.
+    pub annotations: AnnotationIndex,
+}
+
+impl WindowIndex {
+    /// Builds the index from a trace.
+    #[must_use]
+    pub fn build(trace: &Trace) -> Self {
+        let mut ops: Vec<OpWindow> = trace
+            .of_category(EventCategory::CpuOp)
+            .map(|e| OpWindow {
+                name: e.name.clone(),
+                start: e.ts_us,
+                end: e.end_us().max(e.ts_us + 1),
+                seq: e.args.seq,
+                is_backward: names::is_backward_op(&e.name),
+                is_accumulate_grad: e.name == names::ACCUMULATE_GRAD,
+            })
+            .collect();
+        ops.sort_by_key(|w| w.start);
+
+        let mut components: Vec<ComponentWindow> = trace
+            .of_category(EventCategory::PythonFunction)
+            .filter_map(|e| {
+                names::parse_nn_module(&e.name).map(|path| ComponentWindow {
+                    name: path.to_string(),
+                    start: e.ts_us,
+                    end: e.end_us().max(e.ts_us + 1),
+                })
+            })
+            .collect();
+        components.sort_by_key(|w| w.start);
+
+        let mut annotations = AnnotationIndex::default();
+        for e in trace.of_category(EventCategory::UserAnnotation) {
+            let span = (e.ts_us, e.end_us().max(e.ts_us + 1));
+            if let Some(k) = names::parse_profiler_step(&e.name) {
+                annotations.iterations.push((k, span.0, span.1));
+            } else if names::is_optimizer_zero_grad(&e.name) {
+                annotations.zero_grads.push(span);
+            } else if names::is_optimizer_step(&e.name) {
+                annotations.optimizer_steps.push(span);
+            } else if e.name == names::DATALOADER_NEXT {
+                annotations.dataloads.push(span);
+            } else if e.name == names::BACKWARD_CALL {
+                annotations.backwards.push(span);
+            } else if e.name == names::MODEL_TO_DEVICE {
+                annotations.model_load = Some(span);
+            }
+        }
+        annotations.iterations.sort_by_key(|w| w.1);
+
+        WindowIndex {
+            ops,
+            components,
+            annotations,
+        }
+    }
+
+    /// All operator windows (sorted by start).
+    #[must_use]
+    pub fn ops(&self) -> &[OpWindow] {
+        &self.ops
+    }
+
+    /// The operator window containing `ts`. Operator windows do not nest
+    /// (kernels execute sequentially on one thread), so the rightmost
+    /// window starting at or before `ts` decides.
+    #[must_use]
+    pub fn op_at(&self, ts: u64) -> Option<&OpWindow> {
+        let idx = self.ops.partition_point(|w| w.start <= ts);
+        self.ops[..idx].iter().rev().find(|w| ts < w.end)
+    }
+
+    /// The innermost component window containing `ts` (module spans nest:
+    /// the whole-model span contains per-component spans; the one with the
+    /// latest start is innermost).
+    #[must_use]
+    pub fn component_at(&self, ts: u64) -> Option<&ComponentWindow> {
+        let idx = self.components.partition_point(|w| w.start <= ts);
+        self.components[..idx].iter().rev().find(|w| ts < w.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_trace::TraceEvent;
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::new("t");
+        t.push(TraceEvent::span(
+            EventCategory::UserAnnotation,
+            names::profiler_step(1),
+            0,
+            100,
+        ));
+        t.push(TraceEvent::span(
+            EventCategory::PythonFunction,
+            names::nn_module("model"),
+            5,
+            60,
+        ));
+        t.push(TraceEvent::span(
+            EventCategory::PythonFunction,
+            names::nn_module("model.layer1"),
+            10,
+            20,
+        ));
+        t.push(TraceEvent::span_with_seq(
+            EventCategory::CpuOp,
+            "aten::linear",
+            12,
+            6,
+            7,
+        ));
+        t.push(TraceEvent::span(
+            EventCategory::UserAnnotation,
+            names::optimizer_zero_grad("AdamW"),
+            70,
+            5,
+        ));
+        t.push(TraceEvent::span(
+            EventCategory::UserAnnotation,
+            names::optimizer_step("AdamW"),
+            80,
+            10,
+        ));
+        t.sort_by_time();
+        t
+    }
+
+    #[test]
+    fn op_lookup_finds_containing_window() {
+        let idx = WindowIndex::build(&demo_trace());
+        let w = idx.op_at(14).expect("inside aten::linear");
+        assert_eq!(w.name, "aten::linear");
+        assert_eq!(w.seq, Some(7));
+        assert!(idx.op_at(40).is_none());
+        assert!(idx.op_at(11).is_none());
+        assert!(idx.op_at(18).is_none(), "end is exclusive");
+    }
+
+    #[test]
+    fn component_lookup_prefers_innermost() {
+        let idx = WindowIndex::build(&demo_trace());
+        assert_eq!(idx.component_at(15).unwrap().name, "model.layer1");
+        assert_eq!(idx.component_at(40).unwrap().name, "model");
+        assert!(idx.component_at(90).is_none());
+    }
+
+    #[test]
+    fn annotations_are_indexed() {
+        let idx = WindowIndex::build(&demo_trace());
+        assert_eq!(idx.annotations.iterations, vec![(1, 0, 100)]);
+        assert!(idx.annotations.in_optimizer_step(85));
+        assert!(!idx.annotations.in_optimizer_step(95));
+        assert_eq!(idx.annotations.next_zero_grad_end(0), Some(75));
+        assert_eq!(idx.annotations.next_zero_grad_end(71), None);
+        assert_eq!(idx.annotations.iteration_end(50), Some(100));
+        assert_eq!(idx.annotations.iteration_end(150), None);
+    }
+
+    #[test]
+    fn backward_ops_are_flagged() {
+        let mut t = Trace::new("t");
+        t.push(TraceEvent::span(
+            EventCategory::CpuOp,
+            names::autograd_node("LinearBackward0"),
+            0,
+            4,
+        ));
+        t.push(TraceEvent::span(
+            EventCategory::CpuOp,
+            names::ACCUMULATE_GRAD,
+            5,
+            2,
+        ));
+        let idx = WindowIndex::build(&t);
+        assert!(idx.ops()[0].is_backward);
+        assert!(idx.ops()[1].is_accumulate_grad);
+        assert!(idx.ops()[1].is_backward);
+    }
+}

@@ -1,0 +1,61 @@
+//! xMem behind the common estimator interface.
+
+use xmem_baselines::{EstimateOutcome, MemoryEstimator};
+use xmem_core::{Estimator, EstimatorConfig};
+use xmem_models::ModelId;
+use xmem_runtime::{GpuDevice, TrainJobSpec};
+
+/// Adapter running the full xMem pipeline (CPU profile → analyze →
+/// orchestrate → simulate) per estimate request.
+#[derive(Debug, Clone, Default)]
+pub struct XMemEstimator {
+    _private: (),
+}
+
+impl XMemEstimator {
+    /// Creates the adapter.
+    #[must_use]
+    pub fn new() -> Self {
+        XMemEstimator::default()
+    }
+}
+
+impl MemoryEstimator for XMemEstimator {
+    fn name(&self) -> &'static str {
+        "xMem"
+    }
+
+    fn supports(&self, _model: ModelId) -> bool {
+        true
+    }
+
+    fn estimate(&self, spec: &TrainJobSpec, device: &GpuDevice) -> Option<EstimateOutcome> {
+        let estimator = Estimator::new(EstimatorConfig::for_device(*device));
+        let est = estimator.estimate_job(spec).ok()?;
+        Some(EstimateOutcome {
+            peak_bytes: est.peak_bytes,
+            oom_predicted: est.oom_predicted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_optim::OptimizerKind;
+
+    #[test]
+    fn adapter_estimates_like_the_pipeline() {
+        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+            .with_iterations(2);
+        let device = GpuDevice::rtx3060();
+        let adapter = XMemEstimator::new();
+        let via_adapter = adapter.estimate(&spec, &device).unwrap();
+        let direct = Estimator::new(EstimatorConfig::for_device(device))
+            .estimate_job(&spec)
+            .unwrap();
+        assert_eq!(via_adapter.peak_bytes, direct.peak_bytes);
+        assert!(!adapter.consumes_gpu());
+        assert_eq!(adapter.name(), "xMem");
+    }
+}

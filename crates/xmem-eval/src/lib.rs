@@ -1,0 +1,30 @@
+//! Evaluation harness: reproduces the paper's experimental design (§4.1).
+//!
+//! * [`metrics`] — the error/MRE/PEF/MCP definitions of Eqs. 2–8;
+//! * [`protocol`] — the two-round validation of §4.1.4 (full-memory run,
+//!   then a run capped at `M^init + M^fm + M̂^peak`);
+//! * [`anova`] — the full-factorial campaign on the RTX 3060 (§4.1.4
+//!   setting 1) plus a one-way ANOVA F statistic;
+//! * [`montecarlo`] — randomized configurations across both commodity GPUs
+//!   and `zero_grad` placements (§4.1.4 setting 2);
+//! * [`summary`] — per-model aggregation, box statistics, four-quadrant
+//!   classification (Fig. 8) and table rendering;
+//! * [`XMemEstimator`] — the adapter exposing xMem through the common
+//!   [`MemoryEstimator`](xmem_baselines::MemoryEstimator) interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod metrics;
+pub mod montecarlo;
+pub mod protocol;
+pub mod runner;
+pub mod stats;
+pub mod summary;
+
+mod adapter;
+
+pub use adapter::XMemEstimator;
+pub use protocol::{ConfigKey, GroundTruthSummary, RunRecord};
+pub use runner::{run_campaign, CampaignOptions, EstimatorSet};

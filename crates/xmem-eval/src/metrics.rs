@@ -1,0 +1,148 @@
+//! The paper's metrics, Eqs. 2–8 (§4.1.5).
+
+/// Relative error of an estimate vs a measured peak (Eq. 2). Defined only
+/// when the reference run did not OOM.
+#[must_use]
+pub fn relative_error(estimated: u64, measured: u64) -> f64 {
+    debug_assert!(measured > 0);
+    (estimated as f64 - measured as f64).abs() / measured as f64
+}
+
+/// Median of a sample (for MRE, Eq. 3). Returns `None` on empty input.
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// First-round correctness `C_{jde1}` (Eq. 4): the OOM prediction matched
+/// the full-memory run.
+#[must_use]
+pub fn c1(oom_predicted: bool, oom_actual_round1: bool) -> bool {
+    oom_predicted == oom_actual_round1
+}
+
+/// Second-round correctness `C_{jde2}` (Eq. 5): round 1 was correct and
+/// either the capped run succeeded or the job never fit anyway.
+#[must_use]
+pub fn c2(c1: bool, oom_round2: Option<bool>, oom_round1: bool) -> bool {
+    c1 && (oom_round2 == Some(false) || oom_round1)
+}
+
+/// Probability of estimation failure (Eq. 6): fraction of runs whose
+/// correctness flag is false.
+#[must_use]
+pub fn pef(correctness: &[bool]) -> f64 {
+    if correctness.is_empty() {
+        return 0.0;
+    }
+    let passed = correctness.iter().filter(|&&c| c).count();
+    (correctness.len() - passed) as f64 / correctness.len() as f64
+}
+
+/// Memory conserved by one run (Eq. 7), in bytes (negative = net loss).
+///
+/// * estimate usable as a cap and the capped run fit: `M^max − M̂`;
+/// * job never fit and the estimator said so: the whole device is saved;
+/// * otherwise the (wasted) reservation is penalized: `−M^max`.
+#[must_use]
+pub fn m_save(
+    device_capacity: u64,
+    estimated_peak: u64,
+    c1: bool,
+    oom_round1: bool,
+    oom_round2: Option<bool>,
+) -> f64 {
+    let cap = device_capacity as f64;
+    if c1 && oom_round2 == Some(false) {
+        cap - estimated_peak as f64
+    } else if c1 && oom_round1 {
+        cap
+    } else {
+        -cap
+    }
+}
+
+/// Memory-conservation potential (Eq. 8): mean of per-run savings.
+#[must_use]
+pub fn mcp(savings: &[f64]) -> f64 {
+    if savings.is_empty() {
+        return 0.0;
+    }
+    savings.iter().sum::<f64>() / savings.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn relative_error_is_symmetric_in_sign() {
+        assert!((relative_error(110, 100) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90, 100) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(100, 100), 0.0);
+    }
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn correctness_flags_follow_the_paper() {
+        // Eq. 4.
+        assert!(c1(true, true));
+        assert!(c1(false, false));
+        assert!(!c1(true, false));
+        // Eq. 5: capped run succeeded.
+        assert!(c2(true, Some(false), false));
+        // Eq. 5: job never fit, correctly predicted.
+        assert!(c2(true, None, true));
+        // Capped run OOMed: failure.
+        assert!(!c2(true, Some(true), false));
+        // Round 1 wrong: always failure.
+        assert!(!c2(false, Some(false), false));
+    }
+
+    #[test]
+    fn pef_counts_failures() {
+        assert_eq!(pef(&[true, true, false, false]), 0.5);
+        assert_eq!(pef(&[true, true]), 0.0);
+        assert_eq!(pef(&[]), 0.0);
+    }
+
+    #[test]
+    fn m_save_cases() {
+        // Tight, correct estimate: saves capacity minus reservation.
+        let s = m_save(12 * GIB, 4 * GIB, true, false, Some(false));
+        assert_eq!(s, (8 * GIB) as f64);
+        // Correctly predicted impossible job: whole device saved.
+        let s = m_save(12 * GIB, 20 * GIB, true, true, None);
+        assert_eq!(s, (12 * GIB) as f64);
+        // Capped run OOMed: reservation wasted.
+        let s = m_save(12 * GIB, 4 * GIB, true, false, Some(true));
+        assert_eq!(s, -((12 * GIB) as f64));
+        // Wrong OOM call: penalized.
+        let s = m_save(12 * GIB, 4 * GIB, false, false, None);
+        assert_eq!(s, -((12 * GIB) as f64));
+    }
+
+    #[test]
+    fn mcp_is_mean() {
+        assert_eq!(mcp(&[1.0, 3.0]), 2.0);
+        assert_eq!(mcp(&[]), 0.0);
+    }
+}

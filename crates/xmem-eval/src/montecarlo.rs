@@ -1,0 +1,82 @@
+//! The Monte Carlo campaign (§4.1.4 setting 2): randomly sampled
+//! configurations — model, applicable optimizer, batch size from the
+//! model's grid, `zero_grad` placement, and one of the two commodity GPUs —
+//! simulating the diversity and unpredictability of real cluster intake.
+
+use crate::anova::optimizers_for;
+use crate::runner::{job, JobConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use xmem_models::ModelId;
+use xmem_runtime::{GpuDevice, TrainJobSpec, ZeroGradPos};
+
+/// Draws `n` random configurations (deterministic in `seed`).
+#[must_use]
+pub fn monte_carlo_configs(n: usize, seed: u64) -> Vec<JobConfig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let models = ModelId::evaluation_set();
+    let devices = [GpuDevice::rtx3060(), GpuDevice::rtx4060()];
+    let mut configs = Vec::with_capacity(n);
+    for i in 0..n {
+        let model = *models.choose(&mut rng).expect("non-empty");
+        let info = model.info();
+        let optimizer = *optimizers_for(info.arch)
+            .choose(&mut rng)
+            .expect("non-empty");
+        let batch = *info
+            .batch_grid
+            .values()
+            .choose(&mut rng)
+            .expect("non-empty");
+        let zero_grad = if rng.gen_bool(0.5) {
+            ZeroGradPos::BeforeBackward
+        } else {
+            ZeroGradPos::IterStart
+        };
+        let device = devices[rng.gen_range(0..devices.len())];
+        let spec = TrainJobSpec::new(model, optimizer, batch)
+            .with_iterations(3)
+            .with_zero_grad(zero_grad);
+        configs.push(job(seed, spec, device, i as u32 + 1));
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_in_seed() {
+        let a = monte_carlo_configs(20, 9);
+        let b = monte_carlo_configs(20, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.device.name, y.device.name);
+        }
+        let c = monte_carlo_configs(20, 10);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.spec != y.spec));
+    }
+
+    #[test]
+    fn draws_cover_both_devices_and_placements() {
+        let configs = monte_carlo_configs(200, 3);
+        assert!(configs.iter().any(|c| c.device.name.contains("3060")));
+        assert!(configs.iter().any(|c| c.device.name.contains("4060")));
+        assert!(configs
+            .iter()
+            .any(|c| c.spec.zero_grad_pos == ZeroGradPos::IterStart));
+        assert!(configs
+            .iter()
+            .any(|c| c.spec.zero_grad_pos == ZeroGradPos::BeforeBackward));
+    }
+
+    #[test]
+    fn batches_come_from_the_models_grid() {
+        for c in monte_carlo_configs(100, 5) {
+            let grid = c.spec.model.info().batch_grid.values();
+            assert!(grid.contains(&c.spec.batch));
+        }
+    }
+}

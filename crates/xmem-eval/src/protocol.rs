@@ -1,0 +1,247 @@
+//! The two-round validation protocol (§4.1.4).
+//!
+//! For each `(configuration, estimator, device)`:
+//!
+//! 1. **Initial validation** — the job runs with full device memory,
+//!    recording `OOM_{jd1}` and `M^peak_{jd1}`; the estimator's OOM
+//!    prediction (Eq. 1) is compared against reality (`C_{jde1}`, Eq. 4).
+//! 2. **Subsequent validation** — only when round 1 was correct and the
+//!    job fit: the job re-runs with memory capped at
+//!    `M^init + M^fm + M̂^peak`. Success here (`C_{jde2}`, Eq. 5) is what
+//!    PEF and MCP score: can the estimate be *used* as a safe limit?
+
+use crate::metrics;
+use serde::{Deserialize, Serialize};
+use xmem_baselines::{EstimateOutcome, MemoryEstimator};
+use xmem_models::ModelId;
+use xmem_optim::OptimizerKind;
+use xmem_runtime::{run_on_gpu, GpuDevice, TrainJobSpec, ZeroGradPos};
+
+/// Identity of one test configuration `j` (paper Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigKey {
+    /// Model.
+    pub model: ModelId,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Batch size.
+    pub batch: usize,
+    /// `zero_grad` placement.
+    pub zero_grad: ZeroGradPos,
+    /// Device name.
+    pub device: String,
+    /// Repeat index (1-based).
+    pub repeat: u32,
+}
+
+/// Compact ground-truth record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruthSummary {
+    /// NVML-sampled peak (bytes).
+    pub peak: u64,
+    /// Whether the run hit OOM.
+    pub oom: bool,
+}
+
+/// Everything measured for one `(configuration, estimator)` pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Configuration identity.
+    pub config: ConfigKey,
+    /// Estimator name.
+    pub estimator: String,
+    /// The estimate (`None` = the estimator failed on this job).
+    pub estimate: Option<EstimateOutcome>,
+    /// Round-1 ground truth (full memory).
+    pub round1: GroundTruthSummary,
+    /// Round-2 ground truth (capped at the estimate), when executed.
+    pub round2: Option<GroundTruthSummary>,
+    /// `C_{jde1}` (Eq. 4).
+    pub c1: bool,
+    /// `C_{jde2}` (Eq. 5).
+    pub c2: bool,
+    /// Relative error chosen per Eq. 3 (round-2 error when the capped run
+    /// succeeded, else round-1 error); `None` when round 1 OOMed.
+    pub error: Option<f64>,
+    /// Per-run memory saving (Eq. 7), bytes (signed).
+    pub m_save: f64,
+    /// Estimator wall-clock runtime, microseconds.
+    pub estimator_runtime_us: u64,
+}
+
+impl RunRecord {
+    /// Whether this record contributes an MRE sample.
+    #[must_use]
+    pub fn has_error(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// Executes the full protocol for one configuration and one estimator,
+/// given the (shared) round-1 ground truth.
+pub fn validate(
+    spec: &TrainJobSpec,
+    key: &ConfigKey,
+    device: &GpuDevice,
+    estimator: &dyn MemoryEstimator,
+    round1: GroundTruthSummary,
+) -> RunRecord {
+    let started = std::time::Instant::now();
+    let estimate = estimator.estimate(spec, device);
+    let estimator_runtime_us = started.elapsed().as_micros() as u64;
+
+    let (c1, round2) = match estimate {
+        Some(out) => {
+            let c1 = metrics::c1(out.oom_predicted, round1.oom);
+            // Second round only when round 1 was correct and the job fit.
+            let round2 = if c1 && !round1.oom {
+                let capped = run_on_gpu(
+                    spec,
+                    device,
+                    Some(out.peak_bytes + device.init_bytes),
+                    false,
+                );
+                Some(GroundTruthSummary {
+                    peak: capped.peak_nvml,
+                    oom: capped.oom,
+                })
+            } else {
+                None
+            };
+            (c1, round2)
+        }
+        None => (false, None),
+    };
+    let c2 = metrics::c2(c1, round2.map(|r| r.oom), round1.oom);
+
+    let error = match (estimate, round1.oom) {
+        (Some(out), false) => {
+            // Eq. 3: round-2 error when the capped run succeeded.
+            let reference = match round2 {
+                Some(r2) if !r2.oom => r2.peak,
+                _ => round1.peak,
+            };
+            Some(metrics::relative_error(out.peak_bytes, reference))
+        }
+        _ => None,
+    };
+    let m_save = match estimate {
+        Some(out) => metrics::m_save(
+            device.capacity,
+            out.peak_bytes,
+            c1,
+            round1.oom,
+            round2.map(|r| r.oom),
+        ),
+        None => -(device.capacity as f64),
+    };
+
+    RunRecord {
+        config: key.clone(),
+        estimator: estimator.name().to_string(),
+        estimate,
+        round1,
+        round2,
+        c1,
+        c2,
+        error,
+        m_save,
+        estimator_runtime_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_baselines::MemoryEstimator;
+
+    /// A stub estimator returning a fixed peak.
+    struct Fixed(u64);
+    impl MemoryEstimator for Fixed {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn supports(&self, _m: ModelId) -> bool {
+            true
+        }
+        fn estimate(&self, _s: &TrainJobSpec, d: &GpuDevice) -> Option<EstimateOutcome> {
+            Some(EstimateOutcome::from_peak(self.0, d))
+        }
+    }
+
+    fn key(device: &GpuDevice) -> ConfigKey {
+        ConfigKey {
+            model: ModelId::MobileNetV3Small,
+            optimizer: OptimizerKind::Adam,
+            batch: 8,
+            zero_grad: ZeroGradPos::BeforeBackward,
+            device: device.name.to_string(),
+            repeat: 1,
+        }
+    }
+
+    #[test]
+    fn accurate_estimate_passes_both_rounds() {
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+            .with_iterations(2);
+        let gt = run_on_gpu(&spec, &device, None, false);
+        let round1 = GroundTruthSummary {
+            peak: gt.peak_nvml,
+            oom: gt.oom,
+        };
+        // A generous but sub-capacity estimate must validate.
+        let est = Fixed(gt.peak_nvml + (200 << 20));
+        let rec = validate(&spec, &key(&device), &device, &est, round1);
+        assert!(rec.c1 && rec.c2);
+        assert!(rec.has_error());
+        assert!(rec.m_save > 0.0);
+        assert!(rec.round2.is_some());
+    }
+
+    #[test]
+    fn underestimate_fails_round_two() {
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+            .with_iterations(2);
+        let gt = run_on_gpu(&spec, &device, None, false);
+        let round1 = GroundTruthSummary {
+            peak: gt.peak_nvml,
+            oom: gt.oom,
+        };
+        // 60% of the true peak cannot work as a cap.
+        let est = Fixed(gt.peak_nvml * 6 / 10);
+        let rec = validate(&spec, &key(&device), &device, &est, round1);
+        assert!(rec.c1, "OOM prediction itself was correct");
+        assert!(!rec.c2, "capped run OOMs");
+        assert_eq!(rec.m_save, -(device.capacity as f64));
+        assert!(rec.has_error(), "error falls back to round 1 (Eq. 3)");
+    }
+
+    #[test]
+    fn failed_estimator_is_penalized() {
+        struct Failing;
+        impl MemoryEstimator for Failing {
+            fn name(&self) -> &'static str {
+                "Failing"
+            }
+            fn supports(&self, _m: ModelId) -> bool {
+                true
+            }
+            fn estimate(&self, _s: &TrainJobSpec, _d: &GpuDevice) -> Option<EstimateOutcome> {
+                None
+            }
+        }
+        let device = GpuDevice::rtx3060();
+        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+            .with_iterations(2);
+        let round1 = GroundTruthSummary {
+            peak: 1 << 30,
+            oom: false,
+        };
+        let rec = validate(&spec, &key(&device), &device, &Failing, round1);
+        assert!(!rec.c1 && !rec.c2);
+        assert!(!rec.has_error());
+        assert_eq!(rec.m_save, -(device.capacity as f64));
+    }
+}

@@ -1,0 +1,190 @@
+//! Campaign execution: drives the two-round protocol for a set of
+//! configurations × estimators, in parallel.
+
+use crate::protocol::{validate, ConfigKey, GroundTruthSummary, RunRecord};
+use crate::XMemEstimator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use xmem_baselines::{DnnMem, LlMem, MemoryEstimator, SchedTune};
+use xmem_runtime::{run_on_gpu, GpuDevice, TrainJobSpec};
+
+/// One schedulable unit: a job spec bound to a device and repeat identity.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// The training job.
+    pub spec: TrainJobSpec,
+    /// Configuration identity for aggregation.
+    pub key: ConfigKey,
+    /// Target device.
+    pub device: GpuDevice,
+}
+
+/// The four estimators of the evaluation.
+pub struct EstimatorSet {
+    /// This paper.
+    pub xmem: XMemEstimator,
+    /// Static analysis baseline.
+    pub dnnmem: DnnMem,
+    /// Data-driven baseline (pre-trained).
+    pub schedtune: SchedTune,
+    /// Direct-GPU baseline.
+    pub llmem: LlMem,
+}
+
+impl EstimatorSet {
+    /// Builds the standard set; SchedTune is trained on its historical
+    /// corpus (deterministic in `seed`).
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        EstimatorSet {
+            xmem: XMemEstimator::new(),
+            dnnmem: DnnMem::new(),
+            schedtune: SchedTune::train(seed),
+            llmem: LlMem::new(),
+        }
+    }
+
+    /// The estimators as trait objects, paper plotting order.
+    #[must_use]
+    pub fn all(&self) -> Vec<&dyn MemoryEstimator> {
+        vec![&self.xmem, &self.dnnmem, &self.schedtune, &self.llmem]
+    }
+}
+
+/// Campaign knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+/// Runs the protocol for every `(config, estimator)` pair. The round-1
+/// ground truth is executed once per configuration and shared across
+/// estimators (as in the paper, where one real training run serves all
+/// comparisons).
+#[must_use]
+pub fn run_campaign(
+    configs: &[JobConfig],
+    estimators: &EstimatorSet,
+    options: CampaignOptions,
+) -> Vec<RunRecord> {
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        options.threads
+    };
+    let next = AtomicUsize::new(0);
+    let records: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(configs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let cfg = &configs[i];
+                let gt = run_on_gpu(&cfg.spec, &cfg.device, None, false);
+                let round1 = GroundTruthSummary {
+                    peak: gt.peak_nvml,
+                    oom: gt.oom,
+                };
+                let mut local = Vec::with_capacity(4);
+                for est in estimators.all() {
+                    if !est.supports(cfg.spec.model) {
+                        continue;
+                    }
+                    local.push(validate(&cfg.spec, &cfg.key, &cfg.device, est, round1));
+                }
+                records.lock().expect("poisoned").extend(local);
+            });
+        }
+    })
+    .expect("campaign threads do not panic");
+
+    records.into_inner().expect("poisoned")
+}
+
+/// Deterministic per-config seed derived from identity fields (FNV-1a).
+#[must_use]
+pub fn config_seed(campaign_seed: u64, label: &str, repeat: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ campaign_seed;
+    for b in label.bytes().chain(repeat.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Convenience constructor for a [`JobConfig`].
+#[must_use]
+pub fn job(
+    campaign_seed: u64,
+    spec: TrainJobSpec,
+    device: GpuDevice,
+    repeat: u32,
+) -> JobConfig {
+    let seed = config_seed(campaign_seed, &spec.label(), repeat);
+    let spec = spec.with_seed(seed);
+    let key = ConfigKey {
+        model: spec.model,
+        optimizer: spec.optimizer,
+        batch: spec.batch,
+        zero_grad: spec.zero_grad_pos,
+        device: device.name.to_string(),
+        repeat,
+    };
+    JobConfig { spec, key, device }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_models::ModelId;
+    use xmem_optim::OptimizerKind;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = config_seed(1, "m+Adam+b8+POS0", 1);
+        let b = config_seed(1, "m+Adam+b8+POS0", 2);
+        let c = config_seed(2, "m+Adam+b8+POS0", 1);
+        assert_eq!(a, config_seed(1, "m+Adam+b8+POS0", 1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_campaign_produces_records_for_all_estimators() {
+        let estimators = EstimatorSet {
+            xmem: XMemEstimator::new(),
+            dnnmem: DnnMem::new(),
+            // Avoid the training cost in unit tests: a tiny corpus.
+            schedtune: SchedTune::train(7),
+            llmem: LlMem::new(),
+        };
+        let configs = vec![
+            job(
+                1,
+                TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+                    .with_iterations(2),
+                GpuDevice::rtx3060(),
+                1,
+            ),
+            job(
+                1,
+                TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 5)
+                    .with_iterations(2),
+                GpuDevice::rtx3060(),
+                1,
+            ),
+        ];
+        let records = run_campaign(&configs, &estimators, CampaignOptions { threads: 2 });
+        // CNN: 3 estimators (LLMem unsupported); transformer: 4.
+        assert_eq!(records.len(), 3 + 4);
+        let xmem_records: Vec<_> = records.iter().filter(|r| r.estimator == "xMem").collect();
+        assert_eq!(xmem_records.len(), 2);
+        assert!(xmem_records.iter().all(|r| r.c1 && r.c2));
+    }
+}

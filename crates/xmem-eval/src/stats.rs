@@ -1,0 +1,157 @@
+//! Statistical helpers: quantiles, box statistics and a one-way ANOVA F
+//! test (the paper's §4.1.4 "ANOVA" setting analyzes error distributions
+//! across estimators).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary of a sample (rendered as a box plot in the paper's
+/// Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Linear-interpolated quantile (type-7, the numpy default).
+#[must_use]
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl BoxStats {
+    /// Computes the summary; returns `None` for empty samples.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(BoxStats {
+            n: v.len(),
+            min: v[0],
+            q1: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q3: quantile(&v, 0.75),
+            max: *v.last().expect("non-empty"),
+        })
+    }
+}
+
+/// One-way ANOVA result over k groups.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnovaResult {
+    /// F statistic (between-group MS / within-group MS).
+    pub f_statistic: f64,
+    /// Between-group degrees of freedom (k − 1).
+    pub df_between: usize,
+    /// Within-group degrees of freedom (N − k).
+    pub df_within: usize,
+}
+
+/// One-way ANOVA over groups of observations. Returns `None` when fewer
+/// than two non-empty groups or no within-group variance freedom exists.
+#[must_use]
+pub fn one_way_anova(groups: &[Vec<f64>]) -> Option<AnovaResult> {
+    let groups: Vec<&Vec<f64>> = groups.iter().filter(|g| !g.is_empty()).collect();
+    let k = groups.len();
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+    if k < 2 || n <= k {
+        return None;
+    }
+    let grand_mean = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n as f64;
+    let ss_between: f64 = groups
+        .iter()
+        .map(|g| {
+            let mean = g.iter().sum::<f64>() / g.len() as f64;
+            g.len() as f64 * (mean - grand_mean).powi(2)
+        })
+        .sum();
+    let ss_within: f64 = groups
+        .iter()
+        .map(|g| {
+            let mean = g.iter().sum::<f64>() / g.len() as f64;
+            g.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        })
+        .sum();
+    let df_between = k - 1;
+    let df_within = n - k;
+    let ms_between = ss_between / df_between as f64;
+    let ms_within = ss_within / df_within as f64;
+    if ms_within == 0.0 {
+        return None;
+    }
+    Some(AnovaResult {
+        f_statistic: ms_between / ms_within,
+        df_between,
+        df_within,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_sample() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.n, 5);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.max, 5.0);
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.5), 5.0);
+        assert_eq!(quantile(&v, 0.0), 0.0);
+        assert_eq!(quantile(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn anova_detects_separated_groups() {
+        let a = vec![1.0, 1.1, 0.9, 1.05];
+        let b = vec![5.0, 5.2, 4.9, 5.05];
+        let r = one_way_anova(&[a, b]).unwrap();
+        assert!(r.f_statistic > 100.0, "clearly separated means: F = {}", r.f_statistic);
+        assert_eq!(r.df_between, 1);
+        assert_eq!(r.df_within, 6);
+    }
+
+    #[test]
+    fn anova_near_one_for_identical_distributions() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = one_way_anova(&[a, b]).unwrap();
+        assert!(r.f_statistic < 1e-9, "identical means: F = {}", r.f_statistic);
+    }
+
+    #[test]
+    fn anova_degenerate_cases() {
+        assert!(one_way_anova(&[vec![1.0, 2.0]]).is_none());
+        assert!(one_way_anova(&[vec![1.0], vec![2.0]]).is_none());
+        assert!(one_way_anova(&[vec![], vec![1.0, 2.0]]).is_none());
+    }
+}

@@ -1,0 +1,405 @@
+//! Aggregation and rendering: per-model MRE/PEF, four-quadrant analysis
+//! (Fig. 8), MCP (Table 3), runtime (Table 4) and the headline
+//! improvements, plus CSV export for the figure data.
+
+use crate::metrics;
+use crate::stats::BoxStats;
+use crate::RunRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use xmem_graph::ArchClass;
+use xmem_models::ModelId;
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+/// Quadrants of the PEF × MRE plane (Fig. 8), 20 % thresholds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Quadrant {
+    /// Low PEF, low MRE.
+    Optimal,
+    /// Low PEF, high MRE.
+    Overestimation,
+    /// High PEF, low MRE.
+    Underestimation,
+    /// High PEF, high MRE.
+    Worst,
+}
+
+/// Classifies a `(PEF, MRE)` point.
+#[must_use]
+pub fn quadrant(pef: f64, mre: f64) -> Quadrant {
+    match (pef <= 0.20, mre <= 0.20) {
+        (true, true) => Quadrant::Optimal,
+        (true, false) => Quadrant::Overestimation,
+        (false, true) => Quadrant::Underestimation,
+        (false, false) => Quadrant::Worst,
+    }
+}
+
+/// Aggregate of one `(model, estimator)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEstimatorSummary {
+    /// Model.
+    pub model: ModelId,
+    /// Estimator name.
+    pub estimator: String,
+    /// Median relative error (Eq. 3); `None` when no error samples exist.
+    pub mre: Option<f64>,
+    /// Error box statistics (the paper's Fig. 7 boxes).
+    pub error_box: Option<BoxStats>,
+    /// Probability of estimation failure (Eq. 6, second validation).
+    pub pef: f64,
+    /// Number of records.
+    pub records: usize,
+    /// Number of MRE samples.
+    pub error_samples: usize,
+}
+
+impl ModelEstimatorSummary {
+    /// Fig. 8 quadrant of this cell (requires an MRE).
+    #[must_use]
+    pub fn quadrant(&self) -> Option<Quadrant> {
+        self.mre.map(|m| quadrant(self.pef, m))
+    }
+}
+
+/// Groups records into per-`(model, estimator)` summaries.
+#[must_use]
+pub fn summarize(records: &[RunRecord]) -> Vec<ModelEstimatorSummary> {
+    let mut groups: BTreeMap<(ModelId, String), Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        groups
+            .entry((r.config.model, r.estimator.to_string()))
+            .or_default()
+            .push(r);
+    }
+    groups
+        .into_iter()
+        .map(|((model, estimator), recs)| {
+            let errors: Vec<f64> = recs.iter().filter_map(|r| r.error).collect();
+            let correctness: Vec<bool> = recs.iter().map(|r| r.c2).collect();
+            ModelEstimatorSummary {
+                model,
+                estimator,
+                mre: metrics::median(&errors),
+                error_box: BoxStats::of(&errors),
+                pef: metrics::pef(&correctness),
+                records: recs.len(),
+                error_samples: errors.len(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the MCP table (Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McpRow {
+    /// Estimator name.
+    pub estimator: String,
+    /// Mean saving over CNN configurations, GiB (`None` = not applicable).
+    pub cnn_gib: Option<f64>,
+    /// Mean saving over transformer configurations, GiB.
+    pub transformer_gib: Option<f64>,
+    /// Mean saving over everything, GiB.
+    pub overall_gib: Option<f64>,
+}
+
+/// Computes Table 3 from (Monte Carlo) records.
+#[must_use]
+pub fn mcp_table(records: &[RunRecord]) -> Vec<McpRow> {
+    let mut by_est: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for r in records {
+        let entry = by_est.entry(r.estimator.to_string()).or_default();
+        match r.config.model.info().arch {
+            ArchClass::Cnn => entry.0.push(r.m_save),
+            ArchClass::Transformer => entry.1.push(r.m_save),
+        }
+    }
+    by_est
+        .into_iter()
+        .map(|(estimator, (cnn, xf))| {
+            let all: Vec<f64> = cnn.iter().chain(xf.iter()).copied().collect();
+            let mean_gib = |v: &[f64]| (!v.is_empty()).then(|| metrics::mcp(v) / GIB);
+            McpRow {
+                estimator,
+                cnn_gib: mean_gib(&cnn),
+                transformer_gib: mean_gib(&xf),
+                overall_gib: mean_gib(&all),
+            }
+        })
+        .collect()
+}
+
+/// Mean estimator runtime in seconds (Table 4).
+#[must_use]
+pub fn runtime_table(records: &[RunRecord]) -> BTreeMap<String, f64> {
+    let mut by_est: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for r in records {
+        by_est
+            .entry(r.estimator.to_string())
+            .or_default()
+            .push(r.estimator_runtime_us);
+    }
+    by_est
+        .into_iter()
+        .map(|(e, v)| {
+            let mean_us = v.iter().sum::<u64>() as f64 / v.len() as f64;
+            (e, mean_us / 1e6)
+        })
+        .collect()
+}
+
+/// The paper's headline aggregate (§1): xMem's improvement over the
+/// *best-performing baseline* for each metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// xMem overall MRE.
+    pub xmem_mre: f64,
+    /// Best (lowest) baseline overall MRE.
+    pub best_baseline_mre: f64,
+    /// MRE reduction, e.g. 0.91 = −91 %.
+    pub mre_reduction: f64,
+    /// xMem overall PEF.
+    pub xmem_pef: f64,
+    /// Best (lowest) baseline overall PEF.
+    pub best_baseline_pef: f64,
+    /// PEF reduction.
+    pub pef_reduction: f64,
+    /// xMem overall MCP (GiB).
+    pub xmem_mcp_gib: f64,
+    /// Best (highest) baseline MCP (GiB).
+    pub best_baseline_mcp_gib: f64,
+    /// MCP increase, e.g. 3.68 = +368 %.
+    pub mcp_increase: f64,
+}
+
+/// Computes the headline numbers over a record set.
+#[must_use]
+pub fn headline(records: &[RunRecord]) -> Option<Headline> {
+    let estimators: Vec<String> = {
+        let mut v: Vec<String> = records
+            .iter()
+            .map(|r| r.estimator.to_string())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        v.sort();
+        v
+    };
+    let overall = |est: &str| -> (Option<f64>, f64, f64) {
+        let recs: Vec<&RunRecord> = records.iter().filter(|r| r.estimator == est).collect();
+        let errors: Vec<f64> = recs.iter().filter_map(|r| r.error).collect();
+        let correctness: Vec<bool> = recs.iter().map(|r| r.c2).collect();
+        let savings: Vec<f64> = recs.iter().map(|r| r.m_save).collect();
+        (
+            metrics::median(&errors),
+            metrics::pef(&correctness),
+            metrics::mcp(&savings) / GIB,
+        )
+    };
+    let (xmem_mre, xmem_pef, xmem_mcp) = overall("xMem");
+    let xmem_mre = xmem_mre?;
+    let baselines: Vec<(Option<f64>, f64, f64)> = estimators
+        .iter()
+        .filter(|e| e.as_str() != "xMem")
+        .map(|e| overall(e))
+        .collect();
+    if baselines.is_empty() {
+        return None;
+    }
+    let best_mre = baselines
+        .iter()
+        .filter_map(|b| b.0)
+        .fold(f64::INFINITY, f64::min);
+    let best_pef = baselines.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+    let best_mcp = baselines
+        .iter()
+        .map(|b| b.2)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Some(Headline {
+        xmem_mre,
+        best_baseline_mre: best_mre,
+        mre_reduction: 1.0 - xmem_mre / best_mre,
+        xmem_pef,
+        best_baseline_pef: best_pef,
+        pef_reduction: if best_pef > 0.0 {
+            1.0 - xmem_pef / best_pef
+        } else {
+            0.0
+        },
+        xmem_mcp_gib: xmem_mcp,
+        best_baseline_mcp_gib: best_mcp,
+        // Ratio improvements only make sense against a positive baseline;
+        // a best baseline that *loses* memory on average makes the
+        // improvement unbounded.
+        mcp_increase: if best_mcp > 1e-9 {
+            xmem_mcp / best_mcp - 1.0
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+/// Renders per-model summaries as an aligned text table.
+#[must_use]
+pub fn render_summary_table(summaries: &[ModelEstimatorSummary]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:<10} {:>8} {:>8} {:>8} {:>9}",
+        "model", "estimator", "MRE%", "PEF%", "samples", "quadrant"
+    );
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{:<30} {:<10} {:>8} {:>8.1} {:>8} {:>9}",
+            s.model.info().name,
+            s.estimator,
+            s.mre
+                .map_or_else(|| "-".to_string(), |m| format!("{:.1}", m * 100.0)),
+            s.pef * 100.0,
+            s.error_samples,
+            s.quadrant()
+                .map_or_else(|| "-".to_string(), |q| format!("{q:?}")),
+        );
+    }
+    out
+}
+
+/// Writes per-model summaries as CSV (the figures' data files).
+#[must_use]
+pub fn summaries_to_csv(summaries: &[ModelEstimatorSummary]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "model,arch,estimator,mre,pef,n,err_min,err_q1,err_median,err_q3,err_max\n",
+    );
+    for s in summaries {
+        let info = s.model.info();
+        let b = s.error_box;
+        let fmt = |v: Option<f64>| v.map_or_else(String::new, |x| format!("{x:.6}"));
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{},{},{},{},{},{}",
+            info.name,
+            info.arch.label(),
+            s.estimator,
+            fmt(s.mre),
+            s.pef,
+            s.error_samples,
+            fmt(b.map(|b| b.min)),
+            fmt(b.map(|b| b.q1)),
+            fmt(b.map(|b| b.median)),
+            fmt(b.map(|b| b.q3)),
+            fmt(b.map(|b| b.max)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ConfigKey, GroundTruthSummary};
+    use xmem_baselines::EstimateOutcome;
+    use xmem_optim::OptimizerKind;
+    use xmem_runtime::ZeroGradPos;
+
+    fn record(
+        model: ModelId,
+        estimator: &'static str,
+        error: Option<f64>,
+        c2: bool,
+        m_save: f64,
+    ) -> RunRecord {
+        RunRecord {
+            config: ConfigKey {
+                model,
+                optimizer: OptimizerKind::Adam,
+                batch: 8,
+                zero_grad: ZeroGradPos::BeforeBackward,
+                device: "test".to_string(),
+                repeat: 1,
+            },
+            estimator: estimator.to_string(),
+            estimate: Some(EstimateOutcome {
+                peak_bytes: 1 << 30,
+                oom_predicted: false,
+            }),
+            round1: GroundTruthSummary {
+                peak: 1 << 30,
+                oom: false,
+            },
+            round2: None,
+            c1: c2,
+            c2,
+            error,
+            m_save,
+            estimator_runtime_us: 1000,
+        }
+    }
+
+    #[test]
+    fn quadrants_follow_thresholds() {
+        assert_eq!(quadrant(0.1, 0.1), Quadrant::Optimal);
+        assert_eq!(quadrant(0.1, 0.5), Quadrant::Overestimation);
+        assert_eq!(quadrant(0.5, 0.1), Quadrant::Underestimation);
+        assert_eq!(quadrant(0.5, 0.5), Quadrant::Worst);
+    }
+
+    #[test]
+    fn summaries_aggregate_mre_and_pef() {
+        let records = vec![
+            record(ModelId::Gpt2, "xMem", Some(0.02), true, 1e9),
+            record(ModelId::Gpt2, "xMem", Some(0.04), true, 1e9),
+            record(ModelId::Gpt2, "DNNMem", Some(0.2), false, -1e9),
+            record(ModelId::Gpt2, "DNNMem", Some(0.4), true, 1e9),
+        ];
+        let s = summarize(&records);
+        let xmem = s.iter().find(|x| x.estimator == "xMem").unwrap();
+        assert_eq!(xmem.mre, Some(0.03));
+        assert_eq!(xmem.pef, 0.0);
+        assert_eq!(xmem.quadrant(), Some(Quadrant::Optimal));
+        let dnn = s.iter().find(|x| x.estimator == "DNNMem").unwrap();
+        assert_eq!(dnn.pef, 0.5);
+        assert_eq!(dnn.quadrant(), Some(Quadrant::Worst));
+    }
+
+    #[test]
+    fn mcp_table_splits_by_arch() {
+        let records = vec![
+            record(ModelId::ResNet101, "xMem", None, true, 4.0 * GIB),
+            record(ModelId::Gpt2, "xMem", None, true, 2.0 * GIB),
+        ];
+        let t = mcp_table(&records);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].cnn_gib, Some(4.0));
+        assert_eq!(t[0].transformer_gib, Some(2.0));
+        assert_eq!(t[0].overall_gib, Some(3.0));
+    }
+
+    #[test]
+    fn headline_compares_to_best_baseline() {
+        let mut records = Vec::new();
+        for _ in 0..4 {
+            records.push(record(ModelId::Gpt2, "xMem", Some(0.02), true, 8.0 * GIB));
+            records.push(record(ModelId::Gpt2, "DNNMem", Some(0.25), false, 2.0 * GIB));
+            records.push(record(ModelId::Gpt2, "SchedTune", Some(0.4), false, 1.0 * GIB));
+        }
+        let h = headline(&records).unwrap();
+        assert!((h.mre_reduction - (1.0 - 0.02 / 0.25)).abs() < 1e-9);
+        assert!(h.pef_reduction > 0.9);
+        assert!((h.mcp_increase - 3.0).abs() < 1e-9); // 8 vs 2 GiB
+    }
+
+    #[test]
+    fn csv_has_a_row_per_summary() {
+        let records = vec![record(ModelId::Gpt2, "xMem", Some(0.02), true, 1e9)];
+        let csv = summaries_to_csv(&summarize(&records));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("model,arch,estimator"));
+        assert!(csv.contains("gpt2,Transformer,xMem"));
+    }
+}

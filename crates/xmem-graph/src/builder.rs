@@ -1,0 +1,405 @@
+use crate::op::Conv2dSpec;
+use crate::{
+    ActKind, ArchClass, AttentionSpec, Graph, GraphError, InputTemplate, Node, NodeId, OpKind,
+    ParamId, ParamInfo, PoolSpec,
+};
+
+/// Incremental constructor for [`Graph`].
+///
+/// Nodes are appended in topological order; helper methods cover every
+/// operator the model zoo needs. Scopes ([`GraphBuilder::with_scope`])
+/// prefix node and parameter names the way nested `nn.Module`s do, which the
+/// profiler later surfaces as `python_function` events.
+///
+/// # Example
+/// ```
+/// use xmem_graph::{GraphBuilder, InputTemplate, ActKind};
+/// let mut b = GraphBuilder::new("demo", InputTemplate::features(8));
+/// let x = b.input();
+/// let x = b.with_scope("block", |b| {
+///     let h = b.linear(x, 8, 8, false, "fc");
+///     b.activation(h, ActKind::Gelu, "act")
+/// });
+/// b.cross_entropy_loss(x, "loss");
+/// let g = b.finish().unwrap();
+/// assert_eq!(g.nodes()[1].name, "block.fc");
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    arch: ArchClass,
+    input_template: InputTemplate,
+    nodes: Vec<Node>,
+    params: Vec<ParamInfo>,
+    scope: Vec<String>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph. The architecture class defaults to
+    /// [`ArchClass::Cnn`] for image/feature inputs and
+    /// [`ArchClass::Transformer`] for token inputs.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_template: InputTemplate) -> Self {
+        let arch = match input_template {
+            InputTemplate::Tokens { .. } | InputTemplate::TokensEncDec { .. } => {
+                ArchClass::Transformer
+            }
+            _ => ArchClass::Cnn,
+        };
+        GraphBuilder {
+            name: name.into(),
+            arch,
+            input_template,
+            nodes: Vec::new(),
+            params: Vec::new(),
+            scope: Vec::new(),
+        }
+    }
+
+    /// Overrides the inferred architecture class.
+    pub fn set_arch(&mut self, arch: ArchClass) -> &mut Self {
+        self.arch = arch;
+        self
+    }
+
+    fn qualified(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scope.join("."), name)
+        }
+    }
+
+    fn component(&self) -> String {
+        self.scope.join(".")
+    }
+
+    /// Runs `f` with `scope` pushed onto the name prefix stack.
+    pub fn with_scope<T>(&mut self, scope: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.scope.push(scope.to_string());
+        let out = f(self);
+        self.scope.pop();
+        out
+    }
+
+    fn push_node(&mut self, name: &str, op: OpKind, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let qualified = self.qualified(name);
+        let param_specs = op.param_specs();
+        let mut params = Vec::with_capacity(param_specs.len());
+        for (suffix, spec, trainable) in param_specs {
+            let pid = ParamId(self.params.len() as u32);
+            self.params.push(ParamInfo {
+                id: pid,
+                name: format!("{qualified}.{suffix}"),
+                spec,
+                trainable,
+                owner: id,
+            });
+            params.push(pid);
+        }
+        self.nodes.push(Node {
+            id,
+            name: qualified,
+            component: self.component(),
+            op,
+            inputs,
+            params,
+        });
+        id
+    }
+
+    /// Binds external input slot 0. Call exactly once per slot.
+    pub fn input(&mut self) -> NodeId {
+        self.push_node("input", OpKind::Input { slot: 0 }, Vec::new())
+    }
+
+    /// Binds external input slot 1 (decoder tokens for encoder/decoder
+    /// models).
+    pub fn decoder_input(&mut self) -> NodeId {
+        self.push_node("decoder_input", OpKind::Input { slot: 1 }, Vec::new())
+    }
+
+    /// Adds a 2-D convolution.
+    pub fn conv2d(&mut self, x: NodeId, spec: Conv2dSpec, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Conv2d(spec), vec![x])
+    }
+
+    /// Adds an affine layer over the last dimension.
+    pub fn linear(
+        &mut self,
+        x: NodeId,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        name: &str,
+    ) -> NodeId {
+        self.push_node(
+            name,
+            OpKind::Linear {
+                in_features,
+                out_features,
+                bias,
+            },
+            vec![x],
+        )
+    }
+
+    /// Adds a linear layer whose weight is tied to an existing parameter
+    /// (e.g. a GPT-style `lm_head` sharing the token-embedding matrix). No
+    /// new parameter is registered.
+    pub fn linear_tied(
+        &mut self,
+        x: NodeId,
+        in_features: usize,
+        out_features: usize,
+        tied: ParamId,
+        name: &str,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: self.qualified(name),
+            component: self.component(),
+            op: OpKind::Linear {
+                in_features,
+                out_features,
+                bias: false,
+            },
+            inputs: vec![x],
+            params: vec![tied],
+        });
+        id
+    }
+
+    /// Adds a token embedding and returns `(output, weight_param)` so the
+    /// weight can be tied later.
+    pub fn embedding(&mut self, x: NodeId, vocab: usize, dim: usize, name: &str) -> (NodeId, ParamId) {
+        let node = self.push_node(name, OpKind::Embedding { vocab, dim }, vec![x]);
+        let pid = *self.nodes[node.index()]
+            .params
+            .first()
+            .expect("embedding has a weight");
+        (node, pid)
+    }
+
+    /// Adds a token embedding whose weight is shared with an existing
+    /// parameter (e.g. T5's encoder/decoder shared vocabulary matrix). No
+    /// new parameter is registered.
+    pub fn embedding_tied(
+        &mut self,
+        x: NodeId,
+        vocab: usize,
+        dim: usize,
+        tied: ParamId,
+        name: &str,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: self.qualified(name),
+            component: self.component(),
+            op: OpKind::Embedding { vocab, dim },
+            inputs: vec![x],
+            params: vec![tied],
+        });
+        id
+    }
+
+    /// Adds 2-D batch normalization.
+    pub fn batch_norm2d(&mut self, x: NodeId, features: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::BatchNorm2d { features }, vec![x])
+    }
+
+    /// Adds layer normalization over the last dimension.
+    pub fn layer_norm(&mut self, x: NodeId, dim: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::LayerNorm { dim }, vec![x])
+    }
+
+    /// Adds RMS normalization over the last dimension.
+    pub fn rms_norm(&mut self, x: NodeId, dim: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::RmsNorm { dim }, vec![x])
+    }
+
+    /// Adds a pointwise activation.
+    pub fn activation(&mut self, x: NodeId, kind: ActKind, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Activation(kind), vec![x])
+    }
+
+    /// Adds 2-D max pooling.
+    pub fn max_pool2d(&mut self, x: NodeId, spec: PoolSpec, name: &str) -> NodeId {
+        self.push_node(name, OpKind::MaxPool2d(spec), vec![x])
+    }
+
+    /// Adds 2-D average pooling.
+    pub fn avg_pool2d(&mut self, x: NodeId, spec: PoolSpec, name: &str) -> NodeId {
+        self.push_node(name, OpKind::AvgPool2d(spec), vec![x])
+    }
+
+    /// Adds adaptive average pooling to `(out_h, out_w)`.
+    pub fn adaptive_avg_pool2d(
+        &mut self,
+        x: NodeId,
+        out_h: usize,
+        out_w: usize,
+        name: &str,
+    ) -> NodeId {
+        self.push_node(name, OpKind::AdaptiveAvgPool2d { out_h, out_w }, vec![x])
+    }
+
+    /// Collapses dimensions `start_dim..` into one (a view; allocates
+    /// nothing).
+    pub fn flatten(&mut self, x: NodeId, start_dim: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Flatten { start_dim }, vec![x])
+    }
+
+    /// Reshapes to explicit dims (`-1` infers one extent, `0` copies the
+    /// input extent).
+    pub fn reshape(&mut self, x: NodeId, dims: Vec<i64>, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Reshape { dims }, vec![x])
+    }
+
+    /// Permutes dimensions (materializes a contiguous copy).
+    pub fn permute(&mut self, x: NodeId, order: Vec<usize>, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Permute { order }, vec![x])
+    }
+
+    /// Adds an elementwise residual sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Add, vec![a, b])
+    }
+
+    /// Adds an elementwise (possibly broadcast) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Mul, vec![a, b])
+    }
+
+    /// Concatenates along `dim`.
+    pub fn concat(&mut self, inputs: Vec<NodeId>, dim: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Concat { dim }, inputs)
+    }
+
+    /// Adds scaled-dot-product attention over projected q/k/v.
+    pub fn attention(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        spec: AttentionSpec,
+        name: &str,
+    ) -> NodeId {
+        self.push_node(name, OpKind::Attention(spec), vec![q, k, v])
+    }
+
+    /// Adds a softmax over `dim`.
+    pub fn softmax(&mut self, x: NodeId, dim: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Softmax { dim }, vec![x])
+    }
+
+    /// Adds dropout with probability `p`.
+    pub fn dropout(&mut self, x: NodeId, p: f32, name: &str) -> NodeId {
+        self.push_node(
+            name,
+            OpKind::Dropout {
+                p_permille: (p * 1000.0) as u32,
+            },
+            vec![x],
+        )
+    }
+
+    /// Adds a learnable per-channel scale (ConvNeXt layer scale).
+    pub fn scale(&mut self, x: NodeId, channels: usize, name: &str) -> NodeId {
+        self.push_node(name, OpKind::Scale { channels }, vec![x])
+    }
+
+    /// Adds the final cross-entropy loss.
+    pub fn cross_entropy_loss(&mut self, x: NodeId, name: &str) -> NodeId {
+        self.push_node(name, OpKind::CrossEntropyLoss, vec![x])
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// Validation checks that the graph is non-empty, every edge points
+    /// backwards (topological order), and shape inference succeeds for a
+    /// probe batch.
+    ///
+    /// # Errors
+    /// Returns the first structural or shape error found.
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        for node in &self.nodes {
+            for input in &node.inputs {
+                if input.index() >= node.id.index() {
+                    return Err(GraphError::DanglingInput {
+                        node: node.name.clone(),
+                    });
+                }
+            }
+        }
+        let graph = Graph {
+            name: self.name,
+            arch: self.arch,
+            input_template: self.input_template,
+            nodes: self.nodes,
+            params: self.params,
+        };
+        // Probe with a small batch to surface shape errors at build time.
+        graph.infer_shapes(&graph.input_specs(2, 0))?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_qualify_names() {
+        let mut b = GraphBuilder::new("t", InputTemplate::features(4));
+        let x = b.input();
+        let y = b.with_scope("outer", |b| {
+            b.with_scope("inner", |b| b.linear(x, 4, 4, false, "fc"))
+        });
+        b.cross_entropy_loss(y, "loss");
+        let g = b.finish().unwrap();
+        assert_eq!(g.nodes()[1].name, "outer.inner.fc");
+        assert_eq!(g.nodes()[1].component, "outer.inner");
+        assert_eq!(g.params()[0].name, "outer.inner.fc.weight");
+    }
+
+    #[test]
+    fn tied_linear_registers_no_param() {
+        let mut b = GraphBuilder::new("t", InputTemplate::tokens(16));
+        let x = b.input();
+        let (h, wte) = b.embedding(x, 100, 8, "wte");
+        let logits = b.linear_tied(h, 8, 100, wte, "lm_head");
+        b.cross_entropy_loss(logits, "loss");
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_params(), 1);
+        assert_eq!(g.node(logits).params, vec![wte]);
+    }
+
+    #[test]
+    fn finish_rejects_empty() {
+        let b = GraphBuilder::new("t", InputTemplate::features(4));
+        assert!(matches!(b.finish(), Err(GraphError::EmptyGraph)));
+    }
+
+    #[test]
+    fn finish_surfaces_shape_errors() {
+        let mut b = GraphBuilder::new("t", InputTemplate::features(4));
+        let x = b.input();
+        b.linear(x, 5, 2, false, "bad"); // input is 4-dim features
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn arch_class_follows_template() {
+        let b = GraphBuilder::new("t", InputTemplate::tokens(8));
+        assert_eq!(b.arch, ArchClass::Transformer);
+        let b = GraphBuilder::new("t", InputTemplate::image(3, 8, 8));
+        assert_eq!(b.arch, ArchClass::Cnn);
+    }
+}

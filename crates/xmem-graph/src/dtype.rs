@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// Only the byte width matters for memory estimation; no arithmetic semantics
+/// are attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit IEEE float — the default training precision in the evaluation.
+    #[default]
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 64-bit IEEE float (optimizer internals on some platforms).
+    F64,
+    /// 64-bit signed integer (token ids, index tensors).
+    I64,
+    /// 32-bit signed integer.
+    I32,
+    /// 8-bit signed integer.
+    I8,
+    /// Boolean / byte mask.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use xmem_graph::DType;
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// assert_eq!(DType::I64.size_bytes(), 8);
+    /// assert_eq!(DType::Bool.size_bytes(), 1);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F64 | DType::I64 => 8,
+            DType::F32 | DType::I32 => 4,
+            DType::F16 | DType::BF16 => 2,
+            DType::I8 | DType::Bool => 1,
+        }
+    }
+
+    /// Whether this is a floating-point type (participates in autograd).
+    #[must_use]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F16 | DType::BF16 | DType::F64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F64 => "f64",
+            DType::I64 => "i64",
+            DType::I32 => "i32",
+            DType::I8 => "i8",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_consistent() {
+        for d in [
+            DType::F32,
+            DType::F16,
+            DType::BF16,
+            DType::F64,
+            DType::I64,
+            DType::I32,
+            DType::I8,
+            DType::Bool,
+        ] {
+            assert!(d.size_bytes() >= 1 && d.size_bytes() <= 8);
+        }
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F32.is_float());
+        assert!(DType::BF16.is_float());
+        assert!(!DType::I64.is_float());
+        assert!(!DType::Bool.is_float());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::BF16.to_string(), "bf16");
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or analysing a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator received inputs whose shapes it cannot consume.
+    ShapeMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Number of inputs expected.
+        expected: usize,
+        /// Number of inputs supplied.
+        actual: usize,
+    },
+    /// A node references an input that does not exist (or appears later in
+    /// topological order).
+    DanglingInput {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// A reshape target is incompatible with the element count of its input.
+    InvalidReshape {
+        /// Name of the offending node.
+        node: String,
+        /// Number of elements in the input tensor.
+        input_numel: usize,
+        /// The requested target dimensions.
+        target: Vec<i64>,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch in node `{node}`: {detail}")
+            }
+            GraphError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node `{node}` expected {expected} input(s) but received {actual}"
+            ),
+            GraphError::DanglingInput { node } => {
+                write!(f, "node `{node}` references an undefined input")
+            }
+            GraphError::EmptyGraph => write!(f, "graph contains no nodes"),
+            GraphError::InvalidReshape {
+                node,
+                input_numel,
+                target,
+            } => write!(
+                f,
+                "node `{node}` cannot reshape {input_numel} elements into {target:?}"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,360 @@
+use crate::{DType, GraphError, Node, NodeId, OpKind, ParamId, TensorSpec};
+use serde::{Deserialize, Serialize};
+
+/// Broad architecture class, used by the evaluation to split results the way
+/// the paper does (Figures 7a/7c vs 7b/7d, Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchClass {
+    /// Convolutional network trained on image batches.
+    Cnn,
+    /// Transformer trained on token batches.
+    Transformer,
+}
+
+impl ArchClass {
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ArchClass::Cnn => "CNN",
+            ArchClass::Transformer => "Transformer",
+        }
+    }
+}
+
+/// Shape template for the external inputs of a graph; the batch dimension
+/// (and sequence length for token inputs) is bound at run time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputTemplate {
+    /// `[B, C, H, W]` float images with `[B]` integer class targets.
+    Image {
+        /// Channels.
+        channels: usize,
+        /// Height.
+        height: usize,
+        /// Width.
+        width: usize,
+    },
+    /// `[B, D]` float feature vectors with `[B]` integer targets.
+    Features {
+        /// Feature dimension.
+        dim: usize,
+    },
+    /// `[B, S]` integer token ids with `[B, S]` shifted targets.
+    Tokens {
+        /// Sequence length used when the caller passes `seq == 0`.
+        default_seq: usize,
+    },
+    /// Encoder/decoder token ids (T5): inputs `[B, S_src]` and `[B, S_tgt]`.
+    TokensEncDec {
+        /// Default source length.
+        default_src: usize,
+        /// Default target length.
+        default_tgt: usize,
+    },
+}
+
+impl InputTemplate {
+    /// Convenience constructor for image inputs.
+    #[must_use]
+    pub fn image(channels: usize, height: usize, width: usize) -> Self {
+        InputTemplate::Image {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Convenience constructor for flat feature inputs.
+    #[must_use]
+    pub fn features(dim: usize) -> Self {
+        InputTemplate::Features { dim }
+    }
+
+    /// Convenience constructor for token inputs.
+    #[must_use]
+    pub fn tokens(default_seq: usize) -> Self {
+        InputTemplate::Tokens { default_seq }
+    }
+
+    /// Number of external input slots (2 for encoder/decoder models).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        match self {
+            InputTemplate::TokensEncDec { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Concrete input specs for a batch size; `seq == 0` selects defaults.
+    #[must_use]
+    pub fn input_specs(&self, batch: usize, seq: usize) -> Vec<TensorSpec> {
+        match self {
+            InputTemplate::Image {
+                channels,
+                height,
+                width,
+            } => vec![TensorSpec::f32([batch, *channels, *height, *width])],
+            InputTemplate::Features { dim } => vec![TensorSpec::f32([batch, *dim])],
+            InputTemplate::Tokens { default_seq } => {
+                let s = if seq == 0 { *default_seq } else { seq };
+                vec![TensorSpec::new([batch, s], DType::I64)]
+            }
+            InputTemplate::TokensEncDec {
+                default_src,
+                default_tgt,
+            } => {
+                let src = if seq == 0 { *default_src } else { seq };
+                let tgt = if seq == 0 {
+                    *default_tgt
+                } else {
+                    (seq / 2).max(1)
+                };
+                vec![
+                    TensorSpec::new([batch, src], DType::I64),
+                    TensorSpec::new([batch, tgt], DType::I64),
+                ]
+            }
+        }
+    }
+
+    /// Spec of the supervision target loaded alongside each batch.
+    #[must_use]
+    pub fn target_spec(&self, batch: usize, seq: usize) -> TensorSpec {
+        match self {
+            InputTemplate::Image { .. } | InputTemplate::Features { .. } => {
+                TensorSpec::new([batch], DType::I64)
+            }
+            InputTemplate::Tokens { default_seq } => {
+                let s = if seq == 0 { *default_seq } else { seq };
+                TensorSpec::new([batch, s], DType::I64)
+            }
+            InputTemplate::TokensEncDec { default_tgt, .. } => {
+                let tgt = if seq == 0 {
+                    *default_tgt
+                } else {
+                    (seq / 2).max(1)
+                };
+                TensorSpec::new([batch, tgt], DType::I64)
+            }
+        }
+    }
+}
+
+/// A named parameter (or persistent buffer) of the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamInfo {
+    /// Identifier.
+    pub id: ParamId,
+    /// Fully qualified name, e.g. `features.0.weight`.
+    pub name: String,
+    /// Size description.
+    pub spec: TensorSpec,
+    /// `false` for buffers such as batch-norm running statistics (no
+    /// gradient, no optimizer state).
+    pub trainable: bool,
+    /// Node that introduced the parameter (ties reference the introducer).
+    pub owner: NodeId,
+}
+
+/// A topologically ordered operator DAG with its parameter registry.
+///
+/// Construct via [`crate::GraphBuilder`]; a `Graph` is immutable afterwards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) name: String,
+    pub(crate) arch: ArchClass,
+    pub(crate) input_template: InputTemplate,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) params: Vec<ParamInfo>,
+}
+
+impl Graph {
+    /// Model name, e.g. `"resnet101"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Architecture class.
+    #[must_use]
+    pub fn arch(&self) -> ArchClass {
+        self.arch
+    }
+
+    /// Input template (batch/seq bound at run time).
+    #[must_use]
+    pub fn input_template(&self) -> &InputTemplate {
+        &self.input_template
+    }
+
+    /// All nodes in topological order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node lookup.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All parameters and buffers.
+    #[must_use]
+    pub fn params(&self) -> &[ParamInfo] {
+        &self.params
+    }
+
+    /// Parameter lookup.
+    #[must_use]
+    pub fn param(&self, id: ParamId) -> &ParamInfo {
+        &self.params[id.index()]
+    }
+
+    /// Number of registered parameters/buffers (tensors, not elements).
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total element count of *trainable* parameters — comparable with the
+    /// parameter counts models publish (e.g. "125M").
+    #[must_use]
+    pub fn trainable_param_elems(&self) -> u64 {
+        self.params
+            .iter()
+            .filter(|p| p.trainable)
+            .map(|p| p.spec.numel() as u64)
+            .sum()
+    }
+
+    /// Total bytes of all parameters and buffers.
+    #[must_use]
+    pub fn param_bytes(&self) -> u64 {
+        self.params.iter().map(|p| p.spec.size_bytes() as u64).sum()
+    }
+
+    /// Concrete input specs for a run configuration (see
+    /// [`InputTemplate::input_specs`]).
+    #[must_use]
+    pub fn input_specs(&self, batch: usize, seq: usize) -> Vec<TensorSpec> {
+        self.input_template.input_specs(batch, seq)
+    }
+
+    /// First input spec — convenient for single-input models.
+    #[must_use]
+    pub fn input_spec(&self, batch: usize, seq: usize) -> TensorSpec {
+        self.input_specs(batch, seq).remove(0)
+    }
+
+    /// Runs shape inference over the whole graph for the given external
+    /// inputs, returning one output spec per node (indexed by [`NodeId`]).
+    ///
+    /// # Errors
+    /// Propagates the first inference failure.
+    pub fn infer_shapes(&self, inputs: &[TensorSpec]) -> Result<Vec<TensorSpec>, GraphError> {
+        let mut out: Vec<TensorSpec> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let spec = match &node.op {
+                OpKind::Input { slot } => {
+                    inputs
+                        .get(*slot)
+                        .cloned()
+                        .ok_or_else(|| GraphError::ShapeMismatch {
+                            node: node.name.clone(),
+                            detail: format!(
+                                "graph expects at least {} input(s), got {}",
+                                slot + 1,
+                                inputs.len()
+                            ),
+                        })?
+                }
+                op => {
+                    let in_specs: Vec<&TensorSpec> =
+                        node.inputs.iter().map(|i| &out[i.index()]).collect();
+                    op.infer(&node.name, &in_specs)?
+                }
+            };
+            out.push(spec);
+        }
+        Ok(out)
+    }
+
+    /// Depth of the graph measured in non-view operator nodes; a cheap
+    /// complexity feature used by the SchedTune baseline.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_input() && !n.op.is_view())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn mlp() -> Graph {
+        let mut b = GraphBuilder::new("mlp", InputTemplate::features(32));
+        let x = b.input();
+        let x = b.linear(x, 32, 64, true, "fc1");
+        let x = b.activation(x, crate::ActKind::Relu, "act");
+        let x = b.linear(x, 64, 10, true, "fc2");
+        b.cross_entropy_loss(x, "loss");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn param_accounting() {
+        let g = mlp();
+        assert_eq!(g.num_params(), 4);
+        assert_eq!(
+            g.trainable_param_elems(),
+            (32 * 64 + 64) + (64 * 10 + 10)
+        );
+        assert_eq!(g.param_bytes(), 4 * ((32 * 64 + 64) + (64 * 10 + 10)) as u64);
+    }
+
+    #[test]
+    fn shape_inference_through_graph() {
+        let g = mlp();
+        let shapes = g.infer_shapes(&g.input_specs(16, 0)).unwrap();
+        assert_eq!(shapes[1].shape.dims(), &[16, 64]);
+        assert_eq!(shapes.last().unwrap().shape.rank(), 0);
+    }
+
+    #[test]
+    fn missing_input_slot_is_an_error() {
+        let g = mlp();
+        let err = g.infer_shapes(&[]).unwrap_err();
+        assert!(matches!(err, GraphError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn templates_produce_expected_specs() {
+        let t = InputTemplate::tokens(512);
+        let specs = t.input_specs(4, 0);
+        assert_eq!(specs[0].shape.dims(), &[4, 512]);
+        let specs = t.input_specs(4, 128);
+        assert_eq!(specs[0].shape.dims(), &[4, 128]);
+        assert_eq!(t.target_spec(4, 128).shape.dims(), &[4, 128]);
+
+        let ed = InputTemplate::TokensEncDec {
+            default_src: 512,
+            default_tgt: 114,
+        };
+        assert_eq!(ed.slots(), 2);
+        let specs = ed.input_specs(2, 0);
+        assert_eq!(specs[0].shape.dims(), &[2, 512]);
+        assert_eq!(specs[1].shape.dims(), &[2, 114]);
+    }
+
+    #[test]
+    fn op_count_skips_views_and_inputs() {
+        let g = mlp();
+        assert_eq!(g.op_count(), 4); // fc1, act, fc2, loss
+    }
+}

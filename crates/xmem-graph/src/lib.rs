@@ -1,0 +1,51 @@
+//! Memory-level intermediate representation for deep-learning models.
+//!
+//! This crate defines the typed graph that the rest of the xMem reproduction
+//! operates on: [`DType`], [`Shape`] and [`TensorSpec`] describe tensors by
+//! *size only* (no data is ever materialized), [`OpKind`] enumerates the
+//! operators whose memory behaviour the runtime models, and [`Graph`] is a
+//! topologically ordered DAG of [`Node`]s with an attached parameter
+//! registry.
+//!
+//! The IR is deliberately memory-centric: shape inference exists so that
+//! activation, gradient and workspace sizes can be derived exactly, but no
+//! numerical semantics are attached to operators.
+//!
+//! # Example
+//!
+//! ```
+//! use xmem_graph::{GraphBuilder, InputTemplate, DType};
+//!
+//! let mut b = GraphBuilder::new("tiny-mlp", InputTemplate::features(16));
+//! let x = b.input();
+//! let x = b.linear(x, 16, 32, true, "fc1");
+//! let x = b.activation(x, xmem_graph::ActKind::Relu, "act1");
+//! let x = b.linear(x, 32, 10, true, "fc2");
+//! b.cross_entropy_loss(x, "loss");
+//! let graph = b.finish().expect("valid graph");
+//!
+//! assert_eq!(graph.num_params(), 4); // two weights + two biases
+//! let shapes = graph.infer_shapes(&graph.input_specs(8, 0)).unwrap();
+//! assert_eq!(shapes.last().unwrap().shape.dims(), &[] as &[usize]); // scalar loss
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dtype;
+mod error;
+mod graph;
+mod node;
+mod op;
+mod shape;
+mod tensor;
+
+pub use builder::GraphBuilder;
+pub use dtype::DType;
+pub use error::GraphError;
+pub use graph::{ArchClass, Graph, InputTemplate, ParamInfo};
+pub use node::{Node, NodeId, ParamId};
+pub use op::{ActKind, AttentionSpec, Conv2dSpec, OpKind, PoolSpec};
+pub use shape::Shape;
+pub use tensor::TensorSpec;

@@ -1,0 +1,66 @@
+use crate::OpKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its [`crate::Graph`], assigned in topological
+/// (insertion) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Position of the node in [`crate::Graph::nodes`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a parameter within the graph's parameter registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) u32);
+
+impl ParamId {
+    /// Position of the parameter in [`crate::Graph::params`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One operator instance in the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier, equal to the node's topological position.
+    pub id: NodeId,
+    /// Fully qualified module path, e.g. `features.3.conv2`.
+    pub name: String,
+    /// Enclosing high-level component (the `python_function` scope the
+    /// profiler reports), e.g. `features.3`.
+    pub component: String,
+    /// The operator.
+    pub op: OpKind,
+    /// Data inputs (outputs of earlier nodes).
+    pub inputs: Vec<NodeId>,
+    /// Parameters consumed, in the order of [`OpKind::param_specs`].
+    pub params: Vec<ParamId>,
+}
+
+impl Node {
+    /// Whether this node binds an external graph input.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        matches!(self.op, OpKind::Input { .. })
+    }
+}

@@ -1,0 +1,886 @@
+use crate::{DType, GraphError, Shape, TensorSpec};
+use serde::{Deserialize, Serialize};
+
+/// Pointwise activation functions.
+///
+/// They share memory behaviour (allocate an output the size of the input;
+/// save one tensor for backward) and differ only in name and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clamped at 6 (MobileNet family).
+    Relu6,
+    /// Gaussian error linear unit (transformers, ConvNeXt).
+    Gelu,
+    /// Sigmoid-weighted linear unit / swish (EfficientNet, LLaMA MLPs).
+    Silu,
+    /// Hard swish (MobileNetV3).
+    Hardswish,
+    /// Hard sigmoid (squeeze-excite gates).
+    Hardsigmoid,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl ActKind {
+    /// The `aten::` kernel name the profiler records for this activation.
+    #[must_use]
+    pub const fn aten_name(self) -> &'static str {
+        match self {
+            ActKind::Relu => "aten::relu",
+            ActKind::Relu6 => "aten::hardtanh",
+            ActKind::Gelu => "aten::gelu",
+            ActKind::Silu => "aten::silu",
+            ActKind::Hardswish => "aten::hardswish",
+            ActKind::Hardsigmoid => "aten::hardsigmoid",
+            ActKind::Sigmoid => "aten::sigmoid",
+            ActKind::Tanh => "aten::tanh",
+        }
+    }
+}
+
+/// Configuration of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Kernel extent (height, width).
+    pub kernel: (usize, usize),
+    /// Stride (height, width).
+    pub stride: (usize, usize),
+    /// Zero padding (height, width).
+    pub padding: (usize, usize),
+    /// Channel groups (`in_ch` for depthwise convolutions).
+    pub groups: usize,
+    /// Whether a bias vector is present.
+    pub bias: bool,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            in_ch: 1,
+            out_ch: 1,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            bias: false,
+        }
+    }
+}
+
+/// Pooling window configuration shared by max and average pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Window extent (height, width).
+    pub kernel: (usize, usize),
+    /// Stride (height, width).
+    pub stride: (usize, usize),
+    /// Zero padding (height, width).
+    pub padding: (usize, usize),
+}
+
+impl PoolSpec {
+    /// Square window with stride equal to the kernel and no padding.
+    #[must_use]
+    pub fn square(k: usize) -> Self {
+        PoolSpec {
+            kernel: (k, k),
+            stride: (k, k),
+            padding: (0, 0),
+        }
+    }
+}
+
+/// Configuration of a scaled-dot-product attention operator.
+///
+/// The operator consumes projected `q`, `k`, `v` tensors (projections are
+/// separate [`OpKind::Linear`] nodes) and produces the pre-output-projection
+/// context tensor. Grouped-query attention is expressed with
+/// `kv_heads < heads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttentionSpec {
+    /// Number of query heads.
+    pub heads: usize,
+    /// Number of key/value heads (equal to `heads` for vanilla MHA).
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Whether a causal mask is applied (decoder self-attention).
+    pub causal: bool,
+}
+
+/// The operators whose memory behaviour the runtime models.
+///
+/// Each variant carries exactly the attributes needed for shape inference and
+/// for deriving activation/gradient/workspace sizes. Variants with learnable
+/// parameters expose them through [`OpKind::param_specs`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Pseudo-node binding graph input `slot` (0 = main input, 1 = decoder).
+    Input {
+        /// Which external input this node binds.
+        slot: usize,
+    },
+    /// 2-D convolution.
+    Conv2d(Conv2dSpec),
+    /// Affine map over the last dimension.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Token-id lookup table.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// Batch normalization over `[B, C, H, W]`.
+    BatchNorm2d {
+        /// Number of channels.
+        features: usize,
+    },
+    /// Layer normalization over the last dimension.
+    LayerNorm {
+        /// Normalized dimension extent.
+        dim: usize,
+    },
+    /// Root-mean-square normalization over the last dimension (LLaMA/Qwen).
+    RmsNorm {
+        /// Normalized dimension extent.
+        dim: usize,
+    },
+    /// Pointwise activation.
+    Activation(ActKind),
+    /// 2-D max pooling.
+    MaxPool2d(PoolSpec),
+    /// 2-D average pooling.
+    AvgPool2d(PoolSpec),
+    /// Adaptive average pooling to a fixed spatial size.
+    AdaptiveAvgPool2d {
+        /// Output height.
+        out_h: usize,
+        /// Output width.
+        out_w: usize,
+    },
+    /// Collapse dimensions `start_dim..` into one.
+    Flatten {
+        /// First dimension to collapse.
+        start_dim: usize,
+    },
+    /// Reshape to explicit dims; one entry may be `-1`, and `0` keeps the
+    /// input extent at that position.
+    Reshape {
+        /// Target dimensions.
+        dims: Vec<i64>,
+    },
+    /// Dimension permutation (allocates a contiguous copy).
+    Permute {
+        /// New dimension order.
+        order: Vec<usize>,
+    },
+    /// Elementwise sum of two tensors of identical shape (residual).
+    Add,
+    /// Elementwise product of two tensors (gating, SwiGLU, squeeze-excite).
+    ///
+    /// The second input may have fewer trailing spatial dims (broadcast).
+    Mul,
+    /// Concatenation along `dim`.
+    Concat {
+        /// Concatenation dimension.
+        dim: usize,
+    },
+    /// Scaled-dot-product attention over projected q/k/v.
+    Attention(AttentionSpec),
+    /// Softmax over `dim`.
+    Softmax {
+        /// Reduction dimension.
+        dim: usize,
+    },
+    /// Dropout (allocates a mask during training).
+    Dropout {
+        /// Drop probability.
+        p_permille: u32,
+    },
+    /// Per-channel learnable scaling (ConvNeXt layer scale).
+    Scale {
+        /// Channel extent of the learnable gamma.
+        channels: usize,
+    },
+    /// Cross-entropy loss producing a scalar.
+    CrossEntropyLoss,
+}
+
+impl OpKind {
+    /// Number of data inputs the operator consumes. `None` means variadic
+    /// (at least one), used by [`OpKind::Concat`].
+    #[must_use]
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            OpKind::Input { .. } => Some(0),
+            OpKind::Add | OpKind::Mul => Some(2),
+            OpKind::Attention(_) => Some(3),
+            OpKind::Concat { .. } => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Parameter templates `(suffix, spec, trainable)` introduced by this
+    /// operator, in registration order.
+    #[must_use]
+    pub fn param_specs(&self) -> Vec<(&'static str, TensorSpec, bool)> {
+        match self {
+            OpKind::Conv2d(c) => {
+                let mut v = vec![(
+                    "weight",
+                    TensorSpec::f32([c.out_ch, c.in_ch / c.groups, c.kernel.0, c.kernel.1]),
+                    true,
+                )];
+                if c.bias {
+                    v.push(("bias", TensorSpec::f32([c.out_ch]), true));
+                }
+                v
+            }
+            OpKind::Linear {
+                in_features,
+                out_features,
+                bias,
+            } => {
+                let mut v = vec![("weight", TensorSpec::f32([*out_features, *in_features]), true)];
+                if *bias {
+                    v.push(("bias", TensorSpec::f32([*out_features]), true));
+                }
+                v
+            }
+            OpKind::Embedding { vocab, dim } => {
+                vec![("weight", TensorSpec::f32([*vocab, *dim]), true)]
+            }
+            OpKind::BatchNorm2d { features } => vec![
+                ("weight", TensorSpec::f32([*features]), true),
+                ("bias", TensorSpec::f32([*features]), true),
+                ("running_mean", TensorSpec::f32([*features]), false),
+                ("running_var", TensorSpec::f32([*features]), false),
+            ],
+            OpKind::LayerNorm { dim } => vec![
+                ("weight", TensorSpec::f32([*dim]), true),
+                ("bias", TensorSpec::f32([*dim]), true),
+            ],
+            OpKind::RmsNorm { dim } => vec![("weight", TensorSpec::f32([*dim]), true)],
+            OpKind::Scale { channels } => vec![("gamma", TensorSpec::f32([*channels]), true)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The `aten::` kernel name recorded for the forward execution.
+    #[must_use]
+    pub fn aten_name(&self) -> &'static str {
+        match self {
+            OpKind::Input { .. } => "aten::copy_",
+            OpKind::Conv2d(_) => "aten::convolution",
+            OpKind::Linear { .. } => "aten::linear",
+            OpKind::Embedding { .. } => "aten::embedding",
+            OpKind::BatchNorm2d { .. } => "aten::batch_norm",
+            OpKind::LayerNorm { .. } => "aten::layer_norm",
+            OpKind::RmsNorm { .. } => "aten::rms_norm",
+            OpKind::Activation(a) => a.aten_name(),
+            OpKind::MaxPool2d(_) => "aten::max_pool2d",
+            OpKind::AvgPool2d(_) => "aten::avg_pool2d",
+            OpKind::AdaptiveAvgPool2d { .. } => "aten::adaptive_avg_pool2d",
+            OpKind::Flatten { .. } => "aten::flatten",
+            OpKind::Reshape { .. } => "aten::reshape",
+            OpKind::Permute { .. } => "aten::permute",
+            OpKind::Add => "aten::add",
+            OpKind::Mul => "aten::mul",
+            OpKind::Concat { .. } => "aten::cat",
+            OpKind::Attention(_) => "aten::scaled_dot_product_attention",
+            OpKind::Softmax { .. } => "aten::softmax",
+            OpKind::Dropout { .. } => "aten::dropout",
+            OpKind::Scale { .. } => "aten::mul",
+            OpKind::CrossEntropyLoss => "aten::cross_entropy_loss",
+        }
+    }
+
+    /// Infers the output spec from input specs.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::ArityMismatch`] or [`GraphError::ShapeMismatch`]
+    /// when the inputs are not consumable by this operator.
+    pub fn infer(&self, node: &str, inputs: &[&TensorSpec]) -> Result<TensorSpec, GraphError> {
+        if let Some(arity) = self.arity() {
+            if inputs.len() != arity {
+                return Err(GraphError::ArityMismatch {
+                    node: node.to_string(),
+                    expected: arity,
+                    actual: inputs.len(),
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(GraphError::ArityMismatch {
+                node: node.to_string(),
+                expected: 1,
+                actual: 0,
+            });
+        }
+
+        let mismatch = |detail: String| GraphError::ShapeMismatch {
+            node: node.to_string(),
+            detail,
+        };
+
+        match self {
+            OpKind::Input { .. } => unreachable!("input nodes are resolved by the graph"),
+            OpKind::Conv2d(c) => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                if d.len() != 4 {
+                    return Err(mismatch(format!("conv2d expects 4-D input, got {}", x.shape)));
+                }
+                if d[1] != c.in_ch {
+                    return Err(mismatch(format!(
+                        "conv2d expects {} input channels, got {}",
+                        c.in_ch, d[1]
+                    )));
+                }
+                let hw = |extent: usize, k: usize, s: usize, p: usize| {
+                    (extent + 2 * p).checked_sub(k).map(|n| n / s + 1)
+                };
+                let oh = hw(d[2], c.kernel.0, c.stride.0, c.padding.0);
+                let ow = hw(d[3], c.kernel.1, c.stride.1, c.padding.1);
+                match (oh, ow) {
+                    (Some(oh), Some(ow)) if oh > 0 && ow > 0 => {
+                        Ok(TensorSpec::new([d[0], c.out_ch, oh, ow], x.dtype))
+                    }
+                    _ => Err(mismatch(format!(
+                        "conv2d kernel {:?} larger than padded input {}",
+                        c.kernel, x.shape
+                    ))),
+                }
+            }
+            OpKind::Linear {
+                in_features,
+                out_features,
+                ..
+            } => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                match d.last() {
+                    Some(&last) if last == *in_features => {
+                        let mut dims = d.to_vec();
+                        *dims.last_mut().expect("non-empty") = *out_features;
+                        Ok(TensorSpec::new(dims, x.dtype))
+                    }
+                    _ => Err(mismatch(format!(
+                        "linear expects last dim {in_features}, got {}",
+                        x.shape
+                    ))),
+                }
+            }
+            OpKind::Embedding { dim, .. } => {
+                let x = inputs[0];
+                if x.dtype.is_float() {
+                    return Err(mismatch("embedding expects integer token ids".into()));
+                }
+                Ok(TensorSpec::new(x.shape.appended(*dim), DType::F32))
+            }
+            OpKind::BatchNorm2d { features } => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                if d.len() != 4 || d[1] != *features {
+                    return Err(mismatch(format!(
+                        "batch_norm2d expects [B, {features}, H, W], got {}",
+                        x.shape
+                    )));
+                }
+                Ok(inputs[0].clone())
+            }
+            OpKind::LayerNorm { dim } | OpKind::RmsNorm { dim } => {
+                let x = inputs[0];
+                match x.shape.dims().last() {
+                    Some(&last) if last == *dim => Ok(x.clone()),
+                    _ => Err(mismatch(format!(
+                        "norm expects last dim {dim}, got {}",
+                        x.shape
+                    ))),
+                }
+            }
+            OpKind::Activation(_) | OpKind::Dropout { .. } | OpKind::Softmax { .. } => {
+                Ok(inputs[0].clone())
+            }
+            OpKind::MaxPool2d(p) | OpKind::AvgPool2d(p) => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                if d.len() != 4 {
+                    return Err(mismatch(format!("pool expects 4-D input, got {}", x.shape)));
+                }
+                let hw = |extent: usize, k: usize, s: usize, pad: usize| {
+                    (extent + 2 * pad).checked_sub(k).map(|n| n / s + 1)
+                };
+                let oh = hw(d[2], p.kernel.0, p.stride.0, p.padding.0);
+                let ow = hw(d[3], p.kernel.1, p.stride.1, p.padding.1);
+                match (oh, ow) {
+                    (Some(oh), Some(ow)) if oh > 0 && ow > 0 => {
+                        Ok(TensorSpec::new([d[0], d[1], oh, ow], x.dtype))
+                    }
+                    _ => Err(mismatch(format!(
+                        "pool kernel {:?} larger than padded input {}",
+                        p.kernel, x.shape
+                    ))),
+                }
+            }
+            OpKind::AdaptiveAvgPool2d { out_h, out_w } => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                if d.len() != 4 {
+                    return Err(mismatch(format!(
+                        "adaptive pool expects 4-D input, got {}",
+                        x.shape
+                    )));
+                }
+                Ok(TensorSpec::new([d[0], d[1], *out_h, *out_w], x.dtype))
+            }
+            OpKind::Flatten { start_dim } => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                if *start_dim >= d.len() {
+                    return Err(mismatch(format!(
+                        "flatten start_dim {start_dim} out of range for {}",
+                        x.shape
+                    )));
+                }
+                let mut dims = d[..*start_dim].to_vec();
+                dims.push(d[*start_dim..].iter().product());
+                Ok(TensorSpec::new(dims, x.dtype))
+            }
+            OpKind::Reshape { dims } => {
+                let x = inputs[0];
+                let numel = x.numel();
+                let mut out: Vec<usize> = Vec::with_capacity(dims.len());
+                let mut infer_at = None;
+                for (i, &d) in dims.iter().enumerate() {
+                    match d {
+                        -1 if infer_at.is_none() => {
+                            infer_at = Some(i);
+                            out.push(1);
+                        }
+                        0 => out.push(x.shape.dim(i).unwrap_or(0)),
+                        d if d > 0 => out.push(d as usize),
+                        _ => {
+                            return Err(GraphError::InvalidReshape {
+                                node: node.to_string(),
+                                input_numel: numel,
+                                target: dims.clone(),
+                            })
+                        }
+                    }
+                }
+                let known: usize = out.iter().product();
+                if let Some(i) = infer_at {
+                    if known == 0 || !numel.is_multiple_of(known) {
+                        return Err(GraphError::InvalidReshape {
+                            node: node.to_string(),
+                            input_numel: numel,
+                            target: dims.clone(),
+                        });
+                    }
+                    out[i] = numel / known;
+                } else if known != numel {
+                    return Err(GraphError::InvalidReshape {
+                        node: node.to_string(),
+                        input_numel: numel,
+                        target: dims.clone(),
+                    });
+                }
+                Ok(TensorSpec::new(out, x.dtype))
+            }
+            OpKind::Permute { order } => {
+                let x = inputs[0];
+                let d = x.shape.dims();
+                if order.len() != d.len() {
+                    return Err(mismatch(format!(
+                        "permute order {order:?} does not match rank of {}",
+                        x.shape
+                    )));
+                }
+                let mut seen = vec![false; d.len()];
+                let mut dims = Vec::with_capacity(d.len());
+                for &o in order {
+                    if o >= d.len() || seen[o] {
+                        return Err(mismatch(format!("invalid permutation {order:?}")));
+                    }
+                    seen[o] = true;
+                    dims.push(d[o]);
+                }
+                Ok(TensorSpec::new(dims, x.dtype))
+            }
+            OpKind::Add => {
+                if inputs[0].shape != inputs[1].shape {
+                    return Err(mismatch(format!(
+                        "add expects equal shapes, got {} and {}",
+                        inputs[0].shape, inputs[1].shape
+                    )));
+                }
+                Ok(inputs[0].clone())
+            }
+            OpKind::Mul => {
+                // Allow broadcast of a lower-rank / size-1-spatial gate.
+                if inputs[1].numel() > inputs[0].numel() {
+                    return Err(mismatch(format!(
+                        "mul gate {} larger than input {}",
+                        inputs[1].shape, inputs[0].shape
+                    )));
+                }
+                Ok(inputs[0].clone())
+            }
+            OpKind::Concat { dim } => {
+                let first = inputs[0];
+                let rank = first.shape.rank();
+                if *dim >= rank {
+                    return Err(mismatch(format!("concat dim {dim} out of range")));
+                }
+                let mut total = 0;
+                for x in inputs {
+                    if x.shape.rank() != rank || x.dtype != first.dtype {
+                        return Err(mismatch("concat inputs must agree in rank and dtype".into()));
+                    }
+                    for (i, (&a, &b)) in
+                        x.shape.dims().iter().zip(first.shape.dims()).enumerate()
+                    {
+                        if i != *dim && a != b {
+                            return Err(mismatch(format!(
+                                "concat non-{dim} dims differ: {} vs {}",
+                                x.shape, first.shape
+                            )));
+                        }
+                    }
+                    total += x.shape.dims()[*dim];
+                }
+                Ok(TensorSpec::new(first.shape.with_dim(*dim, total), first.dtype))
+            }
+            OpKind::Attention(a) => {
+                let (q, k, v) = (inputs[0], inputs[1], inputs[2]);
+                let qd = q.shape.dims();
+                if qd.len() != 3 {
+                    return Err(mismatch(format!(
+                        "attention expects 3-D [B, S, H*Dh] query, got {}",
+                        q.shape
+                    )));
+                }
+                if qd[2] != a.heads * a.head_dim {
+                    return Err(mismatch(format!(
+                        "query features {} != heads*head_dim {}",
+                        qd[2],
+                        a.heads * a.head_dim
+                    )));
+                }
+                let kv_feat = a.kv_heads * a.head_dim;
+                for (name, t) in [("key", k), ("value", v)] {
+                    let d = t.shape.dims();
+                    if d.len() != 3 || d[2] != kv_feat || d[0] != qd[0] {
+                        return Err(mismatch(format!(
+                            "{name} expects [B, S, {kv_feat}], got {}",
+                            t.shape
+                        )));
+                    }
+                }
+                if k.shape.dims()[1] != v.shape.dims()[1] {
+                    return Err(mismatch("key/value sequence lengths differ".into()));
+                }
+                Ok(q.clone())
+            }
+            OpKind::Scale { channels } => {
+                let x = inputs[0];
+                if !x.shape.dims().contains(channels) {
+                    return Err(mismatch(format!(
+                        "scale channels {channels} not present in {}",
+                        x.shape
+                    )));
+                }
+                Ok(x.clone())
+            }
+            OpKind::CrossEntropyLoss => {
+                let x = inputs[0];
+                if x.shape.rank() < 2 {
+                    return Err(mismatch(format!(
+                        "cross-entropy expects logits of rank >= 2, got {}",
+                        x.shape
+                    )));
+                }
+                Ok(TensorSpec::new(Shape::scalar(), x.dtype))
+            }
+        }
+    }
+
+    /// Approximate multiply-accumulate count of the forward execution, used
+    /// by the backends' duration models.
+    #[must_use]
+    pub fn macs(&self, inputs: &[&TensorSpec], output: &TensorSpec) -> u64 {
+        let out = output.numel() as u64;
+        match self {
+            OpKind::Conv2d(c) => {
+                out * (c.kernel.0 * c.kernel.1 * c.in_ch / c.groups) as u64
+            }
+            OpKind::Linear { in_features, .. } => out * *in_features as u64,
+            OpKind::Attention(a) => {
+                let q = inputs[0].shape.dims();
+                let kv_s = inputs[1].shape.dims()[1] as u64;
+                let (b, sq) = (q[0] as u64, q[1] as u64);
+                // QK^T and AV, over all heads.
+                2 * b * a.heads as u64 * sq * kv_s * a.head_dim as u64
+            }
+            OpKind::Embedding { .. } => out,
+            OpKind::CrossEntropyLoss => inputs[0].numel() as u64 * 4,
+            OpKind::BatchNorm2d { .. }
+            | OpKind::LayerNorm { .. }
+            | OpKind::RmsNorm { .. }
+            | OpKind::Softmax { .. } => inputs[0].numel() as u64 * 4,
+            _ => inputs.iter().map(|t| t.numel() as u64).sum::<u64>().max(out),
+        }
+    }
+
+    /// Whether the operator merely reinterprets its input without moving
+    /// data (its "output" aliases the input and allocates nothing).
+    #[must_use]
+    pub fn is_view(&self) -> bool {
+        matches!(self, OpKind::Flatten { .. } | OpKind::Reshape { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(dims: &[usize]) -> TensorSpec {
+        TensorSpec::f32(dims.to_vec())
+    }
+
+    #[test]
+    fn conv_shape_standard() {
+        let op = OpKind::Conv2d(Conv2dSpec {
+            in_ch: 3,
+            out_ch: 64,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            ..Default::default()
+        });
+        let x = spec(&[8, 3, 224, 224]);
+        let y = op.infer("c", &[&x]).unwrap();
+        assert_eq!(y.shape.dims(), &[8, 64, 224, 224]);
+    }
+
+    #[test]
+    fn conv_shape_strided() {
+        let op = OpKind::Conv2d(Conv2dSpec {
+            in_ch: 3,
+            out_ch: 96,
+            kernel: (4, 4),
+            stride: (4, 4),
+            ..Default::default()
+        });
+        let y = op.infer("c", &[&spec(&[2, 3, 224, 224])]).unwrap();
+        assert_eq!(y.shape.dims(), &[2, 96, 56, 56]);
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let op = OpKind::Conv2d(Conv2dSpec {
+            in_ch: 16,
+            out_ch: 8,
+            ..Default::default()
+        });
+        assert!(matches!(
+            op.infer("c", &[&spec(&[1, 3, 8, 8])]),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_param_specs_respect_groups_and_bias() {
+        let op = OpKind::Conv2d(Conv2dSpec {
+            in_ch: 32,
+            out_ch: 32,
+            kernel: (3, 3),
+            groups: 32,
+            bias: true,
+            ..Default::default()
+        });
+        let params = op.param_specs();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].1.shape.dims(), &[32, 1, 3, 3]);
+        assert_eq!(params[1].1.shape.dims(), &[32]);
+    }
+
+    #[test]
+    fn linear_maps_last_dim() {
+        let op = OpKind::Linear {
+            in_features: 768,
+            out_features: 3072,
+            bias: true,
+        };
+        let y = op.infer("l", &[&spec(&[4, 128, 768])]).unwrap();
+        assert_eq!(y.shape.dims(), &[4, 128, 3072]);
+    }
+
+    #[test]
+    fn linear_rejects_wrong_features() {
+        let op = OpKind::Linear {
+            in_features: 10,
+            out_features: 5,
+            bias: false,
+        };
+        assert!(op.infer("l", &[&spec(&[4, 11])]).is_err());
+    }
+
+    #[test]
+    fn embedding_appends_dim_and_requires_ints() {
+        let op = OpKind::Embedding {
+            vocab: 50257,
+            dim: 768,
+        };
+        let tokens = TensorSpec::new([4, 128], DType::I64);
+        let y = op.infer("e", &[&tokens]).unwrap();
+        assert_eq!(y.shape.dims(), &[4, 128, 768]);
+        assert_eq!(y.dtype, DType::F32);
+        assert!(op.infer("e", &[&spec(&[4, 128])]).is_err());
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let op = OpKind::MaxPool2d(PoolSpec::square(2));
+        let y = op.infer("p", &[&spec(&[1, 64, 224, 224])]).unwrap();
+        assert_eq!(y.shape.dims(), &[1, 64, 112, 112]);
+
+        let ad = OpKind::AdaptiveAvgPool2d { out_h: 1, out_w: 1 };
+        let y = ad.infer("p", &[&spec(&[1, 512, 7, 7])]).unwrap();
+        assert_eq!(y.shape.dims(), &[1, 512, 1, 1]);
+    }
+
+    #[test]
+    fn flatten_collapses_tail() {
+        let op = OpKind::Flatten { start_dim: 1 };
+        let y = op.infer("f", &[&spec(&[8, 512, 7, 7])]).unwrap();
+        assert_eq!(y.shape.dims(), &[8, 512 * 49]);
+    }
+
+    #[test]
+    fn reshape_with_inference() {
+        let op = OpKind::Reshape {
+            dims: vec![0, -1, 64],
+        };
+        let y = op.infer("r", &[&spec(&[2, 128, 768])]).unwrap();
+        assert_eq!(y.shape.dims(), &[2, 1536, 64]);
+    }
+
+    #[test]
+    fn reshape_rejects_incompatible() {
+        let op = OpKind::Reshape { dims: vec![7, 7] };
+        assert!(matches!(
+            op.infer("r", &[&spec(&[2, 24])]),
+            Err(GraphError::InvalidReshape { .. })
+        ));
+    }
+
+    #[test]
+    fn permute_reorders() {
+        let op = OpKind::Permute {
+            order: vec![0, 2, 3, 1],
+        };
+        let y = op.infer("p", &[&spec(&[2, 96, 56, 56])]).unwrap();
+        assert_eq!(y.shape.dims(), &[2, 56, 56, 96]);
+    }
+
+    #[test]
+    fn permute_rejects_bad_order() {
+        let op = OpKind::Permute { order: vec![0, 0] };
+        assert!(op.infer("p", &[&spec(&[2, 3])]).is_err());
+    }
+
+    #[test]
+    fn add_requires_same_shape() {
+        let a = spec(&[2, 3]);
+        let b = spec(&[2, 4]);
+        assert!(OpKind::Add.infer("a", &[&a, &b]).is_err());
+        assert!(OpKind::Add.infer("a", &[&a, &a]).is_ok());
+    }
+
+    #[test]
+    fn mul_allows_broadcast_gate() {
+        let x = spec(&[2, 64, 28, 28]);
+        let gate = spec(&[2, 64, 1, 1]);
+        let y = OpKind::Mul.infer("m", &[&x, &gate]).unwrap();
+        assert_eq!(y.shape, x.shape);
+    }
+
+    #[test]
+    fn concat_sums_dim() {
+        let a = spec(&[2, 16, 8, 8]);
+        let b = spec(&[2, 24, 8, 8]);
+        let y = OpKind::Concat { dim: 1 }.infer("c", &[&a, &b]).unwrap();
+        assert_eq!(y.shape.dims(), &[2, 40, 8, 8]);
+    }
+
+    #[test]
+    fn attention_gqa_shapes() {
+        let op = OpKind::Attention(AttentionSpec {
+            heads: 16,
+            kv_heads: 8,
+            head_dim: 128,
+            causal: true,
+        });
+        let q = spec(&[2, 512, 2048]);
+        let kv = spec(&[2, 512, 1024]);
+        let y = op.infer("attn", &[&q, &kv, &kv]).unwrap();
+        assert_eq!(y.shape.dims(), &[2, 512, 2048]);
+    }
+
+    #[test]
+    fn attention_rejects_feature_mismatch() {
+        let op = OpKind::Attention(AttentionSpec {
+            heads: 12,
+            kv_heads: 12,
+            head_dim: 64,
+            causal: true,
+        });
+        let q = spec(&[2, 128, 768]);
+        let bad_kv = spec(&[2, 128, 512]);
+        assert!(op.infer("attn", &[&q, &bad_kv, &bad_kv]).is_err());
+    }
+
+    #[test]
+    fn loss_is_scalar() {
+        let y = OpKind::CrossEntropyLoss
+            .infer("loss", &[&spec(&[8, 1000])])
+            .unwrap();
+        assert_eq!(y.shape.rank(), 0);
+    }
+
+    #[test]
+    fn macs_scale_with_size() {
+        let op = OpKind::Linear {
+            in_features: 1024,
+            out_features: 1024,
+            bias: false,
+        };
+        let x = spec(&[1, 1024]);
+        let y = op.infer("l", &[&x]).unwrap();
+        assert_eq!(op.macs(&[&x], &y), 1024 * 1024);
+    }
+
+    #[test]
+    fn views_do_not_allocate() {
+        assert!(OpKind::Flatten { start_dim: 1 }.is_view());
+        assert!(OpKind::Reshape { dims: vec![-1] }.is_view());
+        assert!(!OpKind::Permute { order: vec![0] }.is_view());
+    }
+}

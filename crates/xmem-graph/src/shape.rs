@@ -1,0 +1,126 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The extents of a tensor, innermost dimension last.
+///
+/// A rank-0 `Shape` (no dimensions) denotes a scalar with one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// ```
+    /// use xmem_graph::Shape;
+    /// let s = Shape::new([2, 3, 4]);
+    /// assert_eq!(s.numel(), 24);
+    /// ```
+    #[must_use]
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar shape (rank 0, one element).
+    #[must_use]
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for scalars).
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`, or `None` if out of range.
+    #[must_use]
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.0.get(i).copied()
+    }
+
+    /// Returns a new shape with dimension `i` replaced by `extent`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn with_dim(&self, i: usize, extent: usize) -> Self {
+        let mut dims = self.0.clone();
+        dims[i] = extent;
+        Shape(dims)
+    }
+
+    /// Appends a dimension, returning the extended shape.
+    #[must_use]
+    pub fn appended(&self, extent: usize) -> Self {
+        let mut dims = self.0.clone();
+        dims.push(extent);
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn numel_multiplies_dims() {
+        assert_eq!(Shape::new([4, 5, 6]).numel(), 120);
+        assert_eq!(Shape::new([1]).numel(), 1);
+        assert_eq!(Shape::new([0, 9]).numel(), 0);
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let s = Shape::new([2, 3]).with_dim(0, 7);
+        assert_eq!(s.dims(), &[7, 3]);
+    }
+
+    #[test]
+    fn display_formats_brackets() {
+        assert_eq!(Shape::new([8, 3, 224, 224]).to_string(), "[8, 3, 224, 224]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

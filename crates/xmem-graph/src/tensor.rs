@@ -1,0 +1,90 @@
+use crate::{DType, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size-level description of a tensor: shape plus element type.
+///
+/// This is the unit of memory accounting across the whole project; a
+/// `TensorSpec` never carries data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct TensorSpec {
+    /// Dimension extents.
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorSpec {
+    /// Creates a spec from a shape-like value and dtype.
+    ///
+    /// ```
+    /// use xmem_graph::{TensorSpec, DType};
+    /// let t = TensorSpec::new([8, 768], DType::F32);
+    /// assert_eq!(t.size_bytes(), 8 * 768 * 4);
+    /// ```
+    #[must_use]
+    pub fn new(shape: impl Into<Shape>, dtype: DType) -> Self {
+        TensorSpec {
+            shape: shape.into(),
+            dtype,
+        }
+    }
+
+    /// Convenience constructor for `f32` tensors.
+    #[must_use]
+    pub fn f32(shape: impl Into<Shape>) -> Self {
+        TensorSpec::new(shape, DType::F32)
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Logical (unrounded) size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * self.dtype.size_bytes()
+    }
+
+    /// Returns the same shape with a different dtype.
+    #[must_use]
+    pub fn with_dtype(&self, dtype: DType) -> Self {
+        TensorSpec {
+            shape: self.shape.clone(),
+            dtype,
+        }
+    }
+}
+
+impl fmt::Display for TensorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dtype, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_accounts_for_dtype() {
+        let shape = [16, 128];
+        assert_eq!(TensorSpec::new(shape, DType::F32).size_bytes(), 16 * 128 * 4);
+        assert_eq!(TensorSpec::new(shape, DType::F16).size_bytes(), 16 * 128 * 2);
+        assert_eq!(TensorSpec::new(shape, DType::I64).size_bytes(), 16 * 128 * 8);
+    }
+
+    #[test]
+    fn scalar_spec() {
+        let t = TensorSpec::f32(Shape::scalar());
+        assert_eq!(t.numel(), 1);
+        assert_eq!(t.size_bytes(), 4);
+    }
+
+    #[test]
+    fn display_combines_dtype_and_shape() {
+        assert_eq!(TensorSpec::f32([2, 2]).to_string(), "f32[2, 2]");
+    }
+}

@@ -1,0 +1,100 @@
+//! ConvNeXt Tiny and Base (Liu et al., 2022), torchvision layouts.
+
+use xmem_graph::{ActKind, Conv2dSpec, Graph, GraphBuilder, InputTemplate, NodeId};
+
+/// Channels-first layer norm, implemented the way torchvision does: permute
+/// to NHWC, normalize the trailing channel dimension, permute back. The two
+/// permutes materialize copies, which is memory-faithful to the real
+/// implementation.
+fn layer_norm_2d(b: &mut GraphBuilder, x: NodeId, channels: usize, name: &str) -> NodeId {
+    b.with_scope(name, |b| {
+        let h = b.permute(x, vec![0, 2, 3, 1], "to_nhwc");
+        let h = b.layer_norm(h, channels, "ln");
+        b.permute(h, vec![0, 3, 1, 2], "to_nchw")
+    })
+}
+
+/// ConvNeXt block: 7x7 depthwise conv → LN → pointwise MLP (4x) → layer
+/// scale → residual, operating in NHWC between the permutes.
+fn cn_block(b: &mut GraphBuilder, x: NodeId, dim: usize, name: &str) -> NodeId {
+    b.with_scope(name, |b| {
+        let h = b.conv2d(
+            x,
+            Conv2dSpec {
+                in_ch: dim,
+                out_ch: dim,
+                kernel: (7, 7),
+                padding: (3, 3),
+                groups: dim,
+                bias: true,
+                ..Conv2dSpec::default()
+            },
+            "dwconv",
+        );
+        let h = b.permute(h, vec![0, 2, 3, 1], "permute_in");
+        let h = b.layer_norm(h, dim, "norm");
+        let h = b.linear(h, dim, 4 * dim, true, "pwconv1");
+        let h = b.activation(h, ActKind::Gelu, "act");
+        let h = b.linear(h, 4 * dim, dim, true, "pwconv2");
+        let h = b.scale(h, dim, "layer_scale");
+        let h = b.permute(h, vec![0, 3, 1, 2], "permute_out");
+        b.add(h, x, "add")
+    })
+}
+
+fn convnext(name: &str, depths: [usize; 4], dims: [usize; 4]) -> Graph {
+    let mut b = GraphBuilder::new(name, InputTemplate::image(3, 32, 32));
+    let x = b.input();
+    // Stem: 4x4/4 patchify conv + LN.
+    let mut x = b.conv2d(
+        x,
+        Conv2dSpec {
+            in_ch: 3,
+            out_ch: dims[0],
+            kernel: (4, 4),
+            stride: (4, 4),
+            bias: true,
+            ..Conv2dSpec::default()
+        },
+        "stem.conv",
+    );
+    x = layer_norm_2d(&mut b, x, dims[0], "stem.norm");
+    for stage in 0..4 {
+        if stage > 0 {
+            x = layer_norm_2d(&mut b, x, dims[stage - 1], &format!("downsample{stage}.norm"));
+            x = b.conv2d(
+                x,
+                Conv2dSpec {
+                    in_ch: dims[stage - 1],
+                    out_ch: dims[stage],
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                    bias: true,
+                    ..Conv2dSpec::default()
+                },
+                &format!("downsample{stage}.conv"),
+            );
+        }
+        for block in 0..depths[stage] {
+            x = cn_block(&mut b, x, dims[stage], &format!("stage{stage}.{block}"));
+        }
+    }
+    x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.layer_norm(x, dims[3], "head.norm");
+    x = b.linear(x, dims[3], 1000, true, "head.fc");
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("convnext graph is valid")
+}
+
+/// ConvNeXt-Tiny: 28,589,128 parameters.
+#[must_use]
+pub fn convnext_tiny() -> Graph {
+    convnext("convnext_tiny", [3, 3, 9, 3], [96, 192, 384, 768])
+}
+
+/// ConvNeXt-Base: 88,591,464 parameters.
+#[must_use]
+pub fn convnext_base() -> Graph {
+    convnext("convnext_base", [3, 3, 27, 3], [128, 256, 512, 1024])
+}

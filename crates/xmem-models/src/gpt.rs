@@ -1,0 +1,141 @@
+//! GPT-2-family causal language models: DistilGPT2, GPT-2, GPT-Neo-125M and
+//! Cerebras-GPT-111M. All share the pre-LN residual block; they differ in
+//! depth, context length and projection biases.
+
+use xmem_graph::{
+    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
+};
+
+/// Configuration of a GPT-2-style decoder.
+pub struct Gpt2Cfg {
+    /// Model name.
+    pub name: &'static str,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum (and positional-embedding) context length.
+    pub ctx: usize,
+    /// Hidden width.
+    pub d: usize,
+    /// Number of decoder blocks.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ff: usize,
+    /// Whether q/k/v projections carry biases (GPT-Neo omits them).
+    pub attn_bias: bool,
+    /// Training sequence length used by the evaluation harness.
+    pub seq: usize,
+}
+
+fn block(b: &mut GraphBuilder, x: NodeId, cfg: &Gpt2Cfg, name: &str) -> NodeId {
+    let d = cfg.d;
+    b.with_scope(name, |b| {
+        let ln1 = b.layer_norm(x, d, "ln_1");
+        let q = b.linear(ln1, d, d, cfg.attn_bias, "attn.q_proj");
+        let k = b.linear(ln1, d, d, cfg.attn_bias, "attn.k_proj");
+        let v = b.linear(ln1, d, d, cfg.attn_bias, "attn.v_proj");
+        let a = b.attention(
+            q,
+            k,
+            v,
+            AttentionSpec {
+                heads: cfg.heads,
+                kv_heads: cfg.heads,
+                head_dim: d / cfg.heads,
+                causal: true,
+            },
+            "attn.sdpa",
+        );
+        let proj = b.linear(a, d, d, true, "attn.c_proj");
+        let x = b.add(proj, x, "residual_1");
+        let ln2 = b.layer_norm(x, d, "ln_2");
+        let h = b.linear(ln2, d, cfg.ff, true, "mlp.c_fc");
+        let h = b.activation(h, ActKind::Gelu, "mlp.act");
+        let h = b.linear(h, cfg.ff, d, true, "mlp.c_proj");
+        b.add(h, x, "residual_2")
+    })
+}
+
+/// Builds a GPT-2-style decoder-only LM with tied input/output embeddings.
+#[must_use]
+pub fn gpt2_like(cfg: &Gpt2Cfg) -> Graph {
+    let mut b = GraphBuilder::new(cfg.name, InputTemplate::tokens(cfg.seq));
+    let tokens = b.input();
+    let (tok_emb, wte) = b.embedding(tokens, cfg.vocab, cfg.d, "transformer.wte");
+    let (pos_emb, _) = b.embedding(tokens, cfg.ctx, cfg.d, "transformer.wpe");
+    let mut x = b.add(tok_emb, pos_emb, "embed_add");
+    x = b.dropout(x, 0.1, "drop");
+    for layer in 0..cfg.layers {
+        x = block(&mut b, x, cfg, &format!("transformer.h.{layer}"));
+    }
+    x = b.layer_norm(x, cfg.d, "transformer.ln_f");
+    let logits = b.linear_tied(x, cfg.d, cfg.vocab, wte, "lm_head");
+    b.cross_entropy_loss(logits, "loss");
+    b.finish().expect("gpt graph is valid")
+}
+
+/// DistilGPT2: 6 layers, d=768 — 81,912,576 parameters.
+#[must_use]
+pub fn distilgpt2() -> Graph {
+    gpt2_like(&Gpt2Cfg {
+        name: "distilgpt2",
+        vocab: 50257,
+        ctx: 1024,
+        d: 768,
+        layers: 6,
+        heads: 12,
+        ff: 3072,
+        attn_bias: true,
+        seq: 128,
+    })
+}
+
+/// GPT-2 (124M): 12 layers, d=768 — 124,439,808 parameters.
+#[must_use]
+pub fn gpt2() -> Graph {
+    gpt2_like(&Gpt2Cfg {
+        name: "gpt2",
+        vocab: 50257,
+        ctx: 1024,
+        d: 768,
+        layers: 12,
+        heads: 12,
+        ff: 3072,
+        attn_bias: true,
+        seq: 128,
+    })
+}
+
+/// GPT-Neo-125M: 12 layers, d=768, bias-free q/k/v, 2048 context —
+/// 125,198,592 parameters.
+#[must_use]
+pub fn gpt_neo_125m() -> Graph {
+    gpt2_like(&Gpt2Cfg {
+        name: "gpt-neo-125M",
+        vocab: 50257,
+        ctx: 2048,
+        d: 768,
+        layers: 12,
+        heads: 12,
+        ff: 3072,
+        attn_bias: false,
+        seq: 128,
+    })
+}
+
+/// Cerebras-GPT-111M: 10 layers, d=768, 2048 context — ~111M parameters.
+#[must_use]
+pub fn cerebras_gpt_111m() -> Graph {
+    gpt2_like(&Gpt2Cfg {
+        name: "Cerebras-GPT-111M",
+        vocab: 50257,
+        ctx: 2048,
+        d: 768,
+        layers: 10,
+        heads: 12,
+        ff: 3072,
+        attn_bias: true,
+        seq: 128,
+    })
+}

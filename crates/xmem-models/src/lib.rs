@@ -1,0 +1,41 @@
+//! The model zoo: memory-level graphs of the 25 architectures in the xMem
+//! evaluation (paper Table 2).
+//!
+//! Each builder reproduces the *memory-relevant* structure of the published
+//! architecture — layer composition, tensor shapes, parameter tensors
+//! (including weight tying) — so that parameter counts match the published
+//! figures and activation/gradient/optimizer footprints are derived from
+//! real shapes. Numerical semantics are out of scope.
+//!
+//! Models are addressed through [`ModelId`]; [`ModelId::build`] constructs
+//! the graph and [`ModelId::info`] returns evaluation metadata (architecture
+//! class, default batch grid, published parameter count).
+//!
+//! # Example
+//! ```
+//! use xmem_models::ModelId;
+//!
+//! let g = ModelId::DistilGpt2.build();
+//! let published = ModelId::DistilGpt2.info().published_params as f64;
+//! let actual = g.trainable_param_elems() as f64;
+//! assert!((actual - published).abs() / published < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convnext;
+mod gpt;
+mod llama;
+mod mnasnet;
+mod mobilenet;
+mod neox;
+mod opt;
+mod regnet;
+mod registry;
+mod resnet;
+mod t5;
+mod util;
+mod vgg;
+
+pub use registry::{BatchGrid, ModelId, ModelInfo};

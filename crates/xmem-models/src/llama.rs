@@ -1,0 +1,177 @@
+//! LLaMA-family decoders: Llama-3.2-3B, DeepSeek-R1-Distill-Qwen-1.5B
+//! (Qwen2.5 architecture) and Qwen3 0.6B/4B. RMSNorm, grouped-query
+//! attention, SwiGLU MLPs; Qwen2.5 adds q/k/v biases, Qwen3 adds per-head
+//! q/k RMS norms instead.
+
+use xmem_graph::{
+    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
+};
+
+/// Configuration of a LLaMA-style decoder.
+pub struct LlamaCfg {
+    /// Model name.
+    pub name: &'static str,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden width.
+    pub d: usize,
+    /// Number of decoder blocks.
+    pub layers: usize,
+    /// Query heads.
+    pub heads: usize,
+    /// Key/value heads (grouped-query attention).
+    pub kv_heads: usize,
+    /// Per-head dimension (q width = heads × head_dim, may differ from `d`).
+    pub head_dim: usize,
+    /// SwiGLU inner width.
+    pub ff: usize,
+    /// Whether q/k/v projections carry biases (Qwen2.5).
+    pub qkv_bias: bool,
+    /// Whether per-head q/k RMS norms are applied (Qwen3).
+    pub qk_norm: bool,
+    /// Whether `lm_head` is tied to the token embedding.
+    pub tied: bool,
+    /// Training sequence length used by the evaluation harness.
+    pub seq: usize,
+}
+
+fn block(b: &mut GraphBuilder, x: NodeId, cfg: &LlamaCfg, name: &str) -> NodeId {
+    let d = cfg.d;
+    let q_width = cfg.heads * cfg.head_dim;
+    let kv_width = cfg.kv_heads * cfg.head_dim;
+    b.with_scope(name, |b| {
+        let n = b.rms_norm(x, d, "input_layernorm");
+        let mut q = b.linear(n, d, q_width, cfg.qkv_bias, "self_attn.q_proj");
+        let mut k = b.linear(n, d, kv_width, cfg.qkv_bias, "self_attn.k_proj");
+        let v = b.linear(n, d, kv_width, cfg.qkv_bias, "self_attn.v_proj");
+        if cfg.qk_norm {
+            // Per-head RMS norm over head_dim: view as [B, S*H, head_dim],
+            // normalize, view back (views allocate nothing).
+            q = b.reshape(q, vec![0, -1, cfg.head_dim as i64], "self_attn.q_view");
+            q = b.rms_norm(q, cfg.head_dim, "self_attn.q_norm");
+            q = b.reshape(q, vec![0, -1, q_width as i64], "self_attn.q_unview");
+            k = b.reshape(k, vec![0, -1, cfg.head_dim as i64], "self_attn.k_view");
+            k = b.rms_norm(k, cfg.head_dim, "self_attn.k_norm");
+            k = b.reshape(k, vec![0, -1, kv_width as i64], "self_attn.k_unview");
+        }
+        let a = b.attention(
+            q,
+            k,
+            v,
+            AttentionSpec {
+                heads: cfg.heads,
+                kv_heads: cfg.kv_heads,
+                head_dim: cfg.head_dim,
+                causal: true,
+            },
+            "self_attn.sdpa",
+        );
+        let o = b.linear(a, q_width, d, false, "self_attn.o_proj");
+        let x = b.add(o, x, "residual_1");
+
+        let n = b.rms_norm(x, d, "post_attention_layernorm");
+        let gate = b.linear(n, d, cfg.ff, false, "mlp.gate_proj");
+        let gate = b.activation(gate, ActKind::Silu, "mlp.act");
+        let up = b.linear(n, d, cfg.ff, false, "mlp.up_proj");
+        let h = b.mul(gate, up, "mlp.gated");
+        let h = b.linear(h, cfg.ff, d, false, "mlp.down_proj");
+        b.add(h, x, "residual_2")
+    })
+}
+
+/// Builds a LLaMA-style causal LM.
+#[must_use]
+pub fn llama_like(cfg: &LlamaCfg) -> Graph {
+    let mut b = GraphBuilder::new(cfg.name, InputTemplate::tokens(cfg.seq));
+    let tokens = b.input();
+    let (mut x, wte) = b.embedding(tokens, cfg.vocab, cfg.d, "model.embed_tokens");
+    for layer in 0..cfg.layers {
+        x = block(&mut b, x, cfg, &format!("model.layers.{layer}"));
+    }
+    x = b.rms_norm(x, cfg.d, "model.norm");
+    let logits = if cfg.tied {
+        b.linear_tied(x, cfg.d, cfg.vocab, wte, "lm_head")
+    } else {
+        b.linear(x, cfg.d, cfg.vocab, false, "lm_head")
+    };
+    b.cross_entropy_loss(logits, "loss");
+    b.finish().expect("llama graph is valid")
+}
+
+/// Qwen3-0.6B: 28 layers, d=1024, 16q/8kv heads × 128 — ~596M parameters.
+#[must_use]
+pub fn qwen3_0_6b() -> Graph {
+    llama_like(&LlamaCfg {
+        name: "Qwen3-0.6B",
+        vocab: 151_936,
+        d: 1024,
+        layers: 28,
+        heads: 16,
+        kv_heads: 8,
+        head_dim: 128,
+        ff: 3072,
+        qkv_bias: false,
+        qk_norm: true,
+        tied: true,
+        seq: 128,
+    })
+}
+
+/// Qwen3-4B: 36 layers, d=2560, 32q/8kv heads × 128 — ~4.02B parameters.
+#[must_use]
+pub fn qwen3_4b() -> Graph {
+    llama_like(&LlamaCfg {
+        name: "Qwen3-4B",
+        vocab: 151_936,
+        d: 2560,
+        layers: 36,
+        heads: 32,
+        kv_heads: 8,
+        head_dim: 128,
+        ff: 9728,
+        qkv_bias: false,
+        qk_norm: true,
+        tied: true,
+        seq: 512,
+    })
+}
+
+/// Llama-3.2-3B-Instruct: 28 layers, d=3072, 24q/8kv heads × 128 —
+/// ~3.21B parameters.
+#[must_use]
+pub fn llama32_3b() -> Graph {
+    llama_like(&LlamaCfg {
+        name: "Llama-3.2-3B-Instruct",
+        vocab: 128_256,
+        d: 3072,
+        layers: 28,
+        heads: 24,
+        kv_heads: 8,
+        head_dim: 128,
+        ff: 8192,
+        qkv_bias: false,
+        qk_norm: false,
+        tied: true,
+        seq: 512,
+    })
+}
+
+/// DeepSeek-R1-Distill-Qwen-1.5B (Qwen2.5-1.5B architecture): 28 layers,
+/// d=1536, 12q/2kv heads × 128, q/k/v biases — ~1.54B parameters.
+#[must_use]
+pub fn deepseek_r1_distill_1_5b() -> Graph {
+    llama_like(&LlamaCfg {
+        name: "DeepSeek-R1-Distill-Qwen-1.5B",
+        vocab: 151_936,
+        d: 1536,
+        layers: 28,
+        heads: 12,
+        kv_heads: 2,
+        head_dim: 128,
+        ff: 8960,
+        qkv_bias: true,
+        qk_norm: false,
+        tied: true,
+        seq: 512,
+    })
+}

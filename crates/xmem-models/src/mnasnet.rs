@@ -1,0 +1,72 @@
+//! MnasNet 1.0 (Tan et al., 2019), torchvision layout.
+
+use crate::util::{conv_bn, conv_bn_act};
+use xmem_graph::{ActKind, Graph, GraphBuilder, InputTemplate, NodeId};
+
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    expand: usize,
+    name: &str,
+) -> NodeId {
+    b.with_scope(name, |b| {
+        let mid = in_ch * expand;
+        let h = conv_bn_act(b, x, in_ch, mid, 1, 1, 1, ActKind::Relu, "expand");
+        let h = conv_bn_act(b, h, mid, mid, kernel, stride, mid, ActKind::Relu, "dw");
+        let h = conv_bn(b, h, mid, out_ch, 1, 1, 1, "project");
+        if stride == 1 && in_ch == out_ch {
+            b.add(h, x, "add")
+        } else {
+            h
+        }
+    })
+}
+
+/// MnasNet 1.0: 4,383,312 parameters.
+#[must_use]
+pub fn mnasnet1_0() -> Graph {
+    let mut b = GraphBuilder::new("mnasnet1_0", InputTemplate::image(3, 32, 32));
+    let x = b.input();
+    // Stem: conv 3x3/2 → depthwise separable to 16 channels.
+    let mut x = conv_bn_act(&mut b, x, 3, 32, 3, 2, 1, ActKind::Relu, "layers.0");
+    x = conv_bn_act(&mut b, x, 32, 32, 3, 1, 32, ActKind::Relu, "layers.3");
+    x = conv_bn(&mut b, x, 32, 16, 1, 1, 1, "layers.6");
+    // (out, kernel, stride, expand, repeats)
+    let stacks: [(usize, usize, usize, usize, usize); 6] = [
+        (24, 3, 2, 3, 3),
+        (40, 5, 2, 3, 3),
+        (80, 5, 2, 6, 3),
+        (96, 3, 1, 6, 2),
+        (192, 5, 2, 6, 4),
+        (320, 3, 1, 6, 1),
+    ];
+    let mut in_ch = 16;
+    for (stack, (out, kernel, stride, expand, repeats)) in stacks.into_iter().enumerate() {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            x = inverted_residual(
+                &mut b,
+                x,
+                in_ch,
+                out,
+                kernel,
+                s,
+                expand,
+                &format!("layers.{}.{r}", 8 + stack),
+            );
+            in_ch = out;
+        }
+    }
+    x = conv_bn_act(&mut b, x, in_ch, 1280, 1, 1, 1, ActKind::Relu, "layers.14");
+    x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.dropout(x, 0.2, "classifier.0");
+    x = b.linear(x, 1280, 1000, true, "classifier.1");
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("mnasnet graph is valid")
+}

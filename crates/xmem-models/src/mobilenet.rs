@@ -1,0 +1,181 @@
+//! MobileNetV2 (Sandler et al., 2018) and MobileNetV3 Small/Large (Howard
+//! et al., 2019), torchvision layouts.
+
+use crate::util::{conv_bn, conv_bn_act, make_divisible, squeeze_excite};
+use xmem_graph::{ActKind, Graph, GraphBuilder, InputTemplate, NodeId};
+
+/// MobileNetV2 inverted residual: expand 1x1 → depthwise 3x3 → project 1x1.
+fn v2_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+    name: &str,
+) -> NodeId {
+    b.with_scope(name, |b| {
+        let hidden = in_ch * expand;
+        let mut h = x;
+        if expand != 1 {
+            h = conv_bn_act(b, h, in_ch, hidden, 1, 1, 1, ActKind::Relu6, "expand");
+        }
+        h = conv_bn_act(b, h, hidden, hidden, 3, stride, hidden, ActKind::Relu6, "dw");
+        h = conv_bn(b, h, hidden, out_ch, 1, 1, 1, "project");
+        if stride == 1 && in_ch == out_ch {
+            b.add(h, x, "add")
+        } else {
+            h
+        }
+    })
+}
+
+/// MobileNetV2 (width 1.0): 3,504,872 parameters.
+#[must_use]
+pub fn mobilenet_v2() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v2", InputTemplate::image(3, 32, 32));
+    let x = b.input();
+    let mut x = conv_bn_act(&mut b, x, 3, 32, 3, 2, 1, ActKind::Relu6, "features.0");
+    // (expand, out, repeats, stride)
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_ch = 32;
+    let mut idx = 1;
+    for (expand, out, repeats, stride) in cfg {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            x = v2_block(&mut b, x, in_ch, out, s, expand, &format!("features.{idx}"));
+            in_ch = out;
+            idx += 1;
+        }
+    }
+    x = conv_bn_act(&mut b, x, in_ch, 1280, 1, 1, 1, ActKind::Relu6, "features.18");
+    x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.dropout(x, 0.2, "classifier.0");
+    x = b.linear(x, 1280, 1000, true, "classifier.1");
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("mobilenet_v2 graph is valid")
+}
+
+/// One MobileNetV3 bneck row: kernel, expanded width, output width,
+/// squeeze-excite, activation, stride.
+struct Bneck {
+    kernel: usize,
+    expand: usize,
+    out: usize,
+    se: bool,
+    act: ActKind,
+    stride: usize,
+}
+
+fn v3_block(b: &mut GraphBuilder, x: NodeId, in_ch: usize, cfg: &Bneck, name: &str) -> NodeId {
+    b.with_scope(name, |b| {
+        let mut h = x;
+        if cfg.expand != in_ch {
+            h = conv_bn_act(b, h, in_ch, cfg.expand, 1, 1, 1, cfg.act, "expand");
+        }
+        h = conv_bn_act(
+            b,
+            h,
+            cfg.expand,
+            cfg.expand,
+            cfg.kernel,
+            cfg.stride,
+            cfg.expand,
+            cfg.act,
+            "dw",
+        );
+        if cfg.se {
+            let squeezed = make_divisible(cfg.expand as f64 / 4.0, 8);
+            h = squeeze_excite(b, h, cfg.expand, squeezed, ActKind::Hardsigmoid, "se");
+        }
+        h = conv_bn(b, h, cfg.expand, cfg.out, 1, 1, 1, "project");
+        if cfg.stride == 1 && in_ch == cfg.out {
+            b.add(h, x, "add")
+        } else {
+            h
+        }
+    })
+}
+
+fn mobilenet_v3(name: &str, cfg: &[Bneck], last_conv: usize, classifier_width: usize) -> Graph {
+    let mut b = GraphBuilder::new(name, InputTemplate::image(3, 32, 32));
+    let x = b.input();
+    let mut x = conv_bn_act(&mut b, x, 3, 16, 3, 2, 1, ActKind::Hardswish, "features.0");
+    let mut in_ch = 16;
+    for (i, row) in cfg.iter().enumerate() {
+        x = v3_block(&mut b, x, in_ch, row, &format!("features.{}", i + 1));
+        in_ch = row.out;
+    }
+    x = conv_bn_act(
+        &mut b,
+        x,
+        in_ch,
+        last_conv,
+        1,
+        1,
+        1,
+        ActKind::Hardswish,
+        &format!("features.{}", cfg.len() + 1),
+    );
+    x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.linear(x, last_conv, classifier_width, true, "classifier.0");
+    x = b.activation(x, ActKind::Hardswish, "classifier.1");
+    x = b.dropout(x, 0.2, "classifier.2");
+    x = b.linear(x, classifier_width, 1000, true, "classifier.3");
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("mobilenet_v3 graph is valid")
+}
+
+/// MobileNetV3-Small: 2,542,856 parameters.
+#[must_use]
+pub fn mobilenet_v3_small() -> Graph {
+    use ActKind::{Hardswish as HS, Relu as RE};
+    let rows = [
+        Bneck { kernel: 3, expand: 16, out: 16, se: true, act: RE, stride: 2 },
+        Bneck { kernel: 3, expand: 72, out: 24, se: false, act: RE, stride: 2 },
+        Bneck { kernel: 3, expand: 88, out: 24, se: false, act: RE, stride: 1 },
+        Bneck { kernel: 5, expand: 96, out: 40, se: true, act: HS, stride: 2 },
+        Bneck { kernel: 5, expand: 240, out: 40, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 240, out: 40, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 120, out: 48, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 144, out: 48, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 288, out: 96, se: true, act: HS, stride: 2 },
+        Bneck { kernel: 5, expand: 576, out: 96, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 576, out: 96, se: true, act: HS, stride: 1 },
+    ];
+    mobilenet_v3("mobilenet_v3_small", &rows, 576, 1024)
+}
+
+/// MobileNetV3-Large: 5,483,032 parameters.
+#[must_use]
+pub fn mobilenet_v3_large() -> Graph {
+    use ActKind::{Hardswish as HS, Relu as RE};
+    let rows = [
+        Bneck { kernel: 3, expand: 16, out: 16, se: false, act: RE, stride: 1 },
+        Bneck { kernel: 3, expand: 64, out: 24, se: false, act: RE, stride: 2 },
+        Bneck { kernel: 3, expand: 72, out: 24, se: false, act: RE, stride: 1 },
+        Bneck { kernel: 5, expand: 72, out: 40, se: true, act: RE, stride: 2 },
+        Bneck { kernel: 5, expand: 120, out: 40, se: true, act: RE, stride: 1 },
+        Bneck { kernel: 5, expand: 120, out: 40, se: true, act: RE, stride: 1 },
+        Bneck { kernel: 3, expand: 240, out: 80, se: false, act: HS, stride: 2 },
+        Bneck { kernel: 3, expand: 200, out: 80, se: false, act: HS, stride: 1 },
+        Bneck { kernel: 3, expand: 184, out: 80, se: false, act: HS, stride: 1 },
+        Bneck { kernel: 3, expand: 184, out: 80, se: false, act: HS, stride: 1 },
+        Bneck { kernel: 3, expand: 480, out: 112, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 3, expand: 672, out: 112, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 672, out: 160, se: true, act: HS, stride: 2 },
+        Bneck { kernel: 5, expand: 960, out: 160, se: true, act: HS, stride: 1 },
+        Bneck { kernel: 5, expand: 960, out: 160, se: true, act: HS, stride: 1 },
+    ];
+    mobilenet_v3("mobilenet_v3_large", &rows, 960, 1280)
+}

@@ -1,0 +1,76 @@
+//! Pythia-1B (Biderman et al., 2023): GPT-NeoX architecture with untied
+//! input/output embeddings, rotary positions (no learned positional table)
+//! and parallel attention + MLP residuals.
+
+use xmem_graph::{
+    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
+};
+
+struct NeoxCfg {
+    name: &'static str,
+    vocab: usize,
+    d: usize,
+    layers: usize,
+    heads: usize,
+    ff: usize,
+    seq: usize,
+}
+
+/// GPT-NeoX block with parallel residuals:
+/// `x + attn(ln1(x)) + mlp(ln2(x))`.
+fn block(b: &mut GraphBuilder, x: NodeId, cfg: &NeoxCfg, name: &str) -> NodeId {
+    let d = cfg.d;
+    b.with_scope(name, |b| {
+        let ln1 = b.layer_norm(x, d, "input_layernorm");
+        let q = b.linear(ln1, d, d, true, "attention.q_proj");
+        let k = b.linear(ln1, d, d, true, "attention.k_proj");
+        let v = b.linear(ln1, d, d, true, "attention.v_proj");
+        let a = b.attention(
+            q,
+            k,
+            v,
+            AttentionSpec {
+                heads: cfg.heads,
+                kv_heads: cfg.heads,
+                head_dim: d / cfg.heads,
+                causal: true,
+            },
+            "attention.sdpa",
+        );
+        let attn_out = b.linear(a, d, d, true, "attention.dense");
+
+        let ln2 = b.layer_norm(x, d, "post_attention_layernorm");
+        let h = b.linear(ln2, d, cfg.ff, true, "mlp.dense_h_to_4h");
+        let h = b.activation(h, ActKind::Gelu, "mlp.act");
+        let mlp_out = b.linear(h, cfg.ff, d, true, "mlp.dense_4h_to_h");
+
+        let partial = b.add(attn_out, mlp_out, "parallel_add");
+        b.add(partial, x, "residual")
+    })
+}
+
+/// Pythia-1B: 16 layers, d=2048, untied embeddings — 1,011,781,632
+/// parameters.
+#[must_use]
+pub fn pythia_1b() -> Graph {
+    let cfg = NeoxCfg {
+        name: "pythia-1b",
+        vocab: 50304,
+        d: 2048,
+        layers: 16,
+        heads: 8,
+        ff: 8192,
+        seq: 128,
+    };
+    let mut b = GraphBuilder::new(cfg.name, InputTemplate::tokens(cfg.seq));
+    let tokens = b.input();
+    let (mut x, _) = b.embedding(tokens, cfg.vocab, cfg.d, "embed_in");
+    for layer in 0..cfg.layers {
+        x = block(&mut b, x, &cfg, &format!("layers.{layer}"));
+    }
+    x = b.layer_norm(x, cfg.d, "final_layer_norm");
+    // Untied output head — a fresh [vocab, d] matrix.
+    let logits = b.linear(x, cfg.d, cfg.vocab, false, "embed_out");
+    b.cross_entropy_loss(logits, "loss");
+    b.finish().expect("pythia graph is valid")
+}

@@ -1,0 +1,105 @@
+//! OPT-125M and OPT-350M (Zhang et al., 2022). OPT-350M uses a 512-wide
+//! word-embedding space with `project_in`/`project_out` around its
+//! 1024-wide decoder; both tie `lm_head` to the token embedding.
+
+use xmem_graph::{
+    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
+};
+
+struct OptCfg {
+    name: &'static str,
+    vocab: usize,
+    /// Learned positional embedding length (OPT reserves 2 extra slots).
+    positions: usize,
+    d: usize,
+    word_embed_dim: usize,
+    layers: usize,
+    heads: usize,
+    ff: usize,
+    seq: usize,
+}
+
+fn block(b: &mut GraphBuilder, x: NodeId, cfg: &OptCfg, name: &str) -> NodeId {
+    let d = cfg.d;
+    b.with_scope(name, |b| {
+        let ln1 = b.layer_norm(x, d, "self_attn_layer_norm");
+        let q = b.linear(ln1, d, d, true, "self_attn.q_proj");
+        let k = b.linear(ln1, d, d, true, "self_attn.k_proj");
+        let v = b.linear(ln1, d, d, true, "self_attn.v_proj");
+        let a = b.attention(
+            q,
+            k,
+            v,
+            AttentionSpec {
+                heads: cfg.heads,
+                kv_heads: cfg.heads,
+                head_dim: d / cfg.heads,
+                causal: true,
+            },
+            "self_attn.sdpa",
+        );
+        let proj = b.linear(a, d, d, true, "self_attn.out_proj");
+        let x = b.add(proj, x, "residual_1");
+        let ln2 = b.layer_norm(x, d, "final_layer_norm");
+        let h = b.linear(ln2, d, cfg.ff, true, "fc1");
+        let h = b.activation(h, ActKind::Relu, "act");
+        let h = b.linear(h, cfg.ff, d, true, "fc2");
+        b.add(h, x, "residual_2")
+    })
+}
+
+fn opt(cfg: &OptCfg) -> Graph {
+    let mut b = GraphBuilder::new(cfg.name, InputTemplate::tokens(cfg.seq));
+    let tokens = b.input();
+    let (tok_emb, wte) = b.embedding(tokens, cfg.vocab, cfg.word_embed_dim, "embed_tokens");
+    let (pos_emb, _) = b.embedding(tokens, cfg.positions, cfg.d, "embed_positions");
+    let mut x = if cfg.word_embed_dim != cfg.d {
+        let projected = b.linear(tok_emb, cfg.word_embed_dim, cfg.d, false, "project_in");
+        b.add(projected, pos_emb, "embed_add")
+    } else {
+        b.add(tok_emb, pos_emb, "embed_add")
+    };
+    for layer in 0..cfg.layers {
+        x = block(&mut b, x, cfg, &format!("layers.{layer}"));
+    }
+    x = b.layer_norm(x, cfg.d, "final_layer_norm");
+    if cfg.word_embed_dim != cfg.d {
+        x = b.linear(x, cfg.d, cfg.word_embed_dim, false, "project_out");
+    }
+    let logits = b.linear_tied(x, cfg.word_embed_dim, cfg.vocab, wte, "lm_head");
+    b.cross_entropy_loss(logits, "loss");
+    b.finish().expect("opt graph is valid")
+}
+
+/// OPT-125M: 12 layers, d=768 — 125,239,296 parameters.
+#[must_use]
+pub fn opt_125m() -> Graph {
+    opt(&OptCfg {
+        name: "opt-125m",
+        vocab: 50272,
+        positions: 2050,
+        d: 768,
+        word_embed_dim: 768,
+        layers: 12,
+        heads: 12,
+        ff: 3072,
+        seq: 128,
+    })
+}
+
+/// OPT-350M: 24 layers, d=1024 with 512-wide word embeddings —
+/// 331,196,416 parameters.
+#[must_use]
+pub fn opt_350m() -> Graph {
+    opt(&OptCfg {
+        name: "opt-350m",
+        vocab: 50272,
+        positions: 2050,
+        d: 1024,
+        word_embed_dim: 512,
+        layers: 24,
+        heads: 16,
+        ff: 4096,
+        seq: 128,
+    })
+}

@@ -1,0 +1,351 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use xmem_graph::{ArchClass, Graph};
+
+/// A batch-size sweep `min..=max` with `step` (paper §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchGrid {
+    /// Smallest batch size.
+    pub min: usize,
+    /// Largest batch size.
+    pub max: usize,
+    /// Sweep step.
+    pub step: usize,
+}
+
+impl BatchGrid {
+    /// All batch sizes in the grid.
+    #[must_use]
+    pub fn values(&self) -> Vec<usize> {
+        (self.min..=self.max).step_by(self.step).collect()
+    }
+}
+
+/// Evaluation metadata for one model (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// The model.
+    pub id: ModelId,
+    /// Display name, matching the paper's figure labels.
+    pub name: &'static str,
+    /// Architecture class.
+    pub arch: ArchClass,
+    /// `true` for the three large models evaluated only in RQ5 (A100).
+    pub rq5_only: bool,
+    /// Published trainable-parameter count (element count).
+    pub published_params: u64,
+    /// Batch-size grid used in the ANOVA sweep.
+    pub batch_grid: BatchGrid,
+    /// Default training sequence length (0 for image models).
+    pub default_seq: usize,
+}
+
+/// The 25 models of the evaluation (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ModelId {
+    Vgg16,
+    Vgg19,
+    ResNet101,
+    ResNet152,
+    MobileNetV2,
+    MobileNetV3Small,
+    MobileNetV3Large,
+    MnasNet,
+    RegNetX400MF,
+    RegNetY400MF,
+    ConvNextTiny,
+    ConvNextBase,
+    DistilGpt2,
+    Gpt2,
+    T5Small,
+    T5Base,
+    GptNeo125M,
+    Opt125M,
+    Opt350M,
+    CerebrasGpt111M,
+    Pythia1B,
+    Qwen3_0_6B,
+    Llama32_3B,
+    DeepSeekR1Distill1_5B,
+    Qwen3_4B,
+}
+
+const CNN_GRID: BatchGrid = BatchGrid {
+    min: 200,
+    max: 700,
+    step: 100,
+};
+const XF_GRID: BatchGrid = BatchGrid {
+    min: 5,
+    max: 55,
+    step: 5,
+};
+const BIG_XF_GRID: BatchGrid = BatchGrid {
+    min: 1,
+    max: 8,
+    step: 1,
+};
+const RQ5_GRID: BatchGrid = BatchGrid {
+    min: 1,
+    max: 1,
+    step: 1,
+};
+
+impl ModelId {
+    /// All models, CNNs first, in Table 2 order.
+    #[must_use]
+    pub fn all() -> [ModelId; 25] {
+        [
+            ModelId::Vgg16,
+            ModelId::Vgg19,
+            ModelId::ResNet101,
+            ModelId::ResNet152,
+            ModelId::MobileNetV2,
+            ModelId::MobileNetV3Small,
+            ModelId::MobileNetV3Large,
+            ModelId::MnasNet,
+            ModelId::RegNetX400MF,
+            ModelId::RegNetY400MF,
+            ModelId::ConvNextTiny,
+            ModelId::ConvNextBase,
+            ModelId::DistilGpt2,
+            ModelId::Gpt2,
+            ModelId::T5Small,
+            ModelId::T5Base,
+            ModelId::GptNeo125M,
+            ModelId::Opt125M,
+            ModelId::Opt350M,
+            ModelId::CerebrasGpt111M,
+            ModelId::Pythia1B,
+            ModelId::Qwen3_0_6B,
+            ModelId::Llama32_3B,
+            ModelId::DeepSeekR1Distill1_5B,
+            ModelId::Qwen3_4B,
+        ]
+    }
+
+    /// The 22 models used for RQ1–RQ4 (everything not marked RQ5-only).
+    #[must_use]
+    pub fn evaluation_set() -> Vec<ModelId> {
+        ModelId::all()
+            .into_iter()
+            .filter(|m| !m.info().rq5_only)
+            .collect()
+    }
+
+    /// The 3 large models used for RQ5 on the A100.
+    #[must_use]
+    pub fn rq5_set() -> Vec<ModelId> {
+        ModelId::all()
+            .into_iter()
+            .filter(|m| m.info().rq5_only)
+            .collect()
+    }
+
+    /// Evaluation metadata.
+    #[must_use]
+    pub fn info(self) -> ModelInfo {
+        use ArchClass::{Cnn, Transformer};
+        let (name, arch, rq5, params, grid, seq) = match self {
+            ModelId::Vgg16 => ("VGG16", Cnn, false, 138_357_544, CNN_GRID, 0),
+            ModelId::Vgg19 => ("VGG19", Cnn, false, 143_667_240, CNN_GRID, 0),
+            ModelId::ResNet101 => ("ResNet101", Cnn, false, 44_549_160, CNN_GRID, 0),
+            ModelId::ResNet152 => ("ResNet152", Cnn, false, 60_192_808, CNN_GRID, 0),
+            ModelId::MobileNetV2 => ("MobileNetV2", Cnn, false, 3_504_872, CNN_GRID, 0),
+            ModelId::MobileNetV3Small => {
+                ("MobeNetV3Small", Cnn, false, 2_542_856, CNN_GRID, 0)
+            }
+            ModelId::MobileNetV3Large => {
+                ("MobeNetV3Large", Cnn, false, 5_483_032, CNN_GRID, 0)
+            }
+            ModelId::MnasNet => ("MnasNet", Cnn, false, 4_383_312, CNN_GRID, 0),
+            ModelId::RegNetX400MF => ("RegNetX400MF", Cnn, false, 5_495_976, CNN_GRID, 0),
+            ModelId::RegNetY400MF => ("RegNetY400MF", Cnn, false, 4_344_144, CNN_GRID, 0),
+            ModelId::ConvNextTiny => ("ConvNeXtTiny", Cnn, false, 28_589_128, CNN_GRID, 0),
+            ModelId::ConvNextBase => ("ConvNeXtBase", Cnn, false, 88_591_464, CNN_GRID, 0),
+            ModelId::DistilGpt2 => {
+                ("distilgpt2", Transformer, false, 81_912_576, XF_GRID, 128)
+            }
+            ModelId::Gpt2 => ("gpt2", Transformer, false, 124_439_808, XF_GRID, 128),
+            ModelId::T5Small => ("T5-small", Transformer, false, 60_506_624, XF_GRID, 128),
+            ModelId::T5Base => ("t5-base", Transformer, false, 222_903_552, XF_GRID, 128),
+            ModelId::GptNeo125M => {
+                ("gpt-neo-125M", Transformer, false, 125_198_592, XF_GRID, 128)
+            }
+            ModelId::Opt125M => ("opt-125m", Transformer, false, 125_239_296, XF_GRID, 128),
+            ModelId::Opt350M => ("opt-350m", Transformer, false, 331_196_416, XF_GRID, 128),
+            ModelId::CerebrasGpt111M => (
+                "Cerebras-GPT-111M",
+                Transformer,
+                false,
+                111_046_656,
+                XF_GRID,
+                128,
+            ),
+            ModelId::Pythia1B => {
+                ("pythia-1b", Transformer, false, 1_011_781_632, BIG_XF_GRID, 128)
+            }
+            ModelId::Qwen3_0_6B => {
+                ("Qwen3-0.6B", Transformer, false, 596_049_920, BIG_XF_GRID, 128)
+            }
+            ModelId::Llama32_3B => (
+                "Llama-3.2-3B-Instruct",
+                Transformer,
+                true,
+                3_212_749_824,
+                RQ5_GRID,
+                512,
+            ),
+            ModelId::DeepSeekR1Distill1_5B => (
+                "DeepSeek-R1-Distill-Qwen-1.5B",
+                Transformer,
+                true,
+                1_543_714_304,
+                RQ5_GRID,
+                512,
+            ),
+            ModelId::Qwen3_4B => {
+                ("Qwen3-4B", Transformer, true, 4_022_468_096, RQ5_GRID, 512)
+            }
+        };
+        ModelInfo {
+            id: self,
+            name,
+            arch,
+            rq5_only: rq5,
+            published_params: params,
+            batch_grid: grid,
+            default_seq: seq,
+        }
+    }
+
+    /// Builds the model graph.
+    ///
+    /// Graph construction is deterministic; repeated calls return
+    /// structurally identical graphs.
+    #[must_use]
+    pub fn build(self) -> Graph {
+        match self {
+            ModelId::Vgg16 => crate::vgg::vgg16(),
+            ModelId::Vgg19 => crate::vgg::vgg19(),
+            ModelId::ResNet101 => crate::resnet::resnet101(),
+            ModelId::ResNet152 => crate::resnet::resnet152(),
+            ModelId::MobileNetV2 => crate::mobilenet::mobilenet_v2(),
+            ModelId::MobileNetV3Small => crate::mobilenet::mobilenet_v3_small(),
+            ModelId::MobileNetV3Large => crate::mobilenet::mobilenet_v3_large(),
+            ModelId::MnasNet => crate::mnasnet::mnasnet1_0(),
+            ModelId::RegNetX400MF => crate::regnet::regnet_x_400mf(),
+            ModelId::RegNetY400MF => crate::regnet::regnet_y_400mf(),
+            ModelId::ConvNextTiny => crate::convnext::convnext_tiny(),
+            ModelId::ConvNextBase => crate::convnext::convnext_base(),
+            ModelId::DistilGpt2 => crate::gpt::distilgpt2(),
+            ModelId::Gpt2 => crate::gpt::gpt2(),
+            ModelId::T5Small => crate::t5::t5_small(),
+            ModelId::T5Base => crate::t5::t5_base(),
+            ModelId::GptNeo125M => crate::gpt::gpt_neo_125m(),
+            ModelId::Opt125M => crate::opt::opt_125m(),
+            ModelId::Opt350M => crate::opt::opt_350m(),
+            ModelId::CerebrasGpt111M => crate::gpt::cerebras_gpt_111m(),
+            ModelId::Pythia1B => crate::neox::pythia_1b(),
+            ModelId::Qwen3_0_6B => crate::llama::qwen3_0_6b(),
+            ModelId::Llama32_3B => crate::llama::llama32_3b(),
+            ModelId::DeepSeekR1Distill1_5B => crate::llama::deepseek_r1_distill_1_5b(),
+            ModelId::Qwen3_4B => crate::llama::qwen3_4b(),
+        }
+    }
+
+    /// Looks a model up by its display name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<ModelId> {
+        ModelId::all().into_iter().find(|m| m.info().name == name)
+    }
+}
+
+impl fmt::Display for ModelId {
+    /// `Display` = the paper's figure label.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_grids_match_the_paper() {
+        assert_eq!(CNN_GRID.values(), vec![200, 300, 400, 500, 600, 700]);
+        assert_eq!(
+            XF_GRID.values(),
+            vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55]
+        );
+        assert_eq!(BIG_XF_GRID.values(), (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluation_split_is_22_plus_3() {
+        assert_eq!(ModelId::evaluation_set().len(), 22);
+        assert_eq!(ModelId::rq5_set().len(), 3);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for m in ModelId::all() {
+            assert_eq!(ModelId::by_name(m.info().name), Some(m));
+        }
+        assert_eq!(ModelId::by_name("nonexistent"), None);
+    }
+
+    /// Every model's trainable-parameter count must be within 2 % of the
+    /// published figure — the strongest structural check available without
+    /// weights.
+    #[test]
+    fn parameter_counts_match_published_figures() {
+        for m in ModelId::all() {
+            let info = m.info();
+            let g = m.build();
+            let actual = g.trainable_param_elems() as f64;
+            let expected = info.published_params as f64;
+            let rel = (actual - expected).abs() / expected;
+            assert!(
+                rel < 0.02,
+                "{}: {} params, published {}, rel err {:.4}",
+                info.name,
+                actual,
+                expected,
+                rel
+            );
+        }
+    }
+
+    #[test]
+    fn graphs_infer_shapes_on_their_batch_grids() {
+        // Smallest and largest grid point for every non-RQ5 model.
+        for m in ModelId::evaluation_set() {
+            let info = m.info();
+            let g = m.build();
+            for batch in [info.batch_grid.min, info.batch_grid.max] {
+                let shapes = g
+                    .infer_shapes(&g.input_specs(batch, info.default_seq))
+                    .unwrap_or_else(|e| panic!("{}@{batch}: {e}", info.name));
+                assert_eq!(shapes.last().unwrap().shape.rank(), 0, "loss is scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn arch_classes_are_consistent_with_graphs() {
+        for m in ModelId::all() {
+            assert_eq!(m.build().arch(), m.info().arch, "{m}");
+        }
+    }
+
+    #[test]
+    fn tied_models_have_no_separate_lm_head_param() {
+        let g = ModelId::Gpt2.build();
+        assert!(!g.params().iter().any(|p| p.name.contains("lm_head")));
+        let g = ModelId::Pythia1B.build();
+        assert!(g.params().iter().any(|p| p.name.contains("embed_out")));
+    }
+}

@@ -1,0 +1,105 @@
+//! RegNetX-400MF and RegNetY-400MF (Radosavovic et al., 2020), torchvision
+//! layouts.
+
+use crate::util::{conv_bn, conv_bn_act, squeeze_excite};
+use xmem_graph::{ActKind, Graph, GraphBuilder, InputTemplate, NodeId};
+
+struct RegNetCfg {
+    widths: [usize; 4],
+    depths: [usize; 4],
+    group_width: usize,
+    /// Squeeze-excite ratio relative to the *block input* width (RegNetY);
+    /// `None` for RegNetX.
+    se_ratio: Option<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn x_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    group_width: usize,
+    se_from: Option<usize>,
+    name: &str,
+) -> NodeId {
+    b.with_scope(name, |b| {
+        let groups = out_ch / group_width;
+        let h = conv_bn_act(b, x, in_ch, out_ch, 1, 1, 1, ActKind::Relu, "f.a");
+        let h = conv_bn_act(b, h, out_ch, out_ch, 3, stride, groups, ActKind::Relu, "f.b");
+        let h = if let Some(se_channels) = se_from {
+            squeeze_excite(b, h, out_ch, se_channels, ActKind::Sigmoid, "f.se")
+        } else {
+            h
+        };
+        let h = conv_bn(b, h, out_ch, out_ch, 1, 1, 1, "f.c");
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            conv_bn(b, x, in_ch, out_ch, 1, stride, 1, "proj")
+        } else {
+            x
+        };
+        let sum = b.add(h, shortcut, "add");
+        b.activation(sum, ActKind::Relu, "relu")
+    })
+}
+
+fn regnet(name: &str, cfg: &RegNetCfg) -> Graph {
+    let mut b = GraphBuilder::new(name, InputTemplate::image(3, 32, 32));
+    let x = b.input();
+    let mut x = conv_bn_act(&mut b, x, 3, 32, 3, 2, 1, ActKind::Relu, "stem");
+    let mut in_ch = 32;
+    for stage in 0..4 {
+        let out = cfg.widths[stage];
+        for block in 0..cfg.depths[stage] {
+            let stride = if block == 0 { 2 } else { 1 };
+            let se = cfg
+                .se_ratio
+                .map(|r| ((in_ch as f64) * r).round() as usize);
+            x = x_block(
+                &mut b,
+                x,
+                in_ch,
+                out,
+                stride,
+                cfg.group_width,
+                se,
+                &format!("trunk.block{}-{block}", stage + 1),
+            );
+            in_ch = out;
+        }
+    }
+    x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.linear(x, in_ch, 1000, true, "fc");
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("regnet graph is valid")
+}
+
+/// RegNetX-400MF: 5,495,976 parameters.
+#[must_use]
+pub fn regnet_x_400mf() -> Graph {
+    regnet(
+        "regnet_x_400mf",
+        &RegNetCfg {
+            widths: [32, 64, 160, 400],
+            depths: [1, 2, 7, 12],
+            group_width: 16,
+            se_ratio: None,
+        },
+    )
+}
+
+/// RegNetY-400MF: 4,344,144 parameters.
+#[must_use]
+pub fn regnet_y_400mf() -> Graph {
+    regnet(
+        "regnet_y_400mf",
+        &RegNetCfg {
+            widths: [48, 104, 208, 440],
+            depths: [1, 3, 6, 6],
+            group_width: 8,
+            se_ratio: Some(0.25),
+        },
+    )
+}

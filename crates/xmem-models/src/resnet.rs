@@ -1,0 +1,78 @@
+//! ResNet-101 and ResNet-152 (He et al., 2016), torchvision bottleneck
+//! layouts.
+
+use crate::util::{conv_bn, conv_bn_act};
+use xmem_graph::{ActKind, Graph, GraphBuilder, InputTemplate, NodeId, PoolSpec};
+
+const EXPANSION: usize = 4;
+
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_ch: usize,
+    width: usize,
+    stride: usize,
+    name: &str,
+) -> NodeId {
+    b.with_scope(name, |b| {
+        let out_ch = width * EXPANSION;
+        let h = conv_bn_act(b, x, in_ch, width, 1, 1, 1, ActKind::Relu, "conv1");
+        let h = conv_bn_act(b, h, width, width, 3, stride, 1, ActKind::Relu, "conv2");
+        let h = conv_bn(b, h, width, out_ch, 1, 1, 1, "conv3");
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            conv_bn(b, x, in_ch, out_ch, 1, stride, 1, "downsample")
+        } else {
+            x
+        };
+        let sum = b.add(h, shortcut, "add");
+        b.activation(sum, ActKind::Relu, "relu")
+    })
+}
+
+fn resnet(name: &str, blocks: [usize; 4]) -> Graph {
+    let mut b = GraphBuilder::new(name, InputTemplate::image(3, 32, 32));
+    let x = b.input();
+    let mut x = conv_bn_act(&mut b, x, 3, 64, 7, 2, 1, ActKind::Relu, "stem");
+    x = b.max_pool2d(
+        x,
+        PoolSpec {
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (1, 1),
+        },
+        "maxpool",
+    );
+    let widths = [64usize, 128, 256, 512];
+    let mut in_ch = 64;
+    for (stage, (&width, &depth)) in widths.iter().zip(blocks.iter()).enumerate() {
+        for block in 0..depth {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            x = bottleneck(
+                &mut b,
+                x,
+                in_ch,
+                width,
+                stride,
+                &format!("layer{}.{block}", stage + 1),
+            );
+            in_ch = width * EXPANSION;
+        }
+    }
+    x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.linear(x, 512 * EXPANSION, 1000, true, "fc");
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("resnet graph is valid")
+}
+
+/// ResNet-101: 44,549,160 parameters.
+#[must_use]
+pub fn resnet101() -> Graph {
+    resnet("resnet101", [3, 4, 23, 3])
+}
+
+/// ResNet-152: 60,192,808 parameters.
+#[must_use]
+pub fn resnet152() -> Graph {
+    resnet("resnet152", [3, 8, 36, 3])
+}

@@ -1,0 +1,133 @@
+//! T5-small and T5-base (Raffel et al., 2020): encoder/decoder transformers
+//! with a shared vocabulary embedding, bias-free projections and RMS-style
+//! norms. The tiny relative-attention-bias tables (32 buckets × heads,
+//! <0.01 % of parameters) are omitted; DESIGN.md records the substitution.
+
+use xmem_graph::{
+    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId, ParamId,
+};
+
+struct T5Cfg {
+    name: &'static str,
+    vocab: usize,
+    d: usize,
+    heads: usize,
+    ff: usize,
+    layers: usize,
+    src_seq: usize,
+    tgt_seq: usize,
+}
+
+fn attn_spec(cfg: &T5Cfg, causal: bool) -> AttentionSpec {
+    AttentionSpec {
+        heads: cfg.heads,
+        kv_heads: cfg.heads,
+        head_dim: cfg.d / cfg.heads,
+        causal,
+    }
+}
+
+/// Self-attention sublayer (pre-norm, residual).
+fn self_attention(b: &mut GraphBuilder, x: NodeId, cfg: &T5Cfg, causal: bool) -> NodeId {
+    let d = cfg.d;
+    b.with_scope("SelfAttention", |b| {
+        let n = b.rms_norm(x, d, "layer_norm");
+        let q = b.linear(n, d, d, false, "q");
+        let k = b.linear(n, d, d, false, "k");
+        let v = b.linear(n, d, d, false, "v");
+        let a = b.attention(q, k, v, attn_spec(cfg, causal), "sdpa");
+        let o = b.linear(a, d, d, false, "o");
+        b.add(o, x, "residual")
+    })
+}
+
+/// Cross-attention sublayer: queries from the decoder stream, keys/values
+/// from the encoder output.
+fn cross_attention(b: &mut GraphBuilder, x: NodeId, enc: NodeId, cfg: &T5Cfg) -> NodeId {
+    let d = cfg.d;
+    b.with_scope("EncDecAttention", |b| {
+        let n = b.rms_norm(x, d, "layer_norm");
+        let q = b.linear(n, d, d, false, "q");
+        let k = b.linear(enc, d, d, false, "k");
+        let v = b.linear(enc, d, d, false, "v");
+        let a = b.attention(q, k, v, attn_spec(cfg, false), "sdpa");
+        let o = b.linear(a, d, d, false, "o");
+        b.add(o, x, "residual")
+    })
+}
+
+fn feed_forward(b: &mut GraphBuilder, x: NodeId, cfg: &T5Cfg) -> NodeId {
+    let d = cfg.d;
+    b.with_scope("DenseReluDense", |b| {
+        let n = b.rms_norm(x, d, "layer_norm");
+        let h = b.linear(n, d, cfg.ff, false, "wi");
+        let h = b.activation(h, ActKind::Relu, "act");
+        let h = b.dropout(h, 0.1, "dropout");
+        let h = b.linear(h, cfg.ff, d, false, "wo");
+        b.add(h, x, "residual")
+    })
+}
+
+fn t5(cfg: &T5Cfg) -> Graph {
+    let mut b = GraphBuilder::new(
+        cfg.name,
+        InputTemplate::TokensEncDec {
+            default_src: cfg.src_seq,
+            default_tgt: cfg.tgt_seq,
+        },
+    );
+    let src = b.input();
+    let tgt = b.decoder_input();
+    let (mut enc, shared): (NodeId, ParamId) = b.embedding(src, cfg.vocab, cfg.d, "shared");
+    // Encoder stack.
+    for layer in 0..cfg.layers {
+        enc = b.with_scope(&format!("encoder.block.{layer}"), |b| {
+            let h = self_attention(b, enc, cfg, false);
+            feed_forward(b, h, cfg)
+        });
+    }
+    enc = b.rms_norm(enc, cfg.d, "encoder.final_layer_norm");
+    // Decoder stack.
+    let mut dec = b.embedding_tied(tgt, cfg.vocab, cfg.d, shared, "decoder.embed");
+    for layer in 0..cfg.layers {
+        dec = b.with_scope(&format!("decoder.block.{layer}"), |b| {
+            let h = self_attention(b, dec, cfg, true);
+            let h = cross_attention(b, h, enc, cfg);
+            feed_forward(b, h, cfg)
+        });
+    }
+    dec = b.rms_norm(dec, cfg.d, "decoder.final_layer_norm");
+    let logits = b.linear_tied(dec, cfg.d, cfg.vocab, shared, "lm_head");
+    b.cross_entropy_loss(logits, "loss");
+    b.finish().expect("t5 graph is valid")
+}
+
+/// T5-small: 6+6 layers, d=512 — 60,506,624 parameters.
+#[must_use]
+pub fn t5_small() -> Graph {
+    t5(&T5Cfg {
+        name: "t5-small",
+        vocab: 32128,
+        d: 512,
+        heads: 8,
+        ff: 2048,
+        layers: 6,
+        src_seq: 128,
+        tgt_seq: 32,
+    })
+}
+
+/// T5-base: 12+12 layers, d=768 — 222,903,552 parameters.
+#[must_use]
+pub fn t5_base() -> Graph {
+    t5(&T5Cfg {
+        name: "t5-base",
+        vocab: 32128,
+        d: 768,
+        heads: 12,
+        ff: 3072,
+        layers: 12,
+        src_seq: 128,
+        tgt_seq: 32,
+    })
+}

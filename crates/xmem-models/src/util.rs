@@ -1,0 +1,116 @@
+//! Shared building blocks for the CNN architectures.
+
+use xmem_graph::{ActKind, Conv2dSpec, GraphBuilder, NodeId};
+
+/// Conv → BatchNorm (no activation). Convolutions followed by BN carry no
+/// bias, matching torchvision.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_bn(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    groups: usize,
+    name: &str,
+) -> NodeId {
+    let padding = kernel / 2;
+    let c = b.conv2d(
+        x,
+        Conv2dSpec {
+            in_ch,
+            out_ch,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+            groups,
+            bias: false,
+        },
+        &format!("{name}.conv"),
+    );
+    b.batch_norm2d(c, out_ch, &format!("{name}.bn"))
+}
+
+/// Conv → BatchNorm → activation.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_bn_act(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    groups: usize,
+    act: ActKind,
+    name: &str,
+) -> NodeId {
+    let y = conv_bn(b, x, in_ch, out_ch, kernel, stride, groups, name);
+    b.activation(y, act, &format!("{name}.act"))
+}
+
+/// Squeeze-and-excite gate: global pool → 1x1 conv → act → 1x1 conv →
+/// gate activation → channel-wise multiply.
+pub fn squeeze_excite(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    channels: usize,
+    squeezed: usize,
+    gate_act: ActKind,
+    name: &str,
+) -> NodeId {
+    b.with_scope(name, |b| {
+        let pooled = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
+        let fc1 = b.conv2d(
+            pooled,
+            Conv2dSpec {
+                in_ch: channels,
+                out_ch: squeezed,
+                bias: true,
+                ..Conv2dSpec::default()
+            },
+            "fc1",
+        );
+        let a = b.activation(fc1, ActKind::Relu, "relu");
+        let fc2 = b.conv2d(
+            a,
+            Conv2dSpec {
+                in_ch: squeezed,
+                out_ch: channels,
+                bias: true,
+                ..Conv2dSpec::default()
+            },
+            "fc2",
+        );
+        let gate = b.activation(fc2, gate_act, "gate");
+        b.mul(x, gate, "scale")
+    })
+}
+
+/// torchvision's `_make_divisible`: round `v` to the nearest multiple of
+/// `divisor`, never going below 90 % of `v`.
+#[must_use]
+pub fn make_divisible(v: f64, divisor: usize) -> usize {
+    let d = divisor as f64;
+    let new_v = ((v + d / 2.0) / d).floor() * d;
+    let new_v = new_v.max(d) as usize;
+    if (new_v as f64) < 0.9 * v {
+        new_v + divisor
+    } else {
+        new_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_divisible_matches_torchvision() {
+        assert_eq!(make_divisible(16.0, 8), 16);
+        assert_eq!(make_divisible(24.0, 8), 24);
+        assert_eq!(make_divisible(18.0, 8), 24); // 16 < 0.9*18 -> bumped
+        assert_eq!(make_divisible(12.0, 8), 16); // 8 < 0.9*12 -> bumped
+        assert_eq!(make_divisible(4.0, 8), 8);
+    }
+}

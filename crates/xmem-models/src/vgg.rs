@@ -1,0 +1,119 @@
+//! VGG-16 and VGG-19 (Simonyan & Zisserman, 2014), torchvision layouts.
+
+use xmem_graph::{ActKind, Conv2dSpec, Graph, GraphBuilder, InputTemplate, PoolSpec};
+
+/// One entry of a VGG configuration: a conv output width or a max-pool.
+enum Cfg {
+    Conv(usize),
+    Pool,
+}
+
+fn vgg(name: &str, cfg: &[Cfg]) -> Graph {
+    let mut b = GraphBuilder::new(name, InputTemplate::image(3, 32, 32));
+    let mut x = b.input();
+    let mut in_ch = 3;
+    let mut idx = 0;
+    for entry in cfg {
+        match entry {
+            Cfg::Conv(out_ch) => {
+                x = b.with_scope("features", |b| {
+                    let c = b.conv2d(
+                        x,
+                        Conv2dSpec {
+                            in_ch,
+                            out_ch: *out_ch,
+                            kernel: (3, 3),
+                            padding: (1, 1),
+                            bias: true,
+                            ..Conv2dSpec::default()
+                        },
+                        &idx.to_string(),
+                    );
+                    b.activation(c, ActKind::Relu, &format!("{}", idx + 1))
+                });
+                in_ch = *out_ch;
+                idx += 2;
+            }
+            Cfg::Pool => {
+                x = b.with_scope("features", |b| {
+                    b.max_pool2d(x, PoolSpec::square(2), &idx.to_string())
+                });
+                idx += 1;
+            }
+        }
+    }
+    x = b.adaptive_avg_pool2d(x, 7, 7, "avgpool");
+    x = b.flatten(x, 1, "flatten");
+    x = b.with_scope("classifier", |b| {
+        let f = b.linear(x, 512 * 7 * 7, 4096, true, "0");
+        let f = b.activation(f, ActKind::Relu, "1");
+        let f = b.dropout(f, 0.5, "2");
+        let f = b.linear(f, 4096, 4096, true, "3");
+        let f = b.activation(f, ActKind::Relu, "4");
+        let f = b.dropout(f, 0.5, "5");
+        b.linear(f, 4096, 1000, true, "6")
+    });
+    b.cross_entropy_loss(x, "loss");
+    b.finish().expect("vgg graph is valid")
+}
+
+/// VGG-16 (configuration D): 138,357,544 parameters.
+#[must_use]
+pub fn vgg16() -> Graph {
+    use Cfg::{Conv, Pool};
+    vgg(
+        "vgg16",
+        &[
+            Conv(64),
+            Conv(64),
+            Pool,
+            Conv(128),
+            Conv(128),
+            Pool,
+            Conv(256),
+            Conv(256),
+            Conv(256),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+        ],
+    )
+}
+
+/// VGG-19 (configuration E): 143,667,240 parameters.
+#[must_use]
+pub fn vgg19() -> Graph {
+    use Cfg::{Conv, Pool};
+    vgg(
+        "vgg19",
+        &[
+            Conv(64),
+            Conv(64),
+            Pool,
+            Conv(128),
+            Conv(128),
+            Pool,
+            Conv(256),
+            Conv(256),
+            Conv(256),
+            Conv(256),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+        ],
+    )
+}

@@ -1,0 +1,162 @@
+//! Structural tests of the model zoo beyond parameter counts: component
+//! organization, weight tying, attention configurations and operator
+//! inventories — the properties the runtime's memory model relies on.
+
+use xmem_graph::{ArchClass, OpKind};
+use xmem_models::ModelId;
+
+#[test]
+fn every_graph_ends_in_a_loss() {
+    for m in ModelId::all() {
+        let g = m.build();
+        let last = g.nodes().last().expect("non-empty");
+        assert!(
+            matches!(last.op, OpKind::CrossEntropyLoss),
+            "{m}: last node is {:?}",
+            last.op
+        );
+    }
+}
+
+#[test]
+fn transformers_have_attention_cnns_have_convs() {
+    for m in ModelId::all() {
+        let g = m.build();
+        let has_attn = g.nodes().iter().any(|n| matches!(n.op, OpKind::Attention(_)));
+        let has_conv = g.nodes().iter().any(|n| matches!(n.op, OpKind::Conv2d(_)));
+        match m.info().arch {
+            ArchClass::Transformer => assert!(has_attn && !has_conv, "{m}"),
+            ArchClass::Cnn => assert!(has_conv && !has_attn, "{m}"),
+        }
+    }
+}
+
+#[test]
+fn gqa_models_have_fewer_kv_heads() {
+    for (m, expect_gqa) in [
+        (ModelId::Qwen3_0_6B, true),
+        (ModelId::Llama32_3B, true),
+        (ModelId::DeepSeekR1Distill1_5B, true),
+        (ModelId::Gpt2, false),
+        (ModelId::Pythia1B, false),
+    ] {
+        let g = m.build();
+        let spec = g
+            .nodes()
+            .iter()
+            .find_map(|n| match n.op {
+                OpKind::Attention(a) => Some(a),
+                _ => None,
+            })
+            .expect("transformer has attention");
+        assert_eq!(spec.kv_heads < spec.heads, expect_gqa, "{m}: {spec:?}");
+        assert!(spec.causal || m == ModelId::T5Small || m == ModelId::T5Base);
+    }
+}
+
+#[test]
+fn tied_lms_share_the_embedding_weight() {
+    // Tied models: the lm_head linear references the embedding's ParamId.
+    for m in [
+        ModelId::DistilGpt2,
+        ModelId::Gpt2,
+        ModelId::GptNeo125M,
+        ModelId::CerebrasGpt111M,
+        ModelId::Qwen3_0_6B,
+        ModelId::Llama32_3B,
+        ModelId::Qwen3_4B,
+        ModelId::T5Small,
+    ] {
+        let g = m.build();
+        let mut param_use_count = std::collections::HashMap::new();
+        for n in g.nodes() {
+            for p in &n.params {
+                *param_use_count.entry(*p).or_insert(0usize) += 1;
+            }
+        }
+        assert!(
+            param_use_count.values().any(|&c| c >= 2),
+            "{m}: no parameter is shared between nodes"
+        );
+    }
+    // Pythia is untied: every param belongs to exactly one node.
+    let g = ModelId::Pythia1B.build();
+    let mut param_use_count = std::collections::HashMap::new();
+    for n in g.nodes() {
+        for p in &n.params {
+            *param_use_count.entry(*p).or_insert(0usize) += 1;
+        }
+    }
+    assert!(param_use_count.values().all(|&c| c == 1), "pythia is untied");
+}
+
+#[test]
+fn t5_has_two_inputs_and_cross_attention() {
+    let g = ModelId::T5Base.build();
+    let inputs = g.nodes().iter().filter(|n| n.is_input()).count();
+    assert_eq!(inputs, 2, "encoder + decoder token inputs");
+    // Cross-attention: an attention node whose k input differs from its q
+    // input's producer chain is present in every decoder block.
+    let cross = g
+        .nodes()
+        .iter()
+        .filter(|n| n.name.contains("EncDecAttention.sdpa"))
+        .count();
+    assert_eq!(cross, 12, "one cross-attention per decoder block");
+}
+
+#[test]
+fn component_paths_group_repeated_blocks() {
+    let g = ModelId::Gpt2.build();
+    let block_components: std::collections::BTreeSet<&str> = g
+        .nodes()
+        .iter()
+        .map(|n| n.component.as_str())
+        .filter(|c| c.starts_with("transformer.h."))
+        .collect();
+    assert_eq!(block_components.len(), 12, "12 decoder block components");
+}
+
+#[test]
+fn depthwise_convolutions_use_channel_groups() {
+    let g = ModelId::MobileNetV2.build();
+    let depthwise = g
+        .nodes()
+        .iter()
+        .filter_map(|n| match n.op {
+            OpKind::Conv2d(c) if c.groups > 1 => Some(c),
+            _ => None,
+        })
+        .count();
+    assert!(depthwise >= 17, "one depthwise conv per inverted residual");
+}
+
+#[test]
+fn op_counts_are_in_expected_ranges() {
+    // Sanity bounds: deep models have more operator nodes.
+    let tiny = ModelId::MobileNetV3Small.build().op_count();
+    let deep = ModelId::ResNet152.build().op_count();
+    let huge = ModelId::Qwen3_4B.build().op_count();
+    assert!(tiny < deep, "{tiny} < {deep}");
+    assert!((100..=400).contains(&tiny), "{tiny}");
+    assert!((400..=800).contains(&deep), "{deep}");
+    assert!((500..=1000).contains(&huge), "{huge}");
+}
+
+#[test]
+fn input_templates_match_arch() {
+    for m in ModelId::all() {
+        let g = m.build();
+        let specs = g.input_specs(4, 0);
+        match m.info().arch {
+            ArchClass::Cnn => {
+                assert_eq!(specs.len(), 1);
+                assert_eq!(specs[0].shape.dims(), &[4, 3, 32, 32], "{m}");
+            }
+            ArchClass::Transformer => {
+                assert!(!specs[0].dtype.is_float(), "{m}: token ids are integers");
+                assert_eq!(specs[0].shape.dims()[0], 4, "{m}");
+            }
+        }
+    }
+}

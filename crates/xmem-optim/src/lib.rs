@@ -1,0 +1,264 @@
+//! Optimizer memory models.
+//!
+//! An optimizer contributes to peak GPU memory in two ways the paper's
+//! Orchestrator must capture (§3.3 rule 5):
+//!
+//! 1. **Persistent state** allocated on the first `step()` — e.g. Adam's
+//!    `exp_avg`/`exp_avg_sq` pair doubles the parameter footprint, while
+//!    SGD without momentum allocates nothing. This is why the paper profiles
+//!    at least two iterations: iteration 2's peak sits on top of iteration
+//!    1's state allocations.
+//! 2. **Transient scratch** allocated and freed inside each `step()` —
+//!    update tensors materialized by the `foreach` implementations.
+//!
+//! [`OptimizerKind::state_specs`] returns the persistent per-parameter state
+//! tensors, [`OptimizerKind::step_scratch_bytes`] the transient scratch, and
+//! [`OptimizerKind::eager_init`] distinguishes Adagrad, whose accumulator is
+//! created at construction time rather than on first step.
+//!
+//! # Example
+//! ```
+//! use xmem_optim::OptimizerKind;
+//! use xmem_graph::TensorSpec;
+//!
+//! let p = TensorSpec::f32([768, 768]);
+//! assert_eq!(OptimizerKind::AdamW.state_specs(&p).len(), 2);
+//! assert_eq!(OptimizerKind::Sgd { momentum: false }.state_specs(&p).len(), 0);
+//! // Adafactor factors the second moment of matrices into row + col vectors.
+//! let states = OptimizerKind::Adafactor.state_specs(&p);
+//! assert_eq!(states.iter().map(|s| s.numel()).sum::<usize>(), 768 + 768);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use xmem_graph::TensorSpec;
+
+/// The optimizers used in the paper's evaluation (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent; allocates a momentum buffer per
+    /// parameter when `momentum` is set.
+    Sgd {
+        /// Whether a momentum buffer is maintained.
+        momentum: bool,
+    },
+    /// Adam: `exp_avg` + `exp_avg_sq` per parameter.
+    Adam,
+    /// AdamW: decoupled weight decay, same state as Adam.
+    AdamW,
+    /// RMSprop (PyTorch defaults: no momentum, not centered): `square_avg`.
+    RMSprop,
+    /// Adagrad: `sum` accumulator, eagerly initialized at construction.
+    Adagrad,
+    /// Adafactor (HF defaults, no first moment): factored second moment —
+    /// row + column vectors for matrices, a full tensor for vectors.
+    Adafactor,
+}
+
+impl OptimizerKind {
+    /// All optimizers, in the paper's Table 2 order.
+    #[must_use]
+    pub fn all() -> [OptimizerKind; 6] {
+        [
+            OptimizerKind::Sgd { momentum: true },
+            OptimizerKind::Adam,
+            OptimizerKind::AdamW,
+            OptimizerKind::RMSprop,
+            OptimizerKind::Adagrad,
+            OptimizerKind::Adafactor,
+        ]
+    }
+
+    /// Class name as it appears in profiler annotations
+    /// (`Optimizer.step#<name>.step`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Sgd { .. } => "SGD",
+            OptimizerKind::Adam => "Adam",
+            OptimizerKind::AdamW => "AdamW",
+            OptimizerKind::RMSprop => "RMSprop",
+            OptimizerKind::Adagrad => "Adagrad",
+            OptimizerKind::Adafactor => "Adafactor",
+        }
+    }
+
+    /// Parses [`OptimizerKind::name`] output (momentum defaults to true for
+    /// SGD, matching the evaluation configuration).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "SGD" => Some(OptimizerKind::Sgd { momentum: true }),
+            "Adam" => Some(OptimizerKind::Adam),
+            "AdamW" => Some(OptimizerKind::AdamW),
+            "RMSprop" => Some(OptimizerKind::RMSprop),
+            "Adagrad" => Some(OptimizerKind::Adagrad),
+            "Adafactor" => Some(OptimizerKind::Adafactor),
+            _ => None,
+        }
+    }
+
+    /// Persistent state tensors allocated for one trainable parameter.
+    #[must_use]
+    pub fn state_specs(&self, param: &TensorSpec) -> Vec<TensorSpec> {
+        match self {
+            OptimizerKind::Sgd { momentum: false } => Vec::new(),
+            OptimizerKind::Sgd { momentum: true } => vec![param.clone()],
+            OptimizerKind::Adam | OptimizerKind::AdamW => vec![param.clone(), param.clone()],
+            OptimizerKind::RMSprop | OptimizerKind::Adagrad => vec![param.clone()],
+            OptimizerKind::Adafactor => {
+                let dims = param.shape.dims();
+                if dims.len() >= 2 {
+                    // exp_avg_sq_row: shape[..-1]; exp_avg_sq_col:
+                    // shape[..-2] ++ shape[-1].
+                    let row: Vec<usize> = dims[..dims.len() - 1].to_vec();
+                    let mut col: Vec<usize> = dims[..dims.len() - 2].to_vec();
+                    col.push(dims[dims.len() - 1]);
+                    vec![
+                        TensorSpec::new(row, param.dtype),
+                        TensorSpec::new(col, param.dtype),
+                    ]
+                } else {
+                    vec![param.clone()]
+                }
+            }
+        }
+    }
+
+    /// Total persistent state bytes for one parameter.
+    #[must_use]
+    pub fn state_bytes(&self, param: &TensorSpec) -> u64 {
+        self.state_specs(param)
+            .iter()
+            .map(|s| s.size_bytes() as u64)
+            .sum()
+    }
+
+    /// Whether state is allocated at optimizer construction (before the
+    /// first step) rather than lazily inside the first `step()` call.
+    /// True for Adagrad, whose `sum` accumulator needs
+    /// `initial_accumulator_value` up front.
+    #[must_use]
+    pub fn eager_init(&self) -> bool {
+        matches!(self, OptimizerKind::Adagrad)
+    }
+
+    /// Transient scratch allocated (and freed) while stepping one
+    /// parameter: the materialized update tensor of the non-fused
+    /// implementations. Plain SGD updates in place and allocates nothing.
+    #[must_use]
+    pub fn step_scratch_bytes(&self, param: &TensorSpec) -> usize {
+        match self {
+            OptimizerKind::Sgd { momentum: false } => 0,
+            // Momentum SGD, Adam-family, RMSprop, Adagrad and Adafactor all
+            // materialize one update tensor the size of the parameter.
+            _ => param.size_bytes(),
+        }
+    }
+
+    /// Whether this optimizer maintains any persistent state at all.
+    #[must_use]
+    pub fn is_stateful(&self) -> bool {
+        !matches!(self, OptimizerKind::Sgd { momentum: false })
+    }
+}
+
+impl fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> TensorSpec {
+        TensorSpec::f32([1024, 512])
+    }
+
+    fn vector() -> TensorSpec {
+        TensorSpec::f32([1024])
+    }
+
+    #[test]
+    fn sgd_state_depends_on_momentum() {
+        assert!(OptimizerKind::Sgd { momentum: false }
+            .state_specs(&matrix())
+            .is_empty());
+        assert_eq!(
+            OptimizerKind::Sgd { momentum: true }.state_bytes(&matrix()),
+            matrix().size_bytes() as u64
+        );
+        assert!(!OptimizerKind::Sgd { momentum: false }.is_stateful());
+    }
+
+    #[test]
+    fn adam_family_doubles_params() {
+        for opt in [OptimizerKind::Adam, OptimizerKind::AdamW] {
+            assert_eq!(opt.state_bytes(&matrix()), 2 * matrix().size_bytes() as u64);
+        }
+    }
+
+    #[test]
+    fn single_slot_optimizers() {
+        for opt in [OptimizerKind::RMSprop, OptimizerKind::Adagrad] {
+            assert_eq!(opt.state_bytes(&matrix()), matrix().size_bytes() as u64);
+        }
+    }
+
+    #[test]
+    fn adafactor_factors_matrices_only() {
+        let m = OptimizerKind::Adafactor.state_specs(&matrix());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].shape.dims(), &[1024]);
+        assert_eq!(m[1].shape.dims(), &[512]);
+
+        let v = OptimizerKind::Adafactor.state_specs(&vector());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].shape.dims(), &[1024]);
+
+        // 4-D conv kernels factor over the last dimension pair.
+        let k = TensorSpec::f32([64, 32, 3, 3]);
+        let s = OptimizerKind::Adafactor.state_specs(&k);
+        assert_eq!(s[0].shape.dims(), &[64, 32, 3]);
+        assert_eq!(s[1].shape.dims(), &[64, 32, 3]);
+    }
+
+    #[test]
+    fn adafactor_state_is_sublinear_for_matrices() {
+        let bytes = OptimizerKind::Adafactor.state_bytes(&matrix());
+        assert!(bytes < matrix().size_bytes() as u64 / 100);
+    }
+
+    #[test]
+    fn only_adagrad_is_eager() {
+        for opt in OptimizerKind::all() {
+            assert_eq!(opt.eager_init(), opt == OptimizerKind::Adagrad);
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for opt in OptimizerKind::all() {
+            assert_eq!(OptimizerKind::parse(opt.name()), Some(opt));
+        }
+        assert_eq!(OptimizerKind::parse("LAMB"), None);
+    }
+
+    #[test]
+    fn scratch_is_zero_only_for_plain_sgd() {
+        assert_eq!(
+            OptimizerKind::Sgd { momentum: false }.step_scratch_bytes(&matrix()),
+            0
+        );
+        for opt in OptimizerKind::all() {
+            if opt != (OptimizerKind::Sgd { momentum: false }) {
+                assert!(opt.step_scratch_bytes(&matrix()) > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-operator memory behaviour: in-place execution, saved-for-backward
+//! tensors and auxiliary buffers.
+//!
+//! This encodes what PyTorch's autograd keeps alive between forward and
+//! backward — the dominant driver of training peak memory.
+
+use xmem_graph::{ActKind, DType, OpKind, TensorSpec};
+
+/// What one operator's forward execution pins for its backward.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SavedPlan {
+    /// Indices (into the node's inputs) of input tensors kept alive.
+    pub save_inputs: Vec<usize>,
+    /// Whether the output tensor is kept alive (e.g. softmax, in-place
+    /// ReLU derivatives are computed from the output).
+    pub save_output: bool,
+    /// Extra buffers materialized in forward and released by this node's
+    /// backward: `(label, bytes)` — dropout masks, max-pool indices,
+    /// normalization statistics, log-probabilities.
+    pub extra: Vec<(&'static str, usize)>,
+}
+
+/// Whether the operator executes in place on CNN-style pipelines (its
+/// output aliases its input, allocating nothing) — torchvision uses
+/// `inplace=True` activations throughout.
+#[must_use]
+pub fn is_inplace(op: &OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::Activation(
+            ActKind::Relu | ActKind::Relu6 | ActKind::Hardswish | ActKind::Hardsigmoid
+        )
+    )
+}
+
+/// Whether gradients flow through this operator to its data inputs.
+#[must_use]
+pub fn is_differentiable(op: &OpKind) -> bool {
+    !matches!(op, OpKind::Input { .. } | OpKind::Embedding { .. })
+}
+
+/// Builds the [`SavedPlan`] for one operator execution.
+///
+/// `inputs`/`output` are the resolved tensor specs of this node.
+#[must_use]
+pub fn saved_plan(op: &OpKind, inputs: &[&TensorSpec], output: &TensorSpec) -> SavedPlan {
+    let mut plan = SavedPlan::default();
+    match op {
+        OpKind::Conv2d(_) | OpKind::Linear { .. } => {
+            // Needs the input for the weight gradient.
+            plan.save_inputs = vec![0];
+        }
+        OpKind::Embedding { .. } => {
+            // Needs the indices to scatter gradients into the weight.
+            plan.save_inputs = vec![0];
+        }
+        OpKind::BatchNorm2d { features } => {
+            plan.save_inputs = vec![0];
+            // save_mean + save_invstd.
+            plan.extra = vec![("bn_stats", 2 * features * 4)];
+        }
+        OpKind::LayerNorm { dim } | OpKind::RmsNorm { dim } => {
+            plan.save_inputs = vec![0];
+            let rows = output.numel() / dim.max(&1);
+            let per_row = if matches!(op, OpKind::LayerNorm { .. }) {
+                2 // mean + rstd
+            } else {
+                1 // rstd
+            };
+            plan.extra = vec![("norm_stats", rows * per_row * 4)];
+        }
+        OpKind::Activation(kind) => {
+            if is_inplace(op) {
+                // Derivative computed from the (aliased) output.
+                plan.save_output = true;
+            } else {
+                match kind {
+                    ActKind::Sigmoid | ActKind::Tanh => plan.save_output = true,
+                    _ => plan.save_inputs = vec![0],
+                }
+            }
+        }
+        OpKind::MaxPool2d(_) => {
+            // Index tensor the shape of the output.
+            plan.extra = vec![("pool_indices", output.numel() * DType::I64.size_bytes())];
+        }
+        OpKind::AvgPool2d(_) | OpKind::AdaptiveAvgPool2d { .. } => {
+            // Backward needs only shapes.
+        }
+        OpKind::Dropout { p_permille } => {
+            if *p_permille > 0 {
+                plan.extra = vec![("dropout_mask", output.numel())]; // u8 mask
+            }
+        }
+        OpKind::Attention(a) => {
+            // Flash-style SDPA saves q, k, v, the output and the per-row
+            // log-sum-exp statistics.
+            plan.save_inputs = vec![0, 1, 2];
+            plan.save_output = true;
+            let q = inputs[0].shape.dims();
+            let rows = q[0] * q[1] * a.heads;
+            plan.extra = vec![("sdpa_logsumexp", rows * 4)];
+        }
+        OpKind::Softmax { .. } => {
+            plan.save_output = true;
+        }
+        OpKind::Mul => {
+            // Product rule needs both factors.
+            plan.save_inputs = vec![0, 1];
+        }
+        OpKind::Scale { .. } => {
+            // Gamma gradient needs the input.
+            plan.save_inputs = vec![0];
+        }
+        OpKind::CrossEntropyLoss => {
+            // log_softmax materialized the size of the logits, plus the
+            // target indices stay referenced.
+            plan.extra = vec![("log_probs", inputs[0].size_bytes())];
+        }
+        OpKind::Add
+        | OpKind::Concat { .. }
+        | OpKind::Flatten { .. }
+        | OpKind::Reshape { .. }
+        | OpKind::Permute { .. }
+        | OpKind::Input { .. } => {}
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_graph::AttentionSpec;
+
+    #[test]
+    fn linear_saves_input_only() {
+        let op = OpKind::Linear {
+            in_features: 8,
+            out_features: 8,
+            bias: true,
+        };
+        let x = TensorSpec::f32([2, 8]);
+        let plan = saved_plan(&op, &[&x], &x);
+        assert_eq!(plan.save_inputs, vec![0]);
+        assert!(!plan.save_output);
+        assert!(plan.extra.is_empty());
+    }
+
+    #[test]
+    fn relu_is_inplace_and_saves_output() {
+        let op = OpKind::Activation(ActKind::Relu);
+        assert!(is_inplace(&op));
+        let x = TensorSpec::f32([2, 8]);
+        assert!(saved_plan(&op, &[&x], &x).save_output);
+    }
+
+    #[test]
+    fn gelu_saves_input_not_inplace() {
+        let op = OpKind::Activation(ActKind::Gelu);
+        assert!(!is_inplace(&op));
+        let x = TensorSpec::f32([2, 8]);
+        assert_eq!(saved_plan(&op, &[&x], &x).save_inputs, vec![0]);
+    }
+
+    #[test]
+    fn maxpool_indices_are_i64_output_sized() {
+        let op = OpKind::MaxPool2d(xmem_graph::PoolSpec::square(2));
+        let x = TensorSpec::f32([1, 4, 8, 8]);
+        let y = op.infer("p", &[&x]).unwrap();
+        let plan = saved_plan(&op, &[&x], &y);
+        assert_eq!(plan.extra[0].1, 4 * 4 * 4 * 8);
+    }
+
+    #[test]
+    fn attention_saves_qkv_output_and_stats() {
+        let op = OpKind::Attention(AttentionSpec {
+            heads: 4,
+            kv_heads: 4,
+            head_dim: 16,
+            causal: true,
+        });
+        let q = TensorSpec::f32([2, 10, 64]);
+        let plan = saved_plan(&op, &[&q, &q, &q], &q);
+        assert_eq!(plan.save_inputs, vec![0, 1, 2]);
+        assert!(plan.save_output);
+        assert_eq!(plan.extra[0].1, 2 * 10 * 4 * 4);
+    }
+
+    #[test]
+    fn cross_entropy_materializes_log_probs() {
+        let op = OpKind::CrossEntropyLoss;
+        let logits = TensorSpec::f32([4, 100]);
+        let scalar = TensorSpec::f32(xmem_graph::Shape::scalar());
+        let plan = saved_plan(&op, &[&logits], &scalar);
+        assert_eq!(plan.extra[0].1, logits.size_bytes());
+    }
+
+    #[test]
+    fn dropout_mask_only_when_active() {
+        let x = TensorSpec::f32([2, 8]);
+        let active = saved_plan(&OpKind::Dropout { p_permille: 100 }, &[&x], &x);
+        assert_eq!(active.extra[0].1, 16);
+        let inert = saved_plan(&OpKind::Dropout { p_permille: 0 }, &[&x], &x);
+        assert!(inert.extra.is_empty());
+    }
+
+    #[test]
+    fn embeddings_do_not_propagate_gradients() {
+        assert!(!is_differentiable(&OpKind::Embedding { vocab: 10, dim: 4 }));
+        assert!(is_differentiable(&OpKind::Add));
+    }
+}

@@ -1,0 +1,233 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four profiler event categories xMem consumes (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventCategory {
+    /// Python-level call spans (module forward/backward invocations);
+    /// provide the parent-child component hierarchy.
+    PythonFunction,
+    /// Training-phase markers: `ProfilerStep#k`, optimizer step/zero_grad,
+    /// dataloader fetches, model loading.
+    UserAnnotation,
+    /// Dispatched computational kernels (`aten::*`) with precise start/end
+    /// timestamps and forward↔backward sequence numbers.
+    CpuOp,
+    /// Memory allocation/free instants: address, signed bytes, device id —
+    /// with no linkage to the triggering operator.
+    CpuInstantEvent,
+}
+
+impl EventCategory {
+    /// The `cat` string used in the JSON interchange format.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            EventCategory::PythonFunction => "python_function",
+            EventCategory::UserAnnotation => "user_annotation",
+            EventCategory::CpuOp => "cpu_op",
+            EventCategory::CpuInstantEvent => "cpu_instant_event",
+        }
+    }
+
+    /// Parses a `cat` string; unknown categories yield `None`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "python_function" => Some(EventCategory::PythonFunction),
+            "user_annotation" => Some(EventCategory::UserAnnotation),
+            "cpu_op" => Some(EventCategory::CpuOp),
+            "cpu_instant_event" => Some(EventCategory::CpuInstantEvent),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Optional attributes attached to an event (`args` in the JSON format).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventArgs {
+    /// Memory address of an allocation/free instant.
+    pub addr: Option<u64>,
+    /// Signed byte count: positive allocates, negative frees.
+    pub bytes: Option<i64>,
+    /// Device id (-1 = CPU, 0+ = accelerator ordinal).
+    pub device: Option<i32>,
+    /// Allocator "allocated bytes" gauge at this instant, when recorded.
+    pub total_allocated: Option<u64>,
+    /// Allocator "reserved bytes" gauge at this instant, when recorded.
+    pub total_reserved: Option<u64>,
+    /// Sequence number linking a forward `cpu_op` to its backward node.
+    pub seq: Option<u64>,
+}
+
+impl EventArgs {
+    /// True when no attribute is set (serialized as absent `args`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == EventArgs::default()
+    }
+}
+
+/// One profiler event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Category (`cat`).
+    pub category: EventCategory,
+    /// Event name.
+    pub name: String,
+    /// Start timestamp in virtual microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Optional attributes.
+    pub args: EventArgs,
+}
+
+impl TraceEvent {
+    /// A duration span event (`ph: "X"`).
+    #[must_use]
+    pub fn span(category: EventCategory, name: impl Into<String>, ts_us: u64, dur_us: u64) -> Self {
+        TraceEvent {
+            category,
+            name: name.into(),
+            ts_us,
+            dur_us,
+            args: EventArgs::default(),
+        }
+    }
+
+    /// A span with a forward/backward sequence number.
+    #[must_use]
+    pub fn span_with_seq(
+        category: EventCategory,
+        name: impl Into<String>,
+        ts_us: u64,
+        dur_us: u64,
+        seq: u64,
+    ) -> Self {
+        TraceEvent {
+            args: EventArgs {
+                seq: Some(seq),
+                ..EventArgs::default()
+            },
+            ..TraceEvent::span(category, name, ts_us, dur_us)
+        }
+    }
+
+    /// A `[memory]` instant recording an allocation of `bytes` at `addr`.
+    #[must_use]
+    pub fn mem_alloc(ts_us: u64, addr: u64, bytes: u64, device: i32) -> Self {
+        TraceEvent {
+            category: EventCategory::CpuInstantEvent,
+            name: "[memory]".to_string(),
+            ts_us,
+            dur_us: 0,
+            args: EventArgs {
+                addr: Some(addr),
+                bytes: Some(bytes as i64),
+                device: Some(device),
+                ..EventArgs::default()
+            },
+        }
+    }
+
+    /// A `[memory]` instant recording a free of `bytes` at `addr`.
+    #[must_use]
+    pub fn mem_free(ts_us: u64, addr: u64, bytes: u64, device: i32) -> Self {
+        TraceEvent {
+            category: EventCategory::CpuInstantEvent,
+            name: "[memory]".to_string(),
+            ts_us,
+            dur_us: 0,
+            args: EventArgs {
+                addr: Some(addr),
+                bytes: Some(-(bytes as i64)),
+                device: Some(device),
+                ..EventArgs::default()
+            },
+        }
+    }
+
+    /// End timestamp (`ts + dur`).
+    #[must_use]
+    pub fn end_us(&self) -> u64 {
+        self.ts_us + self.dur_us
+    }
+
+    /// Whether this is a memory alloc/free instant.
+    #[must_use]
+    pub fn is_memory_instant(&self) -> bool {
+        self.category == EventCategory::CpuInstantEvent && self.args.bytes.is_some()
+    }
+
+    /// Whether `[self.ts, self.end)` fully contains `[other.ts, other.end)`.
+    /// Instants (zero duration) are contained when their timestamp falls in
+    /// the half-open window.
+    #[must_use]
+    pub fn contains(&self, other: &TraceEvent) -> bool {
+        if other.dur_us == 0 {
+            self.ts_us <= other.ts_us && other.ts_us < self.end_us()
+        } else {
+            self.ts_us <= other.ts_us && other.end_us() <= self.end_us()
+        }
+    }
+
+    /// Whether the timestamp `ts` falls within this event's span.
+    #[must_use]
+    pub fn covers_ts(&self, ts: u64) -> bool {
+        self.ts_us <= ts && ts < self.end_us().max(self.ts_us + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_roundtrip() {
+        for c in [
+            EventCategory::PythonFunction,
+            EventCategory::UserAnnotation,
+            EventCategory::CpuOp,
+            EventCategory::CpuInstantEvent,
+        ] {
+            assert_eq!(EventCategory::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(EventCategory::parse("gpu_memcpy"), None);
+    }
+
+    #[test]
+    fn memory_instants_sign_bytes() {
+        let a = TraceEvent::mem_alloc(5, 0x10, 1024, -1);
+        assert_eq!(a.args.bytes, Some(1024));
+        assert!(a.is_memory_instant());
+        let f = TraceEvent::mem_free(9, 0x10, 1024, -1);
+        assert_eq!(f.args.bytes, Some(-1024));
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let outer = TraceEvent::span(EventCategory::CpuOp, "op", 10, 10);
+        let inner = TraceEvent::span(EventCategory::CpuOp, "inner", 12, 5);
+        let instant_at_end = TraceEvent::mem_alloc(20, 0x1, 1, -1);
+        let instant_inside = TraceEvent::mem_alloc(19, 0x1, 1, -1);
+        assert!(outer.contains(&inner));
+        assert!(!outer.contains(&instant_at_end));
+        assert!(outer.contains(&instant_inside));
+    }
+
+    #[test]
+    fn covers_ts_handles_spans() {
+        let e = TraceEvent::span(EventCategory::CpuOp, "op", 10, 10);
+        assert!(e.covers_ts(10));
+        assert!(e.covers_ts(19));
+        assert!(!e.covers_ts(20));
+        assert!(!e.covers_ts(9));
+    }
+}

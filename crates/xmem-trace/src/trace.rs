@@ -1,0 +1,137 @@
+use crate::{EventCategory, TraceEvent};
+
+/// An in-memory profiler trace: ordered events plus minimal metadata.
+///
+/// Events are kept in emission order; [`Trace::sort_by_time`] restores
+/// time order after merging sources (the JSON parser calls it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace labelled `name` (usually the job name).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Trace label.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Stable-sorts events by start timestamp (ties keep emission order, so
+    /// enclosing spans stay ahead of contained events emitted later).
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by_key(|e| e.ts_us);
+    }
+
+    /// Iterates events of one category.
+    pub fn of_category(&self, category: EventCategory) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Iterates the memory alloc/free instants.
+    pub fn memory_instants(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.is_memory_instant())
+    }
+
+    /// Timestamp of the last event end, i.e. the trace horizon.
+    #[must_use]
+    pub fn end_us(&self) -> u64 {
+        self.events.iter().map(TraceEvent::end_us).max().unwrap_or(0)
+    }
+
+    /// The `ProfilerStep#k` annotation spans in step order, as
+    /// `(step, start, end)`.
+    #[must_use]
+    pub fn iteration_windows(&self) -> Vec<(u32, u64, u64)> {
+        let mut windows: Vec<(u32, u64, u64)> = self
+            .of_category(EventCategory::UserAnnotation)
+            .filter_map(|e| {
+                crate::names::parse_profiler_step(&e.name).map(|k| (k, e.ts_us, e.end_us()))
+            })
+            .collect();
+        windows.sort_by_key(|w| w.0);
+        windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn iteration_windows_are_parsed_and_ordered() {
+        let mut t = Trace::new("t");
+        t.push(TraceEvent::span(
+            EventCategory::UserAnnotation,
+            names::profiler_step(2),
+            100,
+            50,
+        ));
+        t.push(TraceEvent::span(
+            EventCategory::UserAnnotation,
+            names::profiler_step(1),
+            10,
+            80,
+        ));
+        t.push(TraceEvent::span(EventCategory::CpuOp, "aten::linear", 12, 4));
+        let w = t.iteration_windows();
+        assert_eq!(w, vec![(1, 10, 90), (2, 100, 150)]);
+    }
+
+    #[test]
+    fn category_filters() {
+        let mut t = Trace::new("t");
+        t.push(TraceEvent::span(EventCategory::CpuOp, "aten::add", 0, 1));
+        t.push(TraceEvent::mem_alloc(1, 0x2, 512, -1));
+        assert_eq!(t.of_category(EventCategory::CpuOp).count(), 1);
+        assert_eq!(t.memory_instants().count(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.end_us(), 1);
+    }
+
+    #[test]
+    fn sort_is_stable_for_nested_spans() {
+        let mut t = Trace::new("t");
+        t.push(TraceEvent::span(EventCategory::PythonFunction, "outer", 5, 10));
+        t.push(TraceEvent::span(EventCategory::CpuOp, "inner", 5, 4));
+        t.push(TraceEvent::span(EventCategory::CpuOp, "early", 1, 1));
+        t.sort_by_time();
+        assert_eq!(t.events()[0].name, "early");
+        assert_eq!(t.events()[1].name, "outer");
+        assert_eq!(t.events()[2].name, "inner");
+    }
+}

@@ -1,0 +1,79 @@
+//! Batch-size planner: find the largest batch size that trains safely on a
+//! given GPU, using xMem estimates only (no GPU time consumed), then
+//! validate the frontier with ground-truth runs.
+//!
+//! ```text
+//! cargo run --release --example batch_size_planner
+//! ```
+
+use xmem::prelude::*;
+
+/// Largest batch (within the probe range) whose estimate fits the device.
+fn max_safe_batch(
+    model: ModelId,
+    optimizer: OptimizerKind,
+    device: GpuDevice,
+    range: (usize, usize),
+) -> Option<usize> {
+    let estimator = Estimator::new(EstimatorConfig::for_device(device));
+    let fits = |batch: usize| -> bool {
+        let spec = TrainJobSpec::new(model, optimizer, batch);
+        estimator
+            .estimate_job(&spec)
+            .map(|e| !e.oom_predicted)
+            .unwrap_or(false)
+    };
+    let (mut lo, mut hi) = range;
+    if !fits(lo) {
+        return None;
+    }
+    // Binary search the fit/OOM frontier.
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+fn main() {
+    let device = GpuDevice::rtx3060();
+    println!(
+        "Largest safe batch size on {} (xMem-planned, then validated):\n",
+        device.name
+    );
+    for (model, optimizer, range) in [
+        (ModelId::Gpt2, OptimizerKind::AdamW, (1, 128)),
+        (ModelId::DistilGpt2, OptimizerKind::Adam, (1, 192)),
+        (ModelId::ResNet101, OptimizerKind::Adam, (32, 2048)),
+        (ModelId::ConvNextTiny, OptimizerKind::AdamW, (32, 2048)),
+    ] {
+        match max_safe_batch(model, optimizer, device, range) {
+            Some(batch) => {
+                // Validate the frontier: the planned batch must run; the
+                // next probe step may OOM.
+                let ok = run_on_gpu(
+                    &TrainJobSpec::new(model, optimizer, batch),
+                    &device,
+                    None,
+                    false,
+                );
+                println!(
+                    "  {:<14} + {:<8} -> batch {:>5}  (validated: {})",
+                    model.info().name,
+                    optimizer.name(),
+                    batch,
+                    if ok.oom { "OOM!" } else { "fits" }
+                );
+            }
+            None => println!(
+                "  {:<14} + {:<8} -> does not fit at any probed batch",
+                model.info().name,
+                optimizer.name()
+            ),
+        }
+    }
+}

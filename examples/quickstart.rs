@@ -1,0 +1,42 @@
+//! Quickstart: estimate a training job's peak GPU memory without touching
+//! the GPU, then verify against a (simulated) ground-truth run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use xmem::core::render_report;
+use xmem::prelude::*;
+
+fn main() {
+    // The job a user wants to submit: GPT-2, AdamW, batch 16.
+    let job = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::AdamW, 16);
+    let device = GpuDevice::rtx3060();
+
+    // 1. Profile the first three iterations on the CPU (what the PyTorch
+    //    profiler would produce) — this is the only execution xMem needs.
+    let trace = profile_on_cpu(&job);
+    println!(
+        "profiled {} events ({} memory instants) on the CPU backend",
+        trace.events().len(),
+        trace.memory_instants().count()
+    );
+
+    // 2. Run the Analyzer -> Orchestrator -> Simulator pipeline.
+    let estimator = Estimator::new(EstimatorConfig::for_device(device));
+    let estimate = estimator
+        .estimate_trace(&trace)
+        .expect("trace is well-formed");
+    println!("{}", render_report(&job.label(), &estimate));
+
+    // 3. Compare with ground truth (normally unknown before running!).
+    let truth = run_on_gpu(&job, &device, None, false);
+    let err = (estimate.peak_bytes as f64 - truth.peak_nvml as f64).abs()
+        / truth.peak_nvml as f64;
+    println!(
+        "ground truth: {:.3} GiB (OOM: {}) -> relative error {:.2}%",
+        truth.peak_nvml as f64 / (1u64 << 30) as f64,
+        truth.oom,
+        err * 100.0
+    );
+}

@@ -1,0 +1,176 @@
+//! `xmem-cli` — the command-line front end of the estimator, mirroring how
+//! the paper's released tool is used: profile a job on the CPU, estimate
+//! its peak GPU memory, inspect per-layer demand.
+//!
+//! ```text
+//! xmem-cli estimate --model gpt2 --optimizer AdamW --batch 16 --device rtx3060
+//! xmem-cli profile  --model distilgpt2 --optimizer Adam --batch 8 --out trace.json
+//! xmem-cli estimate-trace --trace trace.json --device rtx4060
+//! xmem-cli layers   --model t5-base --optimizer Adafactor --batch 8 --top 12
+//! xmem-cli models
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use xmem::core::{layer_report, render_layer_report, render_report, Analyzer, Orchestrator};
+use xmem::prelude::*;
+use xmem::trace::Trace;
+
+fn usage() -> &'static str {
+    "usage: xmem-cli <command> [options]\n\
+     commands:\n\
+       estimate        --model <name> --optimizer <name> --batch <n>\n\
+                       [--seq <n>] [--device rtx3060|rtx4060|a100] [--pos1] [--fp16]\n\
+       profile         (same job options) --out <trace.json>\n\
+       estimate-trace  --trace <trace.json> [--device ...]\n\
+       layers          (same job options) [--top <n>]\n\
+       models          list the model zoo\n"
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        match key {
+            "pos1" | "fp16" => {
+                flags.insert(key.to_string(), "true".to_string());
+            }
+            _ => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                flags.insert(key.to_string(), value.clone());
+            }
+        }
+    }
+    Ok(flags)
+}
+
+fn device_of(flags: &HashMap<String, String>) -> Result<GpuDevice, String> {
+    match flags.get("device").map(String::as_str).unwrap_or("rtx3060") {
+        "rtx3060" => Ok(GpuDevice::rtx3060()),
+        "rtx4060" => Ok(GpuDevice::rtx4060()),
+        "a100" => Ok(GpuDevice::a100_40g()),
+        other => Err(format!("unknown device `{other}` (rtx3060|rtx4060|a100)")),
+    }
+}
+
+fn job_of(flags: &HashMap<String, String>) -> Result<TrainJobSpec, String> {
+    let model_name = flags.get("model").ok_or("--model is required")?;
+    let model = ModelId::by_name(model_name)
+        .ok_or_else(|| format!("unknown model `{model_name}` (see `xmem-cli models`)"))?;
+    let optimizer_name = flags.get("optimizer").ok_or("--optimizer is required")?;
+    let optimizer = OptimizerKind::parse(optimizer_name)
+        .ok_or_else(|| format!("unknown optimizer `{optimizer_name}`"))?;
+    let batch: usize = flags
+        .get("batch")
+        .ok_or("--batch is required")?
+        .parse()
+        .map_err(|_| "--batch must be a number".to_string())?;
+    let mut spec = TrainJobSpec::new(model, optimizer, batch);
+    if let Some(seq) = flags.get("seq") {
+        spec.seq = seq.parse().map_err(|_| "--seq must be a number".to_string())?;
+    }
+    if flags.contains_key("pos1") {
+        spec = spec.with_zero_grad(ZeroGradPos::IterStart);
+    }
+    if flags.contains_key("fp16") {
+        spec = spec.with_precision(xmem::runtime::Precision::F16);
+    }
+    Ok(spec)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage().to_string());
+    };
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "estimate" => {
+            let spec = job_of(&flags)?;
+            let device = device_of(&flags)?;
+            let estimator = Estimator::new(EstimatorConfig::for_device(device));
+            let estimate = estimator
+                .estimate_job(&spec)
+                .map_err(|e| format!("estimation failed: {e}"))?;
+            print!("{}", render_report(&spec.label(), &estimate));
+            Ok(())
+        }
+        "profile" => {
+            let spec = job_of(&flags)?;
+            let out = flags.get("out").ok_or("--out is required")?;
+            let trace = profile_on_cpu(&spec);
+            let json = trace
+                .to_json_string()
+                .map_err(|e| format!("serialize failed: {e}"))?;
+            std::fs::write(out, json).map_err(|e| format!("write failed: {e}"))?;
+            println!(
+                "wrote {} events ({} memory instants) to {out}",
+                trace.events().len(),
+                trace.memory_instants().count()
+            );
+            Ok(())
+        }
+        "estimate-trace" => {
+            let path = flags.get("trace").ok_or("--trace is required")?;
+            let device = device_of(&flags)?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+            let trace =
+                Trace::from_json_str(&json).map_err(|e| format!("parse failed: {e}"))?;
+            let estimator = Estimator::new(EstimatorConfig::for_device(device));
+            let estimate = estimator
+                .estimate_trace(&trace)
+                .map_err(|e| format!("estimation failed: {e}"))?;
+            print!("{}", render_report(trace.name(), &estimate));
+            Ok(())
+        }
+        "layers" => {
+            let spec = job_of(&flags)?;
+            let top: usize = flags
+                .get("top")
+                .map(|t| t.parse().map_err(|_| "--top must be a number".to_string()))
+                .transpose()?
+                .unwrap_or(15);
+            let trace = profile_on_cpu(&spec);
+            let analyzed = Analyzer::new()
+                .analyze(&trace)
+                .map_err(|e| format!("analysis failed: {e}"))?;
+            let report = layer_report(&analyzed, &Orchestrator::default());
+            print!("{}", render_layer_report(&report, top));
+            Ok(())
+        }
+        "models" => {
+            println!("{:<32} {:<12} {:>14} {:<14}", "name", "class", "params", "batch grid");
+            for model in ModelId::all() {
+                let info = model.info();
+                println!(
+                    "{:<32} {:<12} {:>14} {:<14}",
+                    info.name,
+                    info.arch.label(),
+                    info.published_params,
+                    format!(
+                        "{}..{}/{}",
+                        info.batch_grid.min, info.batch_grid.max, info.batch_grid.step
+                    )
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

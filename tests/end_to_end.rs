@@ -1,0 +1,111 @@
+//! End-to-end integration: CPU profile → estimate → ground truth, across
+//! model classes, optimizers and devices.
+
+use xmem::prelude::*;
+
+fn relative_error(spec: &TrainJobSpec, device: GpuDevice) -> f64 {
+    let estimator = Estimator::new(EstimatorConfig::for_device(device));
+    let est = estimator.estimate_job(spec).expect("estimation succeeds");
+    let gt = run_on_gpu(spec, &device, None, false);
+    assert!(!gt.oom, "config must fit for accuracy measurement");
+    (est.peak_bytes as f64 - gt.peak_nvml as f64).abs() / gt.peak_nvml as f64
+}
+
+#[test]
+fn cnn_estimates_are_within_ten_percent() {
+    let device = GpuDevice::rtx3060();
+    for (model, opt, batch) in [
+        (ModelId::ResNet101, OptimizerKind::Adam, 300),
+        (ModelId::Vgg16, OptimizerKind::Sgd { momentum: true }, 200),
+        (ModelId::MobileNetV2, OptimizerKind::RMSprop, 400),
+        (ModelId::ConvNextBase, OptimizerKind::Adagrad, 200),
+    ] {
+        let spec = TrainJobSpec::new(model, opt, batch);
+        let err = relative_error(&spec, device);
+        assert!(err < 0.10, "{}: error {err:.3}", spec.label());
+    }
+}
+
+#[test]
+fn transformer_estimates_are_within_ten_percent() {
+    let device = GpuDevice::rtx3060();
+    for (model, opt, batch) in [
+        (ModelId::Gpt2, OptimizerKind::AdamW, 20),
+        (ModelId::T5Base, OptimizerKind::Adafactor, 15),
+        (ModelId::Opt125M, OptimizerKind::Adam, 25),
+        (ModelId::Pythia1B, OptimizerKind::Sgd { momentum: false }, 4),
+    ] {
+        let spec = TrainJobSpec::new(model, opt, batch);
+        let err = relative_error(&spec, device);
+        assert!(err < 0.10, "{}: error {err:.3}", spec.label());
+    }
+}
+
+#[test]
+fn large_models_estimate_accurately_on_a100() {
+    // The RQ5 scenario: models that cannot fit commodity GPUs are profiled
+    // on the CPU and estimated for an A100.
+    let device = GpuDevice::a100_40g();
+    for model in [ModelId::Llama32_3B, ModelId::DeepSeekR1Distill1_5B] {
+        let spec = TrainJobSpec::new(model, OptimizerKind::Adafactor, 1);
+        let err = relative_error(&spec, device);
+        assert!(err < 0.12, "{model}: error {err:.3}");
+    }
+}
+
+#[test]
+fn oom_predictions_match_reality_across_the_boundary() {
+    // Sweep GPT-2/AdamW batches across the 12 GiB boundary; the predicted
+    // and actual OOM verdicts must agree at every probed point except at
+    // most one boundary batch (where jitter decides).
+    let device = GpuDevice::rtx3060();
+    let estimator = Estimator::new(EstimatorConfig::for_device(device));
+    let mut disagreements = 0;
+    for batch in [8, 24, 40, 56, 72, 88] {
+        let spec = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::AdamW, batch);
+        let est = estimator.estimate_job(&spec).expect("estimation succeeds");
+        let gt = run_on_gpu(&spec, &device, None, false);
+        if est.oom_predicted != gt.oom {
+            disagreements += 1;
+        }
+    }
+    assert!(disagreements <= 1, "{disagreements} OOM disagreements");
+}
+
+#[test]
+fn fp16_jobs_estimate_accurately() {
+    // Paper §6.3: once profiling data exists, the pipeline is
+    // precision-agnostic.
+    let device = GpuDevice::rtx3060();
+    let spec = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::Adam, 16)
+        .with_precision(xmem::runtime::Precision::F16);
+    let err = relative_error(&spec, device);
+    assert!(err < 0.10, "fp16 error {err:.3}");
+}
+
+#[test]
+fn estimation_is_deterministic() {
+    let spec = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::Adam, 8).with_seed(9);
+    let estimator = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx4060()));
+    let a = estimator.estimate_job(&spec).expect("estimation succeeds");
+    let b = estimator.estimate_job(&spec).expect("estimation succeeds");
+    assert_eq!(a.peak_bytes, b.peak_bytes);
+    assert_eq!(a.job_peak_bytes, b.job_peak_bytes);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn estimates_transfer_across_devices() {
+    // One CPU profile serves estimation for any target device; the
+    // job-only peak must match, only capacity/overhead context changes.
+    let spec = TrainJobSpec::new(ModelId::MobileNetV3Large, OptimizerKind::Adam, 64);
+    let trace = profile_on_cpu(&spec);
+    let on_3060 = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060()))
+        .estimate_trace(&trace)
+        .expect("estimation succeeds");
+    let on_4060 = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx4060()))
+        .estimate_trace(&trace)
+        .expect("estimation succeeds");
+    assert_eq!(on_3060.job_peak_bytes, on_4060.job_peak_bytes);
+    assert!(on_3060.peak_bytes != on_4060.peak_bytes);
+}

@@ -1,0 +1,65 @@
+//! The a-priori contract: xMem works from a profiler *file*. Serializing
+//! the CPU trace to JSON and re-parsing it must not change the estimate.
+
+use xmem::prelude::*;
+use xmem::trace::Trace;
+
+#[test]
+fn json_roundtrip_preserves_the_estimate() {
+    let spec = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 8);
+    let trace = profile_on_cpu(&spec);
+    let json = trace.to_json_string().expect("serialize");
+    let parsed = Trace::from_json_str(&json).expect("parse");
+
+    let estimator = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060()));
+    let direct = estimator.estimate_trace(&trace).expect("direct estimate");
+    let roundtrip = estimator.estimate_trace(&parsed).expect("roundtrip estimate");
+    assert_eq!(direct.peak_bytes, roundtrip.peak_bytes);
+    assert_eq!(direct.job_peak_bytes, roundtrip.job_peak_bytes);
+    assert_eq!(direct.oom_predicted, roundtrip.oom_predicted);
+}
+
+#[test]
+fn traces_have_the_profiler_schema() {
+    let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4)
+        .with_iterations(2);
+    let trace = profile_on_cpu(&spec);
+    let json = trace.to_json_string().expect("serialize");
+    for needle in [
+        "\"traceEvents\"",
+        "\"cpu_op\"",
+        "\"python_function\"",
+        "\"user_annotation\"",
+        "\"cpu_instant_event\"",
+        "ProfilerStep#1",
+        "Optimizer.step#Adam.step",
+        "Optimizer.zero_grad#Adam.zero_grad",
+        "aten::convolution",
+        "autograd::engine::evaluate_function",
+        "\"Addr\"",
+        "\"Bytes\"",
+    ] {
+        assert!(json.contains(needle), "schema is missing {needle}");
+    }
+}
+
+#[test]
+fn foreign_events_do_not_break_estimation() {
+    // A real PyTorch export contains categories xMem ignores; splice some
+    // in and re-estimate.
+    let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4)
+        .with_iterations(2);
+    let trace = profile_on_cpu(&spec);
+    let json = trace.to_json_string().expect("serialize");
+    let spliced = json.replacen(
+        "{\"ph\":\"X\",\"cat\":\"cpu_op\"",
+        "{\"ph\":\"X\",\"cat\":\"kernel\",\"name\":\"volta_sgemm\",\"pid\":9,\"tid\":9,\"ts\":1,\"dur\":5},\
+         {\"ph\":\"X\",\"cat\":\"cpu_op\"",
+        1,
+    );
+    let parsed = Trace::from_json_str(&spliced).expect("parse");
+    let estimator = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060()));
+    let a = estimator.estimate_trace(&trace).expect("baseline");
+    let b = estimator.estimate_trace(&parsed).expect("spliced");
+    assert_eq!(a.peak_bytes, b.peak_bytes);
+}
