@@ -80,7 +80,10 @@ impl CachingAllocator {
     /// Convenience constructor with PyTorch defaults on an unlimited device.
     #[must_use]
     pub fn unbounded() -> Self {
-        CachingAllocator::new(AllocatorConfig::pytorch_defaults(), DeviceAllocator::unlimited())
+        CachingAllocator::new(
+            AllocatorConfig::pytorch_defaults(),
+            DeviceAllocator::unlimited(),
+        )
     }
 
     /// The behaviour configuration.
@@ -185,10 +188,7 @@ impl CachingAllocator {
     /// # Panics
     /// Panics if `addr` is not a live allocation (a simulation bug).
     pub fn free(&mut self, addr: u64) {
-        let key = self
-            .by_addr
-            .remove(&addr)
-            .expect("free of unknown address");
+        let key = self.by_addr.remove(&addr).expect("free of unknown address");
         let block = self.blocks.get_mut(key);
         assert!(block.allocated, "double free");
         block.allocated = false;
@@ -318,9 +318,9 @@ impl CachingAllocator {
                     Some(addr) => addr,
                     None => {
                         self.release_cached_segments(None);
-                        self.device.alloc(alloc_size as u64).ok_or_else(|| {
-                            self.oom_error(requested, rounded, alloc_size, true)
-                        })?
+                        self.device
+                            .alloc(alloc_size as u64)
+                            .ok_or_else(|| self.oom_error(requested, rounded, alloc_size, true))?
                     }
                 }
             }
@@ -544,7 +544,10 @@ impl CachingAllocator {
         }
         assert_eq!(reserved, self.counters.reserved, "reserved counter drift");
         assert_eq!(active, self.counters.active, "active counter drift");
-        assert_eq!(allocated, self.counters.allocated, "allocated counter drift");
+        assert_eq!(
+            allocated, self.counters.allocated,
+            "allocated counter drift"
+        );
         assert_eq!(
             free_seen,
             self.free_small.len() + self.free_large.len(),
@@ -665,8 +668,8 @@ mod tests {
         let mut a = CachingAllocator::new(AllocatorConfig::pytorch_defaults(), device);
         let x = a.alloc(100 * 1024).unwrap(); // small pool, 2 MiB segment
         a.free(x); // cached
-        // 21 MiB huge request needs a 22 MiB segment: the cached small
-        // segment must be reclaimed first.
+                   // 21 MiB huge request needs a 22 MiB segment: the cached small
+                   // segment must be reclaimed first.
         a.alloc(21 * MIB).unwrap();
         assert_eq!(a.counters().num_reclaims, 1);
         assert_eq!(a.counters().num_segments_released, 1);
@@ -708,8 +711,7 @@ mod tests {
 
     #[test]
     fn non_caching_mode_returns_segments_eagerly() {
-        let mut a =
-            CachingAllocator::new(AllocatorConfig::without_caching(), small_device());
+        let mut a = CachingAllocator::new(AllocatorConfig::without_caching(), small_device());
         let x = a.alloc(3 * MIB).unwrap();
         assert_eq!(a.counters().reserved, 20 * MIB as u64);
         a.free(x);
@@ -764,8 +766,8 @@ mod tests {
         let mut a = CachingAllocator::new(cfg, device);
         let x = a.alloc(14 * MIB).unwrap(); // 14 MiB segment
         a.free(x); // cached
-        // The next request would push reserved to 32 MiB > 25.6 MiB
-        // budget: the cached segment is collected first.
+                   // The next request would push reserved to 32 MiB > 25.6 MiB
+                   // budget: the cached segment is collected first.
         a.alloc(18 * MIB).unwrap();
         assert_eq!(a.counters().reserved, 18 * MIB as u64);
         assert_eq!(a.counters().num_segments_released, 1);
@@ -787,8 +789,8 @@ mod tests {
         let mut a = CachingAllocator::new(cfg, small_device());
         let big = a.alloc(16 * MIB).unwrap(); // exact 16 MiB segment
         a.free(big); // cached oversize block
-        // A 2 MiB request must NOT split the oversize block; it opens a new
-        // 20 MiB large-buffer segment instead.
+                     // A 2 MiB request must NOT split the oversize block; it opens a new
+                     // 20 MiB large-buffer segment instead.
         a.alloc(2 * MIB).unwrap();
         assert_eq!(a.counters().reserved, 36 * MIB as u64);
         a.check_invariants();
@@ -799,7 +801,11 @@ mod tests {
         let mut a = alloc();
         let x = a.alloc(19 * MIB + 512 * 1024).unwrap(); // leaves 512 KiB < 1 MiB
         let snap = a.snapshot();
-        assert_eq!(snap.segments[0].blocks.len(), 1, "no split below 1 MiB remainder");
+        assert_eq!(
+            snap.segments[0].blocks.len(),
+            1,
+            "no split below 1 MiB remainder"
+        );
         a.free(x);
         a.check_invariants();
     }

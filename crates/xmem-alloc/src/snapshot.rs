@@ -83,7 +83,10 @@ impl AllocatorSnapshot {
     /// Total allocated-block bytes across segments.
     #[must_use]
     pub fn active_bytes(&self) -> u64 {
-        self.segments.iter().map(SegmentSnapshot::active_bytes).sum()
+        self.segments
+            .iter()
+            .map(SegmentSnapshot::active_bytes)
+            .sum()
     }
 }
 
@@ -179,7 +182,14 @@ mod tests {
         assert_eq!(d.segment_count_delta, 1);
         assert!(d.within(2048));
         assert!(!d.within(1000));
-        assert_eq!(a.diff(&a), SnapshotDiff { reserved_delta: 0, active_delta: 0, segment_count_delta: 0 });
+        assert_eq!(
+            a.diff(&a),
+            SnapshotDiff {
+                reserved_delta: 0,
+                active_delta: 0,
+                segment_count_delta: 0
+            }
+        );
     }
 
     #[test]

@@ -232,7 +232,8 @@ mod tests {
         let pos0 = e.estimate(&s, &d).unwrap();
         let pos1 = e
             .estimate(
-                &s.clone().with_zero_grad(xmem_runtime::ZeroGradPos::IterStart),
+                &s.clone()
+                    .with_zero_grad(xmem_runtime::ZeroGradPos::IterStart),
                 &d,
             )
             .unwrap();

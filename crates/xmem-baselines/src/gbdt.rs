@@ -51,12 +51,7 @@ pub struct Tree {
 }
 
 impl Tree {
-    fn fit(
-        x: &[Vec<f64>],
-        residuals: &[f64],
-        indices: &[usize],
-        params: &GbdtParams,
-    ) -> Self {
+    fn fit(x: &[Vec<f64>], residuals: &[f64], indices: &[usize], params: &GbdtParams) -> Self {
         let mut tree = Tree { nodes: Vec::new() };
         tree.grow(x, residuals, indices, params, 0);
         tree
@@ -81,9 +76,8 @@ impl Tree {
                 self.nodes.len() - 1
             }
             Some((feature, threshold)) => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| x[i][feature] <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x[i][feature] <= threshold);
                 // Reserve this node's slot, then grow children.
                 let slot = self.nodes.len();
                 self.nodes.push(Node::Leaf { value: mean }); // placeholder
@@ -187,17 +181,16 @@ impl Gbdt {
     /// Panics when `x` and `y` are empty or of different lengths.
     #[must_use]
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: &GbdtParams) -> Self {
-        assert!(!x.is_empty() && x.len() == y.len(), "non-empty, aligned data");
+        assert!(
+            !x.is_empty() && x.len() == y.len(),
+            "non-empty, aligned data"
+        );
         let base = y.iter().sum::<f64>() / y.len() as f64;
         let mut predictions = vec![base; y.len()];
         let indices: Vec<usize> = (0..y.len()).collect();
         let mut trees = Vec::with_capacity(params.n_trees);
         for _ in 0..params.n_trees {
-            let residuals: Vec<f64> = y
-                .iter()
-                .zip(&predictions)
-                .map(|(yi, pi)| yi - pi)
-                .collect();
+            let residuals: Vec<f64> = y.iter().zip(&predictions).map(|(yi, pi)| yi - pi).collect();
             let tree = Tree::fit(x, &residuals, &indices, params);
             for (i, pred) in predictions.iter_mut().enumerate() {
                 *pred += params.learning_rate * tree.predict(&x[i]);
@@ -214,13 +207,7 @@ impl Gbdt {
     /// Predicts for one feature vector.
     #[must_use]
     pub fn predict(&self, features: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(features))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(features)).sum::<f64>()
     }
 
     /// Number of trees in the ensemble.
@@ -267,7 +254,10 @@ mod tests {
             let mean = y.iter().sum::<f64>() / y.len() as f64;
             y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64
         };
-        assert!(mse < 0.05 * var, "mse {mse} should beat 5% of variance {var}");
+        assert!(
+            mse < 0.05 * var,
+            "mse {mse} should beat 5% of variance {var}"
+        );
     }
 
     #[test]
@@ -302,7 +292,14 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (x, y) = grid();
-        let model = Gbdt::fit(&x, &y, &GbdtParams { n_trees: 10, ..GbdtParams::default() });
+        let model = Gbdt::fit(
+            &x,
+            &y,
+            &GbdtParams {
+                n_trees: 10,
+                ..GbdtParams::default()
+            },
+        );
         let json = serde_json::to_string(&model).unwrap();
         let back: Gbdt = serde_json::from_str(&json).unwrap();
         assert_eq!(model.predict(&[3.0, 3.0]), back.predict(&[3.0, 3.0]));

@@ -141,8 +141,8 @@ mod tests {
     fn estimates_transformers_with_bounded_error_at_small_batch() {
         let e = LlMem::new();
         let device = GpuDevice::rtx3060();
-        let spec = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 5)
-            .with_iterations(3);
+        let spec =
+            TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 5).with_iterations(3);
         let est = e.estimate(&spec, &device).unwrap();
         let gt = run_on_gpu(&spec, &device, None, false);
         assert!(!gt.oom);
@@ -155,8 +155,8 @@ mod tests {
         let e = LlMem::new();
         let device = GpuDevice::rtx3060();
         let rel_err = |batch: usize| -> f64 {
-            let spec = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::AdamW, batch)
-                .with_iterations(3);
+            let spec =
+                TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::AdamW, batch).with_iterations(3);
             let est = e.estimate(&spec, &device).unwrap();
             let gt = run_on_gpu(&spec, &device, None, false);
             assert!(!gt.oom);

@@ -105,17 +105,12 @@ impl SchedTune {
         for (i, model) in TRAINING_MODELS.into_iter().enumerate() {
             let grid = model.info().batch_grid;
             // Historical logs rarely cover the full grid: take 4 points.
-            let batches: Vec<usize> = grid
-                .values()
-                .into_iter()
-                .step_by(2)
-                .take(4)
-                .collect();
+            let batches: Vec<usize> = grid.values().into_iter().step_by(2).take(4).collect();
             for (j, &batch) in batches.iter().enumerate() {
                 for (k, &opt) in optimizers.iter().enumerate() {
                     for (d, device) in devices.iter().enumerate() {
-                        let run_seed =
-                            seed ^ ((i as u64) << 24 | (j as u64) << 16 | (k as u64) << 8 | d as u64);
+                        let run_seed = seed
+                            ^ ((i as u64) << 24 | (j as u64) << 16 | (k as u64) << 8 | d as u64);
                         let spec = TrainJobSpec::new(model, opt, batch)
                             .with_iterations(3)
                             .with_seed(run_seed);
@@ -202,12 +197,8 @@ mod tests {
         // cannot extrapolate, so the error is large.
         let st = trained();
         let device = GpuDevice::rtx3060();
-        let spec = TrainJobSpec::new(
-            ModelId::Pythia1B,
-            OptimizerKind::Sgd { momentum: false },
-            2,
-        )
-        .with_iterations(3);
+        let spec = TrainJobSpec::new(ModelId::Pythia1B, OptimizerKind::Sgd { momentum: false }, 2)
+            .with_iterations(3);
         let est = st.estimate(&spec, &device).unwrap();
         let gt = run_on_gpu(&spec, &device, None, false);
         assert!(!gt.oom);
@@ -222,9 +213,6 @@ mod tests {
         let back = SchedTune::from_json(&json).unwrap();
         let device = GpuDevice::rtx3060();
         let spec = TrainJobSpec::new(ModelId::Vgg16, OptimizerKind::Adam, 200);
-        assert_eq!(
-            st.estimate(&spec, &device),
-            back.estimate(&spec, &device)
-        );
+        assert_eq!(st.estimate(&spec, &device), back.estimate(&spec, &device));
     }
 }

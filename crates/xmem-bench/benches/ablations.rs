@@ -9,8 +9,7 @@ use xmem_optim::OptimizerKind;
 use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
 
 fn bench_simulator_variants(c: &mut Criterion) {
-    let spec =
-        TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 8).with_iterations(3);
+    let spec = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 8).with_iterations(3);
     let trace = profile_on_cpu(&spec);
     let analyzed = Analyzer::new().analyze(&trace).expect("analyze");
     let sequence = Orchestrator::default().orchestrate(&analyzed);

@@ -27,15 +27,19 @@ fn bench_allocator(c: &mut Criterion) {
     let mut group = c.benchmark_group("caching_allocator");
     for ops in [1_000usize, 10_000] {
         group.throughput(Throughput::Elements(ops as u64));
-        group.bench_with_input(BenchmarkId::new("pytorch_defaults", ops), &ops, |b, &ops| {
-            b.iter(|| {
-                let mut alloc = CachingAllocator::new(
-                    AllocatorConfig::pytorch_defaults(),
-                    DeviceAllocator::unlimited(),
-                );
-                churn(&mut alloc, ops);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pytorch_defaults", ops),
+            &ops,
+            |b, &ops| {
+                b.iter(|| {
+                    let mut alloc = CachingAllocator::new(
+                        AllocatorConfig::pytorch_defaults(),
+                        DeviceAllocator::unlimited(),
+                    );
+                    churn(&mut alloc, ops);
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("without_caching", ops), &ops, |b, &ops| {
             b.iter(|| {
                 let mut alloc = CachingAllocator::new(

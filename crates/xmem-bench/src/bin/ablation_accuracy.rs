@@ -25,7 +25,12 @@ fn variant_config(device: GpuDevice, variant: &str) -> EstimatorConfig {
     let mut cfg = EstimatorConfig::for_device(device);
     match variant {
         "full" => {}
-        "no-retime" => cfg.orchestrator = Orchestrator { retime: false, ..Orchestrator::default() },
+        "no-retime" => {
+            cfg.orchestrator = Orchestrator {
+                retime: false,
+                ..Orchestrator::default()
+            }
+        }
         "no-filter" => {
             cfg.orchestrator = Orchestrator {
                 filter_script: false,
@@ -70,7 +75,10 @@ fn main() {
     ];
     let mut csv = String::from("variant,mre,mean_signed_error\n");
 
-    println!("Part 1: accuracy over {} jobs (MRE / mean signed error)", jobs.len());
+    println!(
+        "Part 1: accuracy over {} jobs (MRE / mean signed error)",
+        jobs.len()
+    );
     let truths: Vec<u64> = jobs
         .iter()
         .map(|(model, opt, batch)| {
@@ -95,7 +103,10 @@ fn main() {
             .sum::<f64>()
             / truths.len() as f64;
         let mre = metrics::median(&errors).expect("non-empty") * 100.0;
-        println!("  {variant:<12} MRE {mre:>7.3}%   bias {:+.3}%", signed * 100.0);
+        println!(
+            "  {variant:<12} MRE {mre:>7.3}%   bias {:+.3}%",
+            signed * 100.0
+        );
         let _ = writeln!(csv, "{variant},{:.6},{:.6}", mre / 100.0, signed);
     };
     for variant in ["full", "no-retime", "no-filter", "no-roundup"] {

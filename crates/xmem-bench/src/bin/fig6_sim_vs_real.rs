@@ -12,7 +12,10 @@ use xmem_runtime::{run_on_gpu, GpuDevice, TrainJobSpec};
 fn main() {
     let args = BenchArgs::parse();
     let device = GpuDevice::rtx3060();
-    println!("Figure 6: real vs simulated segment usage (device {})", device.name);
+    println!(
+        "Figure 6: real vs simulated segment usage (device {})",
+        device.name
+    );
     let cases = [
         (ModelId::DistilGpt2, 40),
         (ModelId::GptNeo125M, 32),

@@ -27,9 +27,7 @@ fn main() {
                 mre,
                 q
             );
-            *quadrant_counts
-                .entry((s.estimator.clone(), q))
-                .or_default() += 1;
+            *quadrant_counts.entry((s.estimator.clone(), q)).or_default() += 1;
         }
         let estimators: Vec<String> = {
             let mut v: Vec<String> = quadrant_counts.keys().map(|(e, _)| e.clone()).collect();
@@ -43,12 +41,7 @@ fn main() {
             "estimator", "Optimal", "Overestimation", "Underestimation", "Worst"
         );
         for est in estimators {
-            let count = |q: Quadrant| {
-                quadrant_counts
-                    .get(&(est.clone(), q))
-                    .copied()
-                    .unwrap_or(0)
-            };
+            let count = |q: Quadrant| quadrant_counts.get(&(est.clone(), q)).copied().unwrap_or(0);
             println!(
                 "{:<12} {:>8} {:>14} {:>15} {:>7}",
                 est,

@@ -40,12 +40,7 @@ fn main() {
                     let out = est.estimate(&spec, &device).expect("both support LMs");
                     let e = metrics::relative_error(out.peak_bytes, gt.peak_nvml);
                     errs.entry(est.name()).or_default().push(e);
-                    let _ = writeln!(
-                        csv,
-                        "{name},{},{},{rep},{e:.6}",
-                        est.name(),
-                        opt.name()
-                    );
+                    let _ = writeln!(csv, "{name},{},{},{rep},{e:.6}", est.name(), opt.name());
                 }
             }
         }

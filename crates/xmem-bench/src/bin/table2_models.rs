@@ -13,10 +13,7 @@ fn main() {
         let info = model.info();
         let graph = model.build();
         let grid = info.batch_grid;
-        let opts: Vec<&str> = optimizers_for(info.arch)
-            .iter()
-            .map(|o| o.name())
-            .collect();
+        let opts: Vec<&str> = optimizers_for(info.arch).iter().map(|o| o.name()).collect();
         println!(
             "{:<32} {:<12} {:>14} {:>14} {:>7} {:<12} {:<30}",
             info.name,

@@ -72,7 +72,10 @@ impl AnalyzedTrace {
     /// Number of blocks per category (diagnostics / tests).
     #[must_use]
     pub fn count(&self, category: BlockCategory) -> usize {
-        self.blocks.iter().filter(|b| b.category == category).count()
+        self.blocks
+            .iter()
+            .filter(|b| b.category == category)
+            .count()
     }
 
     /// Total bytes per category.
@@ -185,9 +188,7 @@ impl Analyzer {
 
         match op {
             Some(w) => {
-                let freed_inside_op = block
-                    .free_ts
-                    .is_some_and(|f| w.start <= f && f <= w.end);
+                let freed_inside_op = block.free_ts.is_some_and(|f| w.start <= f && f <= w.end);
                 if w.is_accumulate_grad {
                     return AnalyzedBlock {
                         block,

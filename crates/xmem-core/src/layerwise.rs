@@ -178,7 +178,10 @@ mod tests {
             global.persistent_bytes
         );
         // Decoder blocks carry meaningful activation peaks.
-        for l in report.iter().filter(|l| l.component.starts_with("transformer.h.")) {
+        for l in report
+            .iter()
+            .filter(|l| l.component.starts_with("transformer.h."))
+        {
             assert!(
                 l.peak_live_bytes > 1 << 20,
                 "{}: peak {}",

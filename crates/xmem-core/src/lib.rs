@@ -53,7 +53,7 @@ mod report;
 mod simulator;
 mod windows;
 
-pub use analyzer::{AnalyzedTrace, AnalyzedBlock, Analyzer, BlockCategory};
+pub use analyzer::{AnalyzedBlock, AnalyzedTrace, Analyzer, BlockCategory};
 pub use error::EstimateError;
 pub use layerwise::{layer_report, render_layer_report, LayerMemory};
 pub use lifecycle::{reconstruct_lifecycles, LifecycleStats, MemoryBlock};

@@ -168,8 +168,7 @@ mod tests {
     use xmem_runtime::{profile_on_cpu, TrainJobSpec};
 
     fn sequence(optimizer: OptimizerKind) -> (AnalyzedTrace, OrchestratedSequence) {
-        let spec =
-            TrainJobSpec::new(ModelId::MobileNetV3Small, optimizer, 4).with_iterations(3);
+        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, optimizer, 4).with_iterations(3);
         let trace = profile_on_cpu(&spec);
         let analyzed = Analyzer::new().analyze(&trace).unwrap();
         let seq = Orchestrator::default().orchestrate(&analyzed);

@@ -1,6 +1,6 @@
 //! The public estimation facade: Analyzer → Orchestrator → Simulator.
 
-use crate::analyzer::{Analyzer, BlockCategory};
+use crate::analyzer::{AnalyzedTrace, Analyzer, BlockCategory};
 use crate::orchestrator::Orchestrator;
 use crate::simulator::Simulator;
 use crate::EstimateError;
@@ -63,7 +63,7 @@ pub struct AnalysisStats {
 }
 
 /// The estimation result (paper: `M̂^peak` plus the optional usage curve).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Estimate {
     /// Estimated peak total device usage: job segments + framework
     /// overhead. Directly comparable with NVML-sampled ground truth.
@@ -106,7 +106,16 @@ impl Estimator {
     /// Propagates Analyzer failures for malformed traces.
     pub fn estimate_trace(&self, trace: &Trace) -> Result<Estimate, EstimateError> {
         let analyzed = Analyzer::new().analyze(trace)?;
-        let sequence = self.config.orchestrator.orchestrate(&analyzed);
+        Ok(self.estimate_analyzed(&analyzed))
+    }
+
+    /// Estimates from an already-analyzed trace. This is the cache-friendly
+    /// entry point: profiling and analysis are pure functions of the job
+    /// spec, so services can memoize an [`AnalyzedTrace`] and re-run only
+    /// the device-dependent orchestration + simulation stages.
+    #[must_use]
+    pub fn estimate_analyzed(&self, analyzed: &AnalyzedTrace) -> Estimate {
+        let sequence = self.config.orchestrator.orchestrate(analyzed);
 
         let device = &self.config.device;
         let mut simulator = Simulator {
@@ -136,14 +145,10 @@ impl Estimator {
             BlockCategory::Workspace,
             BlockCategory::Script,
         ] {
-            categories.push((
-                format!("{cat:?}"),
-                analyzed.count(cat),
-                analyzed.bytes(cat),
-            ));
+            categories.push((format!("{cat:?}"), analyzed.count(cat), analyzed.bytes(cat)));
         }
 
-        Ok(Estimate {
+        Estimate {
             peak_bytes: peak_total,
             job_peak_bytes: job_peak,
             tensor_peak_bytes: sim.peak_allocated,
@@ -155,7 +160,7 @@ impl Estimator {
                 adjusted_blocks: sequence.adjusted_blocks,
                 unmatched_frees: analyzed.lifecycle_stats.unmatched_frees,
             },
-        })
+        }
     }
 
     /// Profiles the job on the CPU backend, then estimates — the

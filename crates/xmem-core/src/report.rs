@@ -33,7 +33,11 @@ pub fn render_report(job: &str, estimate: &Estimate) -> String {
     let _ = writeln!(out, "  memory blocks by category:");
     for (name, count, bytes) in &estimate.stats.categories {
         if *count > 0 {
-            let _ = writeln!(out, "    {name:<16} {count:>7} blocks {:>10.3} GiB", gib(*bytes));
+            let _ = writeln!(
+                out,
+                "    {name:<16} {count:>7} blocks {:>10.3} GiB",
+                gib(*bytes)
+            );
         }
     }
     let _ = writeln!(

@@ -240,8 +240,8 @@ mod tests {
             (20, 0, 4 * MIB, false),
         ]);
         let reference = Simulator::unbounded().with_timeline().replay(&s);
-        let diff = Simulator::unbounded()
-            .verify_against(&s, &reference.snapshot.expect("recorded"));
+        let diff =
+            Simulator::unbounded().verify_against(&s, &reference.snapshot.expect("recorded"));
         assert_eq!(diff.reserved_delta, 0);
         assert_eq!(diff.active_delta, 0);
         assert_eq!(diff.segment_count_delta, 0);

@@ -46,8 +46,8 @@ mod tests {
 
     #[test]
     fn adapter_estimates_like_the_pipeline() {
-        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
-            .with_iterations(2);
+        let spec =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
         let device = GpuDevice::rtx3060();
         let adapter = XMemEstimator::new();
         let via_adapter = adapter.estimate(&spec, &device).unwrap();

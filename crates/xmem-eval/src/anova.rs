@@ -75,10 +75,7 @@ impl AnovaScale {
 #[must_use]
 pub fn anova_configs(campaign_seed: u64, scale: &AnovaScale) -> Vec<JobConfig> {
     let device = GpuDevice::rtx3060();
-    let models = scale
-        .models
-        .clone()
-        .unwrap_or_else(ModelId::evaluation_set);
+    let models = scale.models.clone().unwrap_or_else(ModelId::evaluation_set);
     let mut configs = Vec::new();
     for model in models {
         let info = model.info();
@@ -95,8 +92,7 @@ pub fn anova_configs(campaign_seed: u64, scale: &AnovaScale) -> Vec<JobConfig> {
         for optimizer in &optimizers {
             for &batch in &batches {
                 for repeat in 1..=scale.repeats {
-                    let spec =
-                        TrainJobSpec::new(model, *optimizer, batch).with_iterations(3);
+                    let spec = TrainJobSpec::new(model, *optimizer, batch).with_iterations(3);
                     configs.push(job(campaign_seed, spec, device, repeat));
                 }
             }
@@ -147,8 +143,7 @@ mod tests {
     fn smoke_scale_is_much_smaller_but_covers_all_models() {
         let configs = anova_configs(1, &AnovaScale::smoke());
         assert!(configs.len() < 600);
-        let models: std::collections::HashSet<_> =
-            configs.iter().map(|c| c.spec.model).collect();
+        let models: std::collections::HashSet<_> = configs.iter().map(|c| c.spec.model).collect();
         assert_eq!(models.len(), 22);
     }
 
@@ -176,8 +171,7 @@ mod tests {
             },
         );
         assert_eq!(configs.len(), 3);
-        let seeds: std::collections::HashSet<_> =
-            configs.iter().map(|c| c.spec.seed).collect();
+        let seeds: std::collections::HashSet<_> = configs.iter().map(|c| c.spec.seed).collect();
         assert_eq!(seeds.len(), 3);
     }
 }

@@ -183,8 +183,8 @@ mod tests {
     #[test]
     fn accurate_estimate_passes_both_rounds() {
         let device = GpuDevice::rtx3060();
-        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
-            .with_iterations(2);
+        let spec =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
         let gt = run_on_gpu(&spec, &device, None, false);
         let round1 = GroundTruthSummary {
             peak: gt.peak_nvml,
@@ -202,8 +202,8 @@ mod tests {
     #[test]
     fn underestimate_fails_round_two() {
         let device = GpuDevice::rtx3060();
-        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
-            .with_iterations(2);
+        let spec =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
         let gt = run_on_gpu(&spec, &device, None, false);
         let round1 = GroundTruthSummary {
             peak: gt.peak_nvml,
@@ -233,8 +233,8 @@ mod tests {
             }
         }
         let device = GpuDevice::rtx3060();
-        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
-            .with_iterations(2);
+        let spec =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
         let round1 = GroundTruthSummary {
             peak: 1 << 30,
             oom: false,

@@ -78,9 +78,9 @@ pub fn run_campaign(
     let next = AtomicUsize::new(0);
     let records: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(configs.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
@@ -101,8 +101,7 @@ pub fn run_campaign(
                 records.lock().expect("poisoned").extend(local);
             });
         }
-    })
-    .expect("campaign threads do not panic");
+    });
 
     records.into_inner().expect("poisoned")
 }
@@ -120,12 +119,7 @@ pub fn config_seed(campaign_seed: u64, label: &str, repeat: u32) -> u64 {
 
 /// Convenience constructor for a [`JobConfig`].
 #[must_use]
-pub fn job(
-    campaign_seed: u64,
-    spec: TrainJobSpec,
-    device: GpuDevice,
-    repeat: u32,
-) -> JobConfig {
+pub fn job(campaign_seed: u64, spec: TrainJobSpec, device: GpuDevice, repeat: u32) -> JobConfig {
     let seed = config_seed(campaign_seed, &spec.label(), repeat);
     let spec = spec.with_seed(seed);
     let key = ConfigKey {
@@ -174,8 +168,7 @@ mod tests {
             ),
             job(
                 1,
-                TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 5)
-                    .with_iterations(2),
+                TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 5).with_iterations(2),
                 GpuDevice::rtx3060(),
                 1,
             ),

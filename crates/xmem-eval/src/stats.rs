@@ -135,7 +135,11 @@ mod tests {
         let a = vec![1.0, 1.1, 0.9, 1.05];
         let b = vec![5.0, 5.2, 4.9, 5.05];
         let r = one_way_anova(&[a, b]).unwrap();
-        assert!(r.f_statistic > 100.0, "clearly separated means: F = {}", r.f_statistic);
+        assert!(
+            r.f_statistic > 100.0,
+            "clearly separated means: F = {}",
+            r.f_statistic
+        );
         assert_eq!(r.df_between, 1);
         assert_eq!(r.df_within, 6);
     }
@@ -145,7 +149,11 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let r = one_way_anova(&[a, b]).unwrap();
-        assert!(r.f_statistic < 1e-9, "identical means: F = {}", r.f_statistic);
+        assert!(
+            r.f_statistic < 1e-9,
+            "identical means: F = {}",
+            r.f_statistic
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ use xmem_models::ModelId;
 const GIB: f64 = (1u64 << 30) as f64;
 
 /// Quadrants of the PEF × MRE plane (Fig. 8), 20 % thresholds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Quadrant {
     /// Low PEF, low MRE.
     Optimal,
@@ -273,9 +271,8 @@ pub fn render_summary_table(summaries: &[ModelEstimatorSummary]) -> String {
 #[must_use]
 pub fn summaries_to_csv(summaries: &[ModelEstimatorSummary]) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from(
-        "model,arch,estimator,mre,pef,n,err_min,err_q1,err_median,err_q3,err_max\n",
-    );
+    let mut out =
+        String::from("model,arch,estimator,mre,pef,n,err_min,err_q1,err_median,err_q3,err_max\n");
     for s in summaries {
         let info = s.model.info();
         let b = s.error_box;
@@ -385,8 +382,20 @@ mod tests {
         let mut records = Vec::new();
         for _ in 0..4 {
             records.push(record(ModelId::Gpt2, "xMem", Some(0.02), true, 8.0 * GIB));
-            records.push(record(ModelId::Gpt2, "DNNMem", Some(0.25), false, 2.0 * GIB));
-            records.push(record(ModelId::Gpt2, "SchedTune", Some(0.4), false, 1.0 * GIB));
+            records.push(record(
+                ModelId::Gpt2,
+                "DNNMem",
+                Some(0.25),
+                false,
+                2.0 * GIB,
+            ));
+            records.push(record(
+                ModelId::Gpt2,
+                "SchedTune",
+                Some(0.4),
+                false,
+                1.0 * GIB,
+            ));
         }
         let h = headline(&records).unwrap();
         assert!((h.mre_reduction - (1.0 - 0.02 / 0.25)).abs() < 1e-9);

@@ -174,7 +174,13 @@ impl GraphBuilder {
 
     /// Adds a token embedding and returns `(output, weight_param)` so the
     /// weight can be tied later.
-    pub fn embedding(&mut self, x: NodeId, vocab: usize, dim: usize, name: &str) -> (NodeId, ParamId) {
+    pub fn embedding(
+        &mut self,
+        x: NodeId,
+        vocab: usize,
+        dim: usize,
+        name: &str,
+    ) -> (NodeId, ParamId) {
         let node = self.push_node(name, OpKind::Embedding { vocab, dim }, vec![x]);
         let pid = *self.nodes[node.index()]
             .params

@@ -311,11 +311,11 @@ mod tests {
     fn param_accounting() {
         let g = mlp();
         assert_eq!(g.num_params(), 4);
+        assert_eq!(g.trainable_param_elems(), (32 * 64 + 64) + (64 * 10 + 10));
         assert_eq!(
-            g.trainable_param_elems(),
-            (32 * 64 + 64) + (64 * 10 + 10)
+            g.param_bytes(),
+            4 * ((32 * 64 + 64) + (64 * 10 + 10)) as u64
         );
-        assert_eq!(g.param_bytes(), 4 * ((32 * 64 + 64) + (64 * 10 + 10)) as u64);
     }
 
     #[test]

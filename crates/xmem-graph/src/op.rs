@@ -257,7 +257,11 @@ impl OpKind {
                 out_features,
                 bias,
             } => {
-                let mut v = vec![("weight", TensorSpec::f32([*out_features, *in_features]), true)];
+                let mut v = vec![(
+                    "weight",
+                    TensorSpec::f32([*out_features, *in_features]),
+                    true,
+                )];
                 if *bias {
                     v.push(("bias", TensorSpec::f32([*out_features]), true));
                 }
@@ -344,7 +348,10 @@ impl OpKind {
                 let x = inputs[0];
                 let d = x.shape.dims();
                 if d.len() != 4 {
-                    return Err(mismatch(format!("conv2d expects 4-D input, got {}", x.shape)));
+                    return Err(mismatch(format!(
+                        "conv2d expects 4-D input, got {}",
+                        x.shape
+                    )));
                 }
                 if d[1] != c.in_ch {
                     return Err(mismatch(format!(
@@ -551,11 +558,11 @@ impl OpKind {
                 let mut total = 0;
                 for x in inputs {
                     if x.shape.rank() != rank || x.dtype != first.dtype {
-                        return Err(mismatch("concat inputs must agree in rank and dtype".into()));
+                        return Err(mismatch(
+                            "concat inputs must agree in rank and dtype".into(),
+                        ));
                     }
-                    for (i, (&a, &b)) in
-                        x.shape.dims().iter().zip(first.shape.dims()).enumerate()
-                    {
+                    for (i, (&a, &b)) in x.shape.dims().iter().zip(first.shape.dims()).enumerate() {
                         if i != *dim && a != b {
                             return Err(mismatch(format!(
                                 "concat non-{dim} dims differ: {} vs {}",
@@ -565,7 +572,10 @@ impl OpKind {
                     }
                     total += x.shape.dims()[*dim];
                 }
-                Ok(TensorSpec::new(first.shape.with_dim(*dim, total), first.dtype))
+                Ok(TensorSpec::new(
+                    first.shape.with_dim(*dim, total),
+                    first.dtype,
+                ))
             }
             OpKind::Attention(a) => {
                 let (q, k, v) = (inputs[0], inputs[1], inputs[2]);
@@ -627,9 +637,7 @@ impl OpKind {
     pub fn macs(&self, inputs: &[&TensorSpec], output: &TensorSpec) -> u64 {
         let out = output.numel() as u64;
         match self {
-            OpKind::Conv2d(c) => {
-                out * (c.kernel.0 * c.kernel.1 * c.in_ch / c.groups) as u64
-            }
+            OpKind::Conv2d(c) => out * (c.kernel.0 * c.kernel.1 * c.in_ch / c.groups) as u64,
             OpKind::Linear { in_features, .. } => out * *in_features as u64,
             OpKind::Attention(a) => {
                 let q = inputs[0].shape.dims();
@@ -644,7 +652,11 @@ impl OpKind {
             | OpKind::LayerNorm { .. }
             | OpKind::RmsNorm { .. }
             | OpKind::Softmax { .. } => inputs[0].numel() as u64 * 4,
-            _ => inputs.iter().map(|t| t.numel() as u64).sum::<u64>().max(out),
+            _ => inputs
+                .iter()
+                .map(|t| t.numel() as u64)
+                .sum::<u64>()
+                .max(out),
         }
     }
 

@@ -71,9 +71,18 @@ mod tests {
     #[test]
     fn size_accounts_for_dtype() {
         let shape = [16, 128];
-        assert_eq!(TensorSpec::new(shape, DType::F32).size_bytes(), 16 * 128 * 4);
-        assert_eq!(TensorSpec::new(shape, DType::F16).size_bytes(), 16 * 128 * 2);
-        assert_eq!(TensorSpec::new(shape, DType::I64).size_bytes(), 16 * 128 * 8);
+        assert_eq!(
+            TensorSpec::new(shape, DType::F32).size_bytes(),
+            16 * 128 * 4
+        );
+        assert_eq!(
+            TensorSpec::new(shape, DType::F16).size_bytes(),
+            16 * 128 * 2
+        );
+        assert_eq!(
+            TensorSpec::new(shape, DType::I64).size_bytes(),
+            16 * 128 * 8
+        );
     }
 
     #[test]

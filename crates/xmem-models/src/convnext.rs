@@ -61,7 +61,12 @@ fn convnext(name: &str, depths: [usize; 4], dims: [usize; 4]) -> Graph {
     x = layer_norm_2d(&mut b, x, dims[0], "stem.norm");
     for stage in 0..4 {
         if stage > 0 {
-            x = layer_norm_2d(&mut b, x, dims[stage - 1], &format!("downsample{stage}.norm"));
+            x = layer_norm_2d(
+                &mut b,
+                x,
+                dims[stage - 1],
+                &format!("downsample{stage}.norm"),
+            );
             x = b.conv2d(
                 x,
                 Conv2dSpec {

@@ -2,9 +2,7 @@
 //! Cerebras-GPT-111M. All share the pre-LN residual block; they differ in
 //! depth, context length and projection biases.
 
-use xmem_graph::{
-    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
-};
+use xmem_graph::{ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId};
 
 /// Configuration of a GPT-2-style decoder.
 pub struct Gpt2Cfg {

@@ -31,8 +31,8 @@ mod mnasnet;
 mod mobilenet;
 mod neox;
 mod opt;
-mod regnet;
 mod registry;
+mod regnet;
 mod resnet;
 mod t5;
 mod util;

@@ -3,9 +3,7 @@
 //! attention, SwiGLU MLPs; Qwen2.5 adds q/k/v biases, Qwen3 adds per-head
 //! q/k RMS norms instead.
 
-use xmem_graph::{
-    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
-};
+use xmem_graph::{ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId};
 
 /// Configuration of a LLaMA-style decoder.
 pub struct LlamaCfg {

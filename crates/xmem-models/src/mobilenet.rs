@@ -20,7 +20,17 @@ fn v2_block(
         if expand != 1 {
             h = conv_bn_act(b, h, in_ch, hidden, 1, 1, 1, ActKind::Relu6, "expand");
         }
-        h = conv_bn_act(b, h, hidden, hidden, 3, stride, hidden, ActKind::Relu6, "dw");
+        h = conv_bn_act(
+            b,
+            h,
+            hidden,
+            hidden,
+            3,
+            stride,
+            hidden,
+            ActKind::Relu6,
+            "dw",
+        );
         h = conv_bn(b, h, hidden, out_ch, 1, 1, 1, "project");
         if stride == 1 && in_ch == out_ch {
             b.add(h, x, "add")
@@ -56,7 +66,17 @@ pub fn mobilenet_v2() -> Graph {
             idx += 1;
         }
     }
-    x = conv_bn_act(&mut b, x, in_ch, 1280, 1, 1, 1, ActKind::Relu6, "features.18");
+    x = conv_bn_act(
+        &mut b,
+        x,
+        in_ch,
+        1280,
+        1,
+        1,
+        1,
+        ActKind::Relu6,
+        "features.18",
+    );
     x = b.adaptive_avg_pool2d(x, 1, 1, "avgpool");
     x = b.flatten(x, 1, "flatten");
     x = b.dropout(x, 0.2, "classifier.0");
@@ -83,15 +103,7 @@ fn v3_block(b: &mut GraphBuilder, x: NodeId, in_ch: usize, cfg: &Bneck, name: &s
             h = conv_bn_act(b, h, in_ch, cfg.expand, 1, 1, 1, cfg.act, "expand");
         }
         h = conv_bn_act(
-            b,
-            h,
-            cfg.expand,
-            cfg.expand,
-            cfg.kernel,
-            cfg.stride,
-            cfg.expand,
-            cfg.act,
-            "dw",
+            b, h, cfg.expand, cfg.expand, cfg.kernel, cfg.stride, cfg.expand, cfg.act, "dw",
         );
         if cfg.se {
             let squeezed = make_divisible(cfg.expand as f64 / 4.0, 8);
@@ -141,17 +153,94 @@ fn mobilenet_v3(name: &str, cfg: &[Bneck], last_conv: usize, classifier_width: u
 pub fn mobilenet_v3_small() -> Graph {
     use ActKind::{Hardswish as HS, Relu as RE};
     let rows = [
-        Bneck { kernel: 3, expand: 16, out: 16, se: true, act: RE, stride: 2 },
-        Bneck { kernel: 3, expand: 72, out: 24, se: false, act: RE, stride: 2 },
-        Bneck { kernel: 3, expand: 88, out: 24, se: false, act: RE, stride: 1 },
-        Bneck { kernel: 5, expand: 96, out: 40, se: true, act: HS, stride: 2 },
-        Bneck { kernel: 5, expand: 240, out: 40, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 240, out: 40, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 120, out: 48, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 144, out: 48, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 288, out: 96, se: true, act: HS, stride: 2 },
-        Bneck { kernel: 5, expand: 576, out: 96, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 576, out: 96, se: true, act: HS, stride: 1 },
+        Bneck {
+            kernel: 3,
+            expand: 16,
+            out: 16,
+            se: true,
+            act: RE,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 72,
+            out: 24,
+            se: false,
+            act: RE,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 88,
+            out: 24,
+            se: false,
+            act: RE,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 96,
+            out: 40,
+            se: true,
+            act: HS,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 240,
+            out: 40,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 240,
+            out: 40,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 120,
+            out: 48,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 144,
+            out: 48,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 288,
+            out: 96,
+            se: true,
+            act: HS,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 576,
+            out: 96,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 576,
+            out: 96,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
     ];
     mobilenet_v3("mobilenet_v3_small", &rows, 576, 1024)
 }
@@ -161,21 +250,126 @@ pub fn mobilenet_v3_small() -> Graph {
 pub fn mobilenet_v3_large() -> Graph {
     use ActKind::{Hardswish as HS, Relu as RE};
     let rows = [
-        Bneck { kernel: 3, expand: 16, out: 16, se: false, act: RE, stride: 1 },
-        Bneck { kernel: 3, expand: 64, out: 24, se: false, act: RE, stride: 2 },
-        Bneck { kernel: 3, expand: 72, out: 24, se: false, act: RE, stride: 1 },
-        Bneck { kernel: 5, expand: 72, out: 40, se: true, act: RE, stride: 2 },
-        Bneck { kernel: 5, expand: 120, out: 40, se: true, act: RE, stride: 1 },
-        Bneck { kernel: 5, expand: 120, out: 40, se: true, act: RE, stride: 1 },
-        Bneck { kernel: 3, expand: 240, out: 80, se: false, act: HS, stride: 2 },
-        Bneck { kernel: 3, expand: 200, out: 80, se: false, act: HS, stride: 1 },
-        Bneck { kernel: 3, expand: 184, out: 80, se: false, act: HS, stride: 1 },
-        Bneck { kernel: 3, expand: 184, out: 80, se: false, act: HS, stride: 1 },
-        Bneck { kernel: 3, expand: 480, out: 112, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 3, expand: 672, out: 112, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 672, out: 160, se: true, act: HS, stride: 2 },
-        Bneck { kernel: 5, expand: 960, out: 160, se: true, act: HS, stride: 1 },
-        Bneck { kernel: 5, expand: 960, out: 160, se: true, act: HS, stride: 1 },
+        Bneck {
+            kernel: 3,
+            expand: 16,
+            out: 16,
+            se: false,
+            act: RE,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 64,
+            out: 24,
+            se: false,
+            act: RE,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 72,
+            out: 24,
+            se: false,
+            act: RE,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 72,
+            out: 40,
+            se: true,
+            act: RE,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 120,
+            out: 40,
+            se: true,
+            act: RE,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 120,
+            out: 40,
+            se: true,
+            act: RE,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 240,
+            out: 80,
+            se: false,
+            act: HS,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 200,
+            out: 80,
+            se: false,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 184,
+            out: 80,
+            se: false,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 184,
+            out: 80,
+            se: false,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 480,
+            out: 112,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 3,
+            expand: 672,
+            out: 112,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 672,
+            out: 160,
+            se: true,
+            act: HS,
+            stride: 2,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 960,
+            out: 160,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
+        Bneck {
+            kernel: 5,
+            expand: 960,
+            out: 160,
+            se: true,
+            act: HS,
+            stride: 1,
+        },
     ];
     mobilenet_v3("mobilenet_v3_large", &rows, 960, 1280)
 }

@@ -2,9 +2,7 @@
 //! input/output embeddings, rotary positions (no learned positional table)
 //! and parallel attention + MLP residuals.
 
-use xmem_graph::{
-    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
-};
+use xmem_graph::{ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId};
 
 struct NeoxCfg {
     name: &'static str,

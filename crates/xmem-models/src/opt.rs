@@ -2,9 +2,7 @@
 //! word-embedding space with `project_in`/`project_out` around its
 //! 1024-wide decoder; both tie `lm_head` to the token embedding.
 
-use xmem_graph::{
-    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId,
-};
+use xmem_graph::{ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId};
 
 struct OptCfg {
     name: &'static str,

@@ -22,7 +22,11 @@ impl BatchGrid {
 }
 
 /// Evaluation metadata for one model (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` display name has no owned
+/// deserialized form, and the metadata is reconstructible from
+/// [`ModelId::info`] anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct ModelInfo {
     /// The model.
     pub id: ModelId,
@@ -153,26 +157,25 @@ impl ModelId {
             ModelId::ResNet101 => ("ResNet101", Cnn, false, 44_549_160, CNN_GRID, 0),
             ModelId::ResNet152 => ("ResNet152", Cnn, false, 60_192_808, CNN_GRID, 0),
             ModelId::MobileNetV2 => ("MobileNetV2", Cnn, false, 3_504_872, CNN_GRID, 0),
-            ModelId::MobileNetV3Small => {
-                ("MobeNetV3Small", Cnn, false, 2_542_856, CNN_GRID, 0)
-            }
-            ModelId::MobileNetV3Large => {
-                ("MobeNetV3Large", Cnn, false, 5_483_032, CNN_GRID, 0)
-            }
+            ModelId::MobileNetV3Small => ("MobeNetV3Small", Cnn, false, 2_542_856, CNN_GRID, 0),
+            ModelId::MobileNetV3Large => ("MobeNetV3Large", Cnn, false, 5_483_032, CNN_GRID, 0),
             ModelId::MnasNet => ("MnasNet", Cnn, false, 4_383_312, CNN_GRID, 0),
             ModelId::RegNetX400MF => ("RegNetX400MF", Cnn, false, 5_495_976, CNN_GRID, 0),
             ModelId::RegNetY400MF => ("RegNetY400MF", Cnn, false, 4_344_144, CNN_GRID, 0),
             ModelId::ConvNextTiny => ("ConvNeXtTiny", Cnn, false, 28_589_128, CNN_GRID, 0),
             ModelId::ConvNextBase => ("ConvNeXtBase", Cnn, false, 88_591_464, CNN_GRID, 0),
-            ModelId::DistilGpt2 => {
-                ("distilgpt2", Transformer, false, 81_912_576, XF_GRID, 128)
-            }
+            ModelId::DistilGpt2 => ("distilgpt2", Transformer, false, 81_912_576, XF_GRID, 128),
             ModelId::Gpt2 => ("gpt2", Transformer, false, 124_439_808, XF_GRID, 128),
             ModelId::T5Small => ("T5-small", Transformer, false, 60_506_624, XF_GRID, 128),
             ModelId::T5Base => ("t5-base", Transformer, false, 222_903_552, XF_GRID, 128),
-            ModelId::GptNeo125M => {
-                ("gpt-neo-125M", Transformer, false, 125_198_592, XF_GRID, 128)
-            }
+            ModelId::GptNeo125M => (
+                "gpt-neo-125M",
+                Transformer,
+                false,
+                125_198_592,
+                XF_GRID,
+                128,
+            ),
             ModelId::Opt125M => ("opt-125m", Transformer, false, 125_239_296, XF_GRID, 128),
             ModelId::Opt350M => ("opt-350m", Transformer, false, 331_196_416, XF_GRID, 128),
             ModelId::CerebrasGpt111M => (
@@ -183,12 +186,22 @@ impl ModelId {
                 XF_GRID,
                 128,
             ),
-            ModelId::Pythia1B => {
-                ("pythia-1b", Transformer, false, 1_011_781_632, BIG_XF_GRID, 128)
-            }
-            ModelId::Qwen3_0_6B => {
-                ("Qwen3-0.6B", Transformer, false, 596_049_920, BIG_XF_GRID, 128)
-            }
+            ModelId::Pythia1B => (
+                "pythia-1b",
+                Transformer,
+                false,
+                1_011_781_632,
+                BIG_XF_GRID,
+                128,
+            ),
+            ModelId::Qwen3_0_6B => (
+                "Qwen3-0.6B",
+                Transformer,
+                false,
+                596_049_920,
+                BIG_XF_GRID,
+                128,
+            ),
             ModelId::Llama32_3B => (
                 "Llama-3.2-3B-Instruct",
                 Transformer,
@@ -205,9 +218,7 @@ impl ModelId {
                 RQ5_GRID,
                 512,
             ),
-            ModelId::Qwen3_4B => {
-                ("Qwen3-4B", Transformer, true, 4_022_468_096, RQ5_GRID, 512)
-            }
+            ModelId::Qwen3_4B => ("Qwen3-4B", Transformer, true, 4_022_468_096, RQ5_GRID, 512),
         };
         ModelInfo {
             id: self,

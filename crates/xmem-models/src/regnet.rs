@@ -27,7 +27,17 @@ fn x_block(
     b.with_scope(name, |b| {
         let groups = out_ch / group_width;
         let h = conv_bn_act(b, x, in_ch, out_ch, 1, 1, 1, ActKind::Relu, "f.a");
-        let h = conv_bn_act(b, h, out_ch, out_ch, 3, stride, groups, ActKind::Relu, "f.b");
+        let h = conv_bn_act(
+            b,
+            h,
+            out_ch,
+            out_ch,
+            3,
+            stride,
+            groups,
+            ActKind::Relu,
+            "f.b",
+        );
         let h = if let Some(se_channels) = se_from {
             squeeze_excite(b, h, out_ch, se_channels, ActKind::Sigmoid, "f.se")
         } else {
@@ -53,9 +63,7 @@ fn regnet(name: &str, cfg: &RegNetCfg) -> Graph {
         let out = cfg.widths[stage];
         for block in 0..cfg.depths[stage] {
             let stride = if block == 0 { 2 } else { 1 };
-            let se = cfg
-                .se_ratio
-                .map(|r| ((in_ch as f64) * r).round() as usize);
+            let se = cfg.se_ratio.map(|r| ((in_ch as f64) * r).round() as usize);
             x = x_block(
                 &mut b,
                 x,

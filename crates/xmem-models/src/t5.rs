@@ -3,9 +3,7 @@
 //! norms. The tiny relative-attention-bias tables (32 buckets × heads,
 //! <0.01 % of parameters) are omitted; DESIGN.md records the substitution.
 
-use xmem_graph::{
-    ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId, ParamId,
-};
+use xmem_graph::{ActKind, AttentionSpec, Graph, GraphBuilder, InputTemplate, NodeId, ParamId};
 
 struct T5Cfg {
     name: &'static str,

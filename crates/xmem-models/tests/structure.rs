@@ -22,7 +22,10 @@ fn every_graph_ends_in_a_loss() {
 fn transformers_have_attention_cnns_have_convs() {
     for m in ModelId::all() {
         let g = m.build();
-        let has_attn = g.nodes().iter().any(|n| matches!(n.op, OpKind::Attention(_)));
+        let has_attn = g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::Attention(_)));
         let has_conv = g.nodes().iter().any(|n| matches!(n.op, OpKind::Conv2d(_)));
         match m.info().arch {
             ArchClass::Transformer => assert!(has_attn && !has_conv, "{m}"),
@@ -87,7 +90,10 @@ fn tied_lms_share_the_embedding_weight() {
             *param_use_count.entry(*p).or_insert(0usize) += 1;
         }
     }
-    assert!(param_use_count.values().all(|&c| c == 1), "pythia is untied");
+    assert!(
+        param_use_count.values().all(|&c| c == 1),
+        "pythia is untied"
+    );
 }
 
 #[test]

@@ -87,7 +87,10 @@ impl MemoryArena for CpuHeap {
     }
 
     fn free(&mut self, _ts_us: u64, addr: u64) {
-        let bytes = self.live.remove(&addr).expect("cpu heap free of unknown address");
+        let bytes = self
+            .live
+            .remove(&addr)
+            .expect("cpu heap free of unknown address");
         self.live_bytes -= bytes as u64;
         self.free_by_size.entry(bytes).or_default().push(addr);
     }

@@ -47,8 +47,8 @@ impl BackendKind {
     #[must_use]
     pub fn macs_per_us(self) -> u64 {
         match self {
-            BackendKind::Cpu => 25_000,       // ~25 GMAC/s host
-            BackendKind::Gpu => 2_500_000,    // ~2.5 TMAC/s accelerator
+            BackendKind::Cpu => 25_000,    // ~25 GMAC/s host
+            BackendKind::Gpu => 2_500_000, // ~2.5 TMAC/s accelerator
         }
     }
 
@@ -90,15 +90,13 @@ impl BackendKind {
                 // blocked accumulation buffers proportional to the output.
                 let od = output.shape.dims();
                 let (oh, ow) = (od[2], od[3]);
-                let per_image =
-                    (c.in_ch / c.groups) * c.kernel.0 * c.kernel.1 * oh * ow * 4;
+                let per_image = (c.in_ch / c.groups) * c.kernel.0 * c.kernel.1 * oh * ow * 4;
                 let threads = 8;
                 let (im2col_scale, acc_divisor) = match phase {
                     Phase::Forward => (1, 2),
                     Phase::Backward => (2, 2), // col2im + weight-grad buffers
                 };
-                (per_image * threads * im2col_scale + out_bytes / acc_divisor)
-                    .min(256 * MIB)
+                (per_image * threads * im2col_scale + out_bytes / acc_divisor).min(256 * MIB)
             }
             (OpKind::Conv2d(_), BackendKind::Gpu) => {
                 // cuDNN picks an algorithm with a bounded workspace.
@@ -108,7 +106,14 @@ impl BackendKind {
                     Phase::Backward => (out_bytes / 3).clamp(MIB, 96 * MIB),
                 }
             }
-            (OpKind::Linear { in_features, out_features, .. }, BackendKind::Cpu) => {
+            (
+                OpKind::Linear {
+                    in_features,
+                    out_features,
+                    ..
+                },
+                BackendKind::Cpu,
+            ) => {
                 // GEMM packing + blocked output buffers: oneDNN-style CPU
                 // GEMM uses noticeably more scratch than cuBLAS.
                 let packing = 64 * KIB + (in_features + out_features) * 1024;

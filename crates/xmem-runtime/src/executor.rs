@@ -231,10 +231,7 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
     }
 
     fn alloc(&mut self, bytes: usize) -> Result<u64, RunError> {
-        let addr = self
-            .arena
-            .alloc(self.clock, bytes)
-            .map_err(RunError::Oom)?;
+        let addr = self.arena.alloc(self.clock, bytes).map_err(RunError::Oom)?;
         self.sink
             .mem_alloc(self.clock, addr, bytes, self.arena.device_id());
         Ok(addr)
@@ -288,8 +285,12 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
             self.init_optimizer_states()?;
         }
         let dur = self.clock - t0;
-        self.sink
-            .span(EventCategory::UserAnnotation, names::MODEL_TO_DEVICE, t0, dur.max(1));
+        self.sink.span(
+            EventCategory::UserAnnotation,
+            names::MODEL_TO_DEVICE,
+            t0,
+            dur.max(1),
+        );
         Ok(())
     }
 
@@ -386,7 +387,11 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
             .into_iter()
             .map(|s| self.apply_precision(s))
             .collect();
-        specs.push(self.graph.input_template().target_spec(self.batch, self.seq));
+        specs.push(
+            self.graph
+                .input_template()
+                .target_spec(self.batch, self.seq),
+        );
         for spec in &specs {
             let addr = self.alloc(spec.size_bytes())?;
             new_batch.push((addr, spec.size_bytes()));
@@ -454,8 +459,8 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
                 Some((open, start)) if *open != comp => {
                     let (name, start) = (open.clone(), *start);
                     self.close_component(&name, start);
-                    component_open = (!comp.is_empty() && !is_input)
-                        .then(|| (comp.clone(), self.clock));
+                    component_open =
+                        (!comp.is_empty() && !is_input).then(|| (comp.clone(), self.clock));
                 }
                 None if !comp.is_empty() && !is_input => {
                     component_open = Some((comp.clone(), self.clock));
@@ -500,8 +505,11 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
             .iter()
             .map(|id| self.shapes[id.index()].clone())
             .collect();
-        let input_handles: Vec<usize> =
-            node.inputs.iter().map(|id| self.node_handle[id.index()]).collect();
+        let input_handles: Vec<usize> = node
+            .inputs
+            .iter()
+            .map(|id| self.node_handle[id.index()])
+            .collect();
         let out_spec = self.shapes[i].clone();
         let in_refs: Vec<&TensorSpec> = input_specs.iter().collect();
         let dur = self.backend.op_duration_us(&op, &in_refs, &out_spec);
@@ -599,8 +607,11 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
             .iter()
             .map(|id| self.shapes[id.index()].clone())
             .collect();
-        let input_handles: Vec<usize> =
-            node.inputs.iter().map(|id| self.node_handle[id.index()]).collect();
+        let input_handles: Vec<usize> = node
+            .inputs
+            .iter()
+            .map(|id| self.node_handle[id.index()])
+            .collect();
         let out_spec = self.shapes[i].clone();
         let in_refs: Vec<&TensorSpec> = input_specs.iter().collect();
         // Backward kernels cost roughly 2x forward.
@@ -683,12 +694,8 @@ impl<'g, A: MemoryArena, S: Sink> Engine<'g, A, S> {
             }
             self.tick(1);
             let dur = self.clock - ta;
-            self.sink.span(
-                EventCategory::CpuOp,
-                names::ACCUMULATE_GRAD,
-                ta,
-                dur.max(1),
-            );
+            self.sink
+                .span(EventCategory::CpuOp, names::ACCUMULATE_GRAD, ta, dur.max(1));
         }
         Ok(())
     }

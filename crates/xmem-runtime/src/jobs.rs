@@ -37,7 +37,11 @@ impl ZeroGradPos {
 
 /// A GPU model with its memory capacity and framework overhead — the
 /// evaluation devices of paper §4.1.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` marketing name has no owned
+/// deserialized form; records that need to round-trip store the name as a
+/// `String` (see `xmem_eval::ConfigKey`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct GpuDevice {
     /// Marketing name.
     pub name: &'static str,
@@ -284,12 +288,7 @@ mod tests {
     use xmem_trace::{names, EventCategory};
 
     fn small_spec() -> TrainJobSpec {
-        TrainJobSpec::new(
-            ModelId::MobileNetV3Small,
-            OptimizerKind::Adam,
-            4,
-        )
-        .with_iterations(2)
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2)
     }
 
     #[test]
@@ -366,8 +365,18 @@ mod tests {
 
     #[test]
     fn repeats_jitter_but_modestly() {
-        let a = run_on_gpu(&small_spec().with_seed(1), &GpuDevice::rtx3060(), None, false);
-        let b = run_on_gpu(&small_spec().with_seed(2), &GpuDevice::rtx3060(), None, false);
+        let a = run_on_gpu(
+            &small_spec().with_seed(1),
+            &GpuDevice::rtx3060(),
+            None,
+            false,
+        );
+        let b = run_on_gpu(
+            &small_spec().with_seed(2),
+            &GpuDevice::rtx3060(),
+            None,
+            false,
+        );
         assert_ne!(a.peak_nvml, b.peak_nvml, "jitter distinguishes repeats");
         let diff = a.peak_nvml.abs_diff(b.peak_nvml) as f64;
         assert!(diff / (a.peak_nvml as f64) < 0.05, "jitter stays small");
@@ -375,8 +384,18 @@ mod tests {
 
     #[test]
     fn same_seed_is_deterministic() {
-        let a = run_on_gpu(&small_spec().with_seed(7), &GpuDevice::rtx3060(), None, false);
-        let b = run_on_gpu(&small_spec().with_seed(7), &GpuDevice::rtx3060(), None, false);
+        let a = run_on_gpu(
+            &small_spec().with_seed(7),
+            &GpuDevice::rtx3060(),
+            None,
+            false,
+        );
+        let b = run_on_gpu(
+            &small_spec().with_seed(7),
+            &GpuDevice::rtx3060(),
+            None,
+            false,
+        );
         assert_eq!(a.peak_nvml, b.peak_nvml);
         assert_eq!(a.counters, b.counters);
     }
@@ -400,8 +419,8 @@ mod tests {
 
     #[test]
     fn fp16_spec_label_is_tagged() {
-        let spec = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::Adam, 4)
-            .with_precision(Precision::F16);
+        let spec =
+            TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::Adam, 4).with_precision(Precision::F16);
         assert!(spec.label().ends_with("+fp16"));
         let spec32 = TrainJobSpec::new(ModelId::Gpt2, OptimizerKind::Adam, 4);
         assert!(!spec32.label().contains("fp"));
@@ -409,8 +428,8 @@ mod tests {
 
     #[test]
     fn zero_grad_placement_changes_gpu_peak() {
-        let base = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 8)
-            .with_iterations(3);
+        let base =
+            TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 8).with_iterations(3);
         let pos0 = run_on_gpu(&base, &GpuDevice::rtx3060(), None, false);
         let pos1 = run_on_gpu(
             &base.clone().with_zero_grad(ZeroGradPos::IterStart),

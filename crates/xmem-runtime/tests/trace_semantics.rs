@@ -39,10 +39,7 @@ fn adagrad_state_is_eager_adam_state_is_lazy() {
     // Adagrad materializes its accumulator at optimizer construction
     // (inside the model-load window); Adam's state appears in the first
     // optimizer.step() window.
-    for (opt, eager) in [
-        (OptimizerKind::Adagrad, true),
-        (OptimizerKind::Adam, false),
-    ] {
+    for (opt, eager) in [(OptimizerKind::Adagrad, true), (OptimizerKind::Adam, false)] {
         let trace = profile_on_cpu(&spec(ModelId::MobileNetV3Small, opt));
         let load = trace
             .of_category(EventCategory::UserAnnotation)
@@ -122,7 +119,10 @@ fn inplace_relu_allocations_never_outlive_the_op() {
     // ResNet uses in-place ReLU: the op materializes no output tensor.
     // Its window may hold a transient CPU scratchpad, but every byte
     // allocated inside a relu window must be freed inside it.
-    let trace = profile_on_cpu(&spec(ModelId::ResNet101, OptimizerKind::Sgd { momentum: true }));
+    let trace = profile_on_cpu(&spec(
+        ModelId::ResNet101,
+        OptimizerKind::Sgd { momentum: true },
+    ));
     let relu_windows: Vec<(u64, u64)> = trace
         .of_category(EventCategory::CpuOp)
         .filter(|e| e.name == "aten::relu")
@@ -132,7 +132,10 @@ fn inplace_relu_allocations_never_outlive_the_op() {
     let mut checked = 0;
     for &(s, t) in &relu_windows {
         let mut live: HashMap<u64, i64> = HashMap::new();
-        for e in trace.memory_instants().filter(|e| (s..t).contains(&e.ts_us)) {
+        for e in trace
+            .memory_instants()
+            .filter(|e| (s..t).contains(&e.ts_us))
+        {
             *live.entry(e.args.addr.unwrap()).or_insert(0) += e.args.bytes.unwrap();
             checked += 1;
         }
@@ -163,9 +166,8 @@ fn t5_dataloader_provides_three_tensors() {
 #[test]
 fn fp16_traces_carry_half_sized_parameters() {
     let f32_trace = profile_on_cpu(&spec(ModelId::Gpt2, OptimizerKind::Adam));
-    let f16_trace = profile_on_cpu(
-        &spec(ModelId::Gpt2, OptimizerKind::Adam).with_precision(Precision::F16),
-    );
+    let f16_trace =
+        profile_on_cpu(&spec(ModelId::Gpt2, OptimizerKind::Adam).with_precision(Precision::F16));
     let load_bytes = |trace: &Trace| -> u64 {
         let load = trace
             .of_category(EventCategory::UserAnnotation)

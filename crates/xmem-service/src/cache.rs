@@ -1,0 +1,296 @@
+//! Sharded, mutex-per-shard LRU cache.
+//!
+//! Keys are spread across `shards` independent maps by hash, so concurrent
+//! estimation threads contend only when they touch the same shard. Each
+//! shard enforces its own capacity slice with least-recently-used
+//! eviction; recency is a per-shard logical tick bumped on every hit and
+//! insert.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic hit/miss/insert/evict counters for a [`ShardedLruCache`].
+///
+/// `hits + misses` equals the number of `get_or_insert_with`/`get` calls;
+/// a miss that populates the cache also counts one insertion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries evicted to respect capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    clock: u64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            clock: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn touch(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.tick = clock;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts, evicting the least-recently-used entry if the shard is at
+    /// capacity. Returns the number of evictions (0 or 1).
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> u64 {
+        self.clock += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                tick: self.clock,
+            },
+        );
+        evicted
+    }
+}
+
+/// A concurrent LRU cache split into independently locked shards.
+#[derive(Debug)]
+pub struct ShardedLruCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Per-shard capacity slices; they sum to exactly the configured total.
+    capacities: Vec<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
+    /// A cache holding at most `capacity` entries overall, spread over at
+    /// most `shards` locks. Capacity is clamped to at least 1, the shard
+    /// count to `1..=capacity`, and the per-shard slices partition the
+    /// total exactly — occupancy never exceeds `capacity`.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        ShardedLruCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacities: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// The total configured capacity (sum of the per-shard slices).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacities.iter().sum()
+    }
+
+    /// The number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .touch(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts `key → value`, evicting within the shard if needed.
+    pub fn insert(&self, key: K, value: V) {
+        let index = self.shard_index(&key);
+        let evicted = self.shards[index]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value, self.capacities[index]);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Returns the cached value for `key`, or computes, caches and returns
+    /// it. The shard lock is *not* held while `compute` runs, so concurrent
+    /// missing threads may compute the value redundantly (last write wins);
+    /// the estimation pipeline is deterministic, so duplicates are
+    /// identical.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let value = compute()?;
+        self.insert(key.clone(), value.clone());
+        Ok(value)
+    }
+
+    /// A snapshot of the hit/miss/insert/evict counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(8, 2);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn single_shard_evicts_least_recently_used() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(10)); // refresh 1; 2 becomes LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None, "LRU entry 2 was evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn total_capacity_is_never_exceeded() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(16, 4);
+        assert_eq!(cache.capacity(), 16);
+        for k in 0..1000 {
+            cache.insert(k, k);
+        }
+        assert!(cache.len() <= cache.capacity());
+        for (shard, &capacity) in cache.shards.iter().zip(&cache.capacities) {
+            assert!(shard.lock().unwrap().map.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn capacity_partition_is_exact_even_when_unaligned() {
+        // 20 entries over 16 requested shards: slices must sum to 20, not
+        // round up to 32.
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(20, 16);
+        assert_eq!(cache.capacity(), 20);
+        assert_eq!(cache.capacities.iter().sum::<usize>(), 20);
+        // Fewer requested entries than shards: shard count shrinks instead
+        // of inflating capacity.
+        let small: ShardedLruCache<u32, u32> = ShardedLruCache::new(4, 16);
+        assert_eq!(small.shard_count(), 4);
+        assert_eq!(small.capacity(), 4);
+        for k in 0..100 {
+            small.insert(k, k);
+        }
+        assert!(small.len() <= 4);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once_per_key() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(8, 2);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: Result<u32, ()> = cache.get_or_insert_with(&7, || {
+                calls += 1;
+                Ok(70)
+            });
+            assert_eq!(v, Ok(70));
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn compute_errors_are_not_cached() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(8, 2);
+        let r: Result<u32, &str> = cache.get_or_insert_with(&7, || Err("boom"));
+        assert_eq!(r, Err("boom"));
+        assert!(cache.is_empty());
+        let r: Result<u32, &str> = cache.get_or_insert_with(&7, || Ok(70));
+        assert_eq!(r, Ok(70));
+    }
+}

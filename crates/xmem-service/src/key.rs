@@ -1,0 +1,66 @@
+//! Cache key for memoized estimation stages.
+
+use xmem_models::ModelId;
+use xmem_optim::OptimizerKind;
+use xmem_runtime::{Precision, TrainJobSpec, ZeroGradPos};
+
+/// Identity of a profiling computation.
+///
+/// `profile_on_cpu` (and therefore the analyzed trace derived from it) is a
+/// pure function of these fields — notably *not* of `TrainJobSpec::seed`,
+/// which only jitters the simulated-GPU ground truth. Two specs with equal
+/// keys share cached stages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Model under training.
+    pub model: ModelId,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Batch size.
+    pub batch: usize,
+    /// Profiled iterations.
+    pub iterations: u32,
+    /// `zero_grad` placement.
+    pub zero_grad: ZeroGradPos,
+    /// Sequence length (0 = model default).
+    pub seq: usize,
+    /// Numeric precision.
+    pub precision: Precision,
+}
+
+impl JobKey {
+    /// The key identifying `spec`'s profiling computation.
+    #[must_use]
+    pub fn of(spec: &TrainJobSpec) -> Self {
+        JobKey {
+            model: spec.model,
+            optimizer: spec.optimizer,
+            batch: spec.batch,
+            iterations: spec.iterations,
+            zero_grad: spec.zero_grad_pos,
+            seq: spec.seq,
+            precision: spec.precision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_does_not_affect_the_key() {
+        let a = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let b = a.clone().with_seed(12345);
+        assert_eq!(JobKey::of(&a), JobKey::of(&b));
+    }
+
+    #[test]
+    fn profiling_inputs_affect_the_key() {
+        let base = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let other_batch = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 16);
+        let other_pos = base.clone().with_zero_grad(ZeroGradPos::IterStart);
+        assert_ne!(JobKey::of(&base), JobKey::of(&other_batch));
+        assert_ne!(JobKey::of(&base), JobKey::of(&other_pos));
+    }
+}

@@ -1,0 +1,36 @@
+//! Concurrent, cache-backed estimation service.
+//!
+//! The xMem pipeline splits cleanly into a device-independent front half —
+//! CPU profiling ([`xmem_runtime::profile_on_cpu`]) and trace analysis
+//! ([`xmem_core::Analyzer`]) — and a cheap, device-dependent back half
+//! (orchestration + allocator simulation). Scheduler workloads issue many
+//! near-identical queries per second: batch-size planning probes one model
+//! at many batch sizes, and admission control re-asks the same `(model,
+//! optimizer, batch)` question for every queued job. This crate serves
+//! that traffic shape:
+//!
+//! * [`EstimationService`] memoizes the expensive stages in a sharded
+//!   (mutex-per-shard) LRU cache keyed by [`JobKey`] — model, optimizer,
+//!   batch, iterations, `zero_grad` placement (plus sequence length and
+//!   precision, which also shape the trace);
+//! * [`EstimationService::sweep`] fans a batch-size grid out across
+//!   `std::thread` workers, sharing per-model work through the cache;
+//! * [`EstimationService::max_batch_for_device`] answers the
+//!   admission-control question — the largest batch that fits a device —
+//!   by bracketing with a parallel coarse sweep and bisecting the
+//!   remainder over cached probes.
+//!
+//! Estimates are **bit-identical** to the sequential
+//! [`Estimator`](xmem_core::Estimator) path: the memoized stages are pure
+//! functions of the job key, and the simulation stages run unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod key;
+mod service;
+
+pub use cache::{CacheStats, ShardedLruCache};
+pub use key::JobKey;
+pub use service::{EstimationService, ProfiledStages, ServiceConfig};

@@ -1,0 +1,407 @@
+//! The concurrent, cache-backed estimation front end.
+
+use crate::cache::{CacheStats, ShardedLruCache};
+use crate::key::JobKey;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use xmem_core::{AnalyzedTrace, Analyzer, Estimate, EstimateError, Estimator, EstimatorConfig};
+use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
+use xmem_trace::Trace;
+
+/// The memoized (device-independent) front half of the pipeline: the CPU
+/// profiler trace and its analysis. Orchestration + simulation are cheap
+/// and device-dependent, so they re-run per query.
+///
+/// The raw trace is retained alongside the analysis so
+/// [`EstimationService::stages`] callers can export or re-analyze a
+/// profiled job without re-profiling it; estimation itself only reads
+/// `analyzed`. Traces dominate an entry's footprint (hundreds of KB to
+/// MBs for large models) — size `ServiceConfig::cache_capacity` to the
+/// memory budget, not just the key population.
+#[derive(Debug)]
+pub struct ProfiledStages {
+    /// The raw CPU profiler trace.
+    pub trace: Trace,
+    /// The Analyzer's output over that trace.
+    pub analyzed: AnalyzedTrace,
+}
+
+/// Configuration of an [`EstimationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Estimator settings (target device, allocator, orchestrator knobs).
+    pub estimator: EstimatorConfig,
+    /// Total cached `(job key → profiled stages)` entries.
+    pub cache_capacity: usize,
+    /// Lock shards in the cache.
+    pub shards: usize,
+    /// Worker threads for [`EstimationService::sweep`] (0 = all cores).
+    pub threads: usize,
+}
+
+impl ServiceConfig {
+    /// Service defaults (16-way sharded 256-entry cache, all cores) for a
+    /// target device.
+    #[must_use]
+    pub fn for_device(device: GpuDevice) -> Self {
+        ServiceConfig {
+            estimator: EstimatorConfig::for_device(device),
+            cache_capacity: 256,
+            shards: 16,
+            threads: 0,
+        }
+    }
+
+    /// Overrides the cache capacity.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// A shared, thread-safe estimation front end for scheduler-scale traffic.
+///
+/// The expensive, device-independent stages (CPU profiling and trace
+/// analysis) are memoized in a sharded LRU cache keyed by [`JobKey`];
+/// orchestration and allocator simulation re-run per query against the
+/// configured device. All methods take `&self`, so one service instance
+/// can serve many scheduler threads concurrently.
+///
+/// # Example
+///
+/// ```
+/// use xmem_service::{EstimationService, ServiceConfig};
+/// use xmem_runtime::{GpuDevice, TrainJobSpec};
+/// use xmem_models::ModelId;
+/// use xmem_optim::OptimizerKind;
+///
+/// let service = EstimationService::new(ServiceConfig::for_device(GpuDevice::rtx3060()));
+/// let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+///     .with_iterations(2);
+/// let first = service.estimate(&spec).unwrap();
+/// let second = service.estimate(&spec).unwrap(); // served from cache
+/// assert_eq!(first, second);
+/// assert_eq!(service.cache_stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct EstimationService {
+    config: ServiceConfig,
+    estimator: Estimator,
+    cache: ShardedLruCache<JobKey, Arc<ProfiledStages>>,
+}
+
+impl EstimationService {
+    /// Creates a service.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let estimator = Estimator::new(config.estimator.clone());
+        let cache = ShardedLruCache::new(config.cache_capacity, config.shards);
+        EstimationService {
+            config,
+            estimator,
+            cache,
+        }
+    }
+
+    /// Convenience constructor with service defaults for a device.
+    #[must_use]
+    pub fn for_device(device: GpuDevice) -> Self {
+        EstimationService::new(ServiceConfig::for_device(device))
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Cache hit/miss/insert/evict counters. A fully cached sweep performs
+    /// zero re-profiling: its queries all land in `hits`.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The memoized profile+analysis stages for `spec`, computing them on
+    /// a cache miss.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for degenerate jobs.
+    pub fn stages(&self, spec: &TrainJobSpec) -> Result<Arc<ProfiledStages>, EstimateError> {
+        let key = JobKey::of(spec);
+        self.cache.get_or_insert_with(&key, || {
+            let trace = profile_on_cpu(spec);
+            let analyzed = Analyzer::new().analyze(&trace)?;
+            Ok(Arc::new(ProfiledStages { trace, analyzed }))
+        })
+    }
+
+    /// Estimates `spec`'s peak GPU memory on the service's device,
+    /// reusing cached stages when available. Results are bit-identical to
+    /// the sequential [`Estimator::estimate_job`] path: profiling and
+    /// analysis are deterministic in the job key, and the simulation
+    /// stages run identically on both paths.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for degenerate jobs.
+    pub fn estimate(&self, spec: &TrainJobSpec) -> Result<Estimate, EstimateError> {
+        let stages = self.stages(spec)?;
+        Ok(self.estimator.estimate_analyzed(&stages.analyzed))
+    }
+
+    /// Like [`estimate`](Self::estimate) but against an alternative
+    /// estimator configuration (e.g. another device), still sharing the
+    /// stage cache — the cached stages are device-independent.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for degenerate jobs.
+    pub fn estimate_with(
+        &self,
+        spec: &TrainJobSpec,
+        config: &EstimatorConfig,
+    ) -> Result<Estimate, EstimateError> {
+        let stages = self.stages(spec)?;
+        Ok(Estimator::new(config.clone()).estimate_analyzed(&stages.analyzed))
+    }
+
+    fn worker_count(&self, work_items: usize) -> usize {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            self.config.threads
+        };
+        threads.min(work_items).max(1)
+    }
+
+    /// Estimates `base` at every batch size in `batches`, fanning the grid
+    /// out across worker threads. Per-model work (profile + analysis of
+    /// each distinct batch) is shared through the cache, so concurrent and
+    /// repeated sweeps reuse it. Results are in `batches` order.
+    pub fn sweep(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+    ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
+        self.sweep_inner(base, batches, &self.estimator)
+    }
+
+    fn sweep_inner(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        estimator: &Estimator,
+    ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
+        let results: Vec<Mutex<Option<Result<Estimate, EstimateError>>>> =
+            batches.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.worker_count(batches.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&batch) = batches.get(i) else {
+                        break;
+                    };
+                    let spec = with_batch(base, batch);
+                    let estimate = self
+                        .stages(&spec)
+                        .map(|stages| estimator.estimate_analyzed(&stages.analyzed));
+                    *results[i].lock().expect("sweep slot poisoned") = Some(estimate);
+                });
+            }
+        });
+        batches
+            .iter()
+            .zip(results)
+            .map(|(&batch, slot)| {
+                let estimate = slot
+                    .into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("every slot is filled");
+                (batch, estimate)
+            })
+            .collect()
+    }
+
+    /// Admission control: the largest batch in `[lo, hi]` whose estimate
+    /// fits `device` without a predicted OOM, or `Ok(None)` when even `lo`
+    /// does not fit.
+    ///
+    /// A coarse parallel sweep first brackets the fit/OOM frontier (warming
+    /// the cache), then bisection pins it down; probe batches hit the
+    /// shared cache on repeat queries.
+    ///
+    /// # Errors
+    /// Propagates the first Analyzer failure hit by a probe — an
+    /// estimation error is an error, never a "does not fit" verdict.
+    pub fn max_batch_for_device(
+        &self,
+        base: &TrainJobSpec,
+        device: GpuDevice,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Option<usize>, EstimateError> {
+        assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
+        let estimator = Estimator::new(EstimatorConfig::for_device(device));
+
+        // Coarse bracket: a parallel sweep over an evenly spaced grid
+        // warms the cache and narrows the frontier. The grid is capped —
+        // on many-core hosts an uncapped grid would degenerate into an
+        // exhaustive profile of the whole range, where bracket + bisect
+        // needs only a handful of probes.
+        let points = self.worker_count(usize::MAX).min(MAX_BRACKET_POINTS);
+        let grid = coarse_grid(lo, hi, points);
+        let mut coarse = Vec::with_capacity(grid.len());
+        for (batch, estimate) in self.sweep_inner(base, &grid, &estimator) {
+            coarse.push((batch, !estimate?.oom_predicted));
+        }
+        if !coarse.first().map(|&(_, fits)| fits).unwrap_or(false) {
+            return Ok(None);
+        }
+        let mut lo = coarse
+            .iter()
+            .rev()
+            .find(|&&(_, fits)| fits)
+            .map(|&(b, _)| b)
+            .unwrap_or(lo);
+        let mut hi = coarse
+            .iter()
+            .find(|&&(_, fits)| !fits)
+            .map(|&(b, _)| b - 1)
+            .unwrap_or(hi);
+
+        // Bisect the remaining bracket; probes land in the shared cache.
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            let stages = self.stages(&with_batch(base, mid))?;
+            if !estimator.estimate_analyzed(&stages.analyzed).oom_predicted {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Ok(Some(lo))
+    }
+}
+
+/// Upper bound on coarse-bracket probes in
+/// [`EstimationService::max_batch_for_device`].
+const MAX_BRACKET_POINTS: usize = 16;
+
+fn with_batch(base: &TrainJobSpec, batch: usize) -> TrainJobSpec {
+    let mut spec = base.clone();
+    spec.batch = batch;
+    spec
+}
+
+/// An evenly spaced probe grid covering `[lo, hi]`, endpoints included.
+fn coarse_grid(lo: usize, hi: usize, points: usize) -> Vec<usize> {
+    if hi == lo {
+        return vec![lo];
+    }
+    let points = points.clamp(2, hi - lo + 1);
+    let mut grid: Vec<usize> = (0..points)
+        .map(|i| lo + (hi - lo) * i / (points - 1))
+        .collect();
+    grid.dedup();
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_models::ModelId;
+    use xmem_optim::OptimizerKind;
+
+    fn small_spec(batch: usize) -> TrainJobSpec {
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, batch).with_iterations(2)
+    }
+
+    #[test]
+    fn estimate_matches_sequential_path() {
+        let device = GpuDevice::rtx3060();
+        let service = EstimationService::for_device(device);
+        let spec = small_spec(8);
+        let from_service = service.estimate(&spec).unwrap();
+        let sequential = Estimator::new(EstimatorConfig::for_device(device))
+            .estimate_job(&spec)
+            .unwrap();
+        assert_eq!(from_service, sequential);
+    }
+
+    #[test]
+    fn cached_estimate_is_identical_and_counts_a_hit() {
+        let service = EstimationService::for_device(GpuDevice::rtx3060());
+        let spec = small_spec(8);
+        let cold = service.estimate(&spec).unwrap();
+        let warm = service.estimate(&spec).unwrap();
+        assert_eq!(cold, warm);
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn repeated_sweep_is_fully_cached() {
+        let service = EstimationService::for_device(GpuDevice::rtx3060());
+        let batches = [1, 2, 4, 8];
+        let first = service.sweep(&small_spec(1), &batches);
+        let insertions_after_first = service.cache_stats().insertions;
+        assert_eq!(insertions_after_first, batches.len() as u64);
+
+        let second = service.sweep(&small_spec(1), &batches);
+        let stats = service.cache_stats();
+        assert_eq!(
+            stats.insertions, insertions_after_first,
+            "a repeated sweep re-profiles nothing"
+        );
+        for ((b1, e1), (b2, e2)) in first.iter().zip(&second) {
+            assert_eq!(b1, b2);
+            assert_eq!(e1.as_ref().unwrap(), e2.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let service = EstimationService::for_device(GpuDevice::rtx3060());
+        let batches = [8, 1, 4, 2];
+        let results = service.sweep(&small_spec(1), &batches);
+        let got: Vec<usize> = results.iter().map(|&(b, _)| b).collect();
+        assert_eq!(got, batches);
+    }
+
+    #[test]
+    fn max_batch_brackets_and_bisects_the_frontier() {
+        let device = GpuDevice::rtx3060();
+        let service = EstimationService::for_device(device);
+        let base = small_spec(1);
+        let max = service
+            .max_batch_for_device(&base, device, 1, 16)
+            .expect("estimation succeeds");
+        // MobileNetV3-Small fits this device comfortably across the range.
+        assert_eq!(max, Some(16));
+        // The answer agrees with direct estimates at the frontier.
+        let at_max = service.estimate(&with_batch(&base, 16)).unwrap();
+        assert!(!at_max.oom_predicted);
+    }
+
+    #[test]
+    fn coarse_grid_covers_endpoints() {
+        assert_eq!(coarse_grid(1, 9, 3), vec![1, 5, 9]);
+        assert_eq!(coarse_grid(4, 4, 8), vec![4]);
+        let g = coarse_grid(1, 128, 6);
+        assert_eq!(*g.first().unwrap(), 1);
+        assert_eq!(*g.last().unwrap(), 128);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the sharded LRU cache under service-shaped
+//! keys: arbitrary `(model, optimizer, batch)` workloads must never change
+//! the value a key maps to, and occupancy must respect the configured
+//! capacity.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use xmem_models::ModelId;
+use xmem_optim::OptimizerKind;
+use xmem_runtime::TrainJobSpec;
+use xmem_service::{JobKey, ShardedLruCache};
+
+const MODELS: [ModelId; 4] = [
+    ModelId::MobileNetV3Small,
+    ModelId::DistilGpt2,
+    ModelId::ResNet101,
+    ModelId::T5Small,
+];
+
+const OPTIMIZERS: [OptimizerKind; 4] = [
+    OptimizerKind::Adam,
+    OptimizerKind::AdamW,
+    OptimizerKind::Sgd { momentum: true },
+    OptimizerKind::Adafactor,
+];
+
+/// A key drawn from the service's real key space: model × optimizer ×
+/// batch ∈ 1..64.
+fn key_strategy() -> impl Strategy<Value = JobKey> {
+    (0usize..MODELS.len(), 0usize..OPTIMIZERS.len(), 1usize..64).prop_map(
+        |(model, optimizer, batch)| {
+            JobKey::of(&TrainJobSpec::new(
+                MODELS[model],
+                OPTIMIZERS[optimizer],
+                batch,
+            ))
+        },
+    )
+}
+
+/// The "peak bytes" a key would deterministically produce: the pipeline is
+/// pure in the key, so a content-derived stand-in preserves the property
+/// under test (cache churn must never change what a key returns) without
+/// profiling real models thousands of times.
+fn synthetic_peak(key: &JobKey) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever interleaving of inserts, hits and evictions a workload
+    /// produces, a cached key always returns exactly the peak it was
+    /// inserted with, and a miss never invents a value.
+    #[test]
+    fn cache_churn_never_changes_returned_peak_bytes(
+        keys in proptest::collection::vec(key_strategy(), 1..200),
+        capacity in 1usize..24,
+        shards in 1usize..6,
+    ) {
+        let cache: ShardedLruCache<JobKey, u64> = ShardedLruCache::new(capacity, shards);
+        let mut reference: HashMap<JobKey, u64> = HashMap::new();
+        for key in &keys {
+            let expected = synthetic_peak(key);
+            match cache.get(key) {
+                Some(peak) => prop_assert_eq!(
+                    peak, expected,
+                    "cache returned a different peak than was inserted"
+                ),
+                None => cache.insert(key.clone(), expected),
+            }
+            reference.insert(key.clone(), expected);
+        }
+        // Every still-cached entry agrees with the reference value.
+        for (key, expected) in &reference {
+            if let Some(peak) = cache.get(key) {
+                prop_assert_eq!(peak, *expected);
+            }
+        }
+    }
+
+    /// Occupancy never exceeds the configured total capacity, at every
+    /// step of the workload, for any shard count.
+    #[test]
+    fn lru_never_exceeds_configured_capacity(
+        keys in proptest::collection::vec(key_strategy(), 1..300),
+        capacity in 1usize..16,
+        shards in 1usize..24,
+    ) {
+        let cache: ShardedLruCache<JobKey, u64> = ShardedLruCache::new(capacity, shards);
+        prop_assert_eq!(cache.capacity(), capacity);
+        for key in &keys {
+            if cache.get(key).is_none() {
+                cache.insert(key.clone(), synthetic_peak(key));
+            }
+            prop_assert!(
+                cache.len() <= capacity,
+                "cache holds {} entries, capacity is {}",
+                cache.len(),
+                capacity
+            );
+        }
+    }
+
+    /// Counter bookkeeping: hits + misses equals lookups, and insertions
+    /// never exceed misses (every insert is caused by a miss).
+    #[test]
+    fn counters_are_consistent(
+        keys in proptest::collection::vec(key_strategy(), 1..150),
+    ) {
+        let cache: ShardedLruCache<JobKey, u64> = ShardedLruCache::new(32, 4);
+        for key in &keys {
+            if cache.get(key).is_none() {
+                cache.insert(key.clone(), synthetic_peak(key));
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, keys.len() as u64);
+        prop_assert_eq!(stats.insertions, stats.misses);
+        prop_assert!(stats.evictions <= stats.insertions);
+    }
+}
+
+/// One real-pipeline anchor for the synthetic-peak modeling above: a key
+/// whose stages are computed, evicted and recomputed yields identical
+/// `peak_bytes` both times.
+#[test]
+fn eviction_and_recomputation_reproduce_identical_estimates() {
+    use xmem_runtime::GpuDevice;
+    use xmem_service::{EstimationService, ServiceConfig};
+
+    // Capacity 1 over 1 shard: the second spec always evicts the first.
+    let mut config = ServiceConfig::for_device(GpuDevice::rtx3060()).with_cache_capacity(1);
+    config.shards = 1;
+    let service = EstimationService::new(config);
+
+    let a = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 2).with_iterations(2);
+    let b = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2);
+
+    let first_a = service.estimate(&a).unwrap();
+    let _ = service.estimate(&b).unwrap(); // evicts a
+    let second_a = service.estimate(&a).unwrap(); // recomputed
+    assert_eq!(first_a.peak_bytes, second_a.peak_bytes);
+    assert_eq!(first_a, second_a);
+    assert!(service.cache_stats().evictions >= 1);
+}

@@ -13,8 +13,7 @@ pub const OPTIMIZER_STEP_PREFIX: &str = "Optimizer.step#";
 /// Gradient-clearing annotation: `Optimizer.zero_grad#<Name>.zero_grad`.
 pub const OPTIMIZER_ZERO_GRAD_PREFIX: &str = "Optimizer.zero_grad#";
 /// Dataloader fetch annotation, as PyTorch names it.
-pub const DATALOADER_NEXT: &str =
-    "enumerate(DataLoader)#_SingleProcessDataLoaderIter.__next__";
+pub const DATALOADER_NEXT: &str = "enumerate(DataLoader)#_SingleProcessDataLoaderIter.__next__";
 /// Model-loading annotation covering parameter materialization
 /// (`model.to(device)` in the standard loop).
 pub const MODEL_TO_DEVICE: &str = "model.to(device)";
@@ -145,7 +144,10 @@ mod tests {
 
     #[test]
     fn module_names() {
-        assert_eq!(parse_nn_module(&nn_module("features.0")), Some("features.0"));
+        assert_eq!(
+            parse_nn_module(&nn_module("features.0")),
+            Some("features.0")
+        );
         assert_eq!(parse_nn_module("aten::linear"), None);
     }
 

@@ -68,7 +68,11 @@ impl Trace {
     /// Timestamp of the last event end, i.e. the trace horizon.
     #[must_use]
     pub fn end_us(&self) -> u64 {
-        self.events.iter().map(TraceEvent::end_us).max().unwrap_or(0)
+        self.events
+            .iter()
+            .map(TraceEvent::end_us)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The `ProfilerStep#k` annotation spans in step order, as
@@ -106,7 +110,12 @@ mod tests {
             10,
             80,
         ));
-        t.push(TraceEvent::span(EventCategory::CpuOp, "aten::linear", 12, 4));
+        t.push(TraceEvent::span(
+            EventCategory::CpuOp,
+            "aten::linear",
+            12,
+            4,
+        ));
         let w = t.iteration_windows();
         assert_eq!(w, vec![(1, 10, 90), (2, 100, 150)]);
     }
@@ -126,7 +135,12 @@ mod tests {
     #[test]
     fn sort_is_stable_for_nested_spans() {
         let mut t = Trace::new("t");
-        t.push(TraceEvent::span(EventCategory::PythonFunction, "outer", 5, 10));
+        t.push(TraceEvent::span(
+            EventCategory::PythonFunction,
+            "outer",
+            5,
+            10,
+        ));
         t.push(TraceEvent::span(EventCategory::CpuOp, "inner", 5, 4));
         t.push(TraceEvent::span(EventCategory::CpuOp, "early", 1, 1));
         t.sort_by_time();

@@ -2,56 +2,35 @@
 //! given GPU, using xMem estimates only (no GPU time consumed), then
 //! validate the frontier with ground-truth runs.
 //!
+//! Planning goes through the [`EstimationService`]: a coarse parallel
+//! sweep brackets the fit/OOM frontier, bisection pins it down, and every
+//! probe lands in the service's stage cache — so re-planning the same
+//! model (or planning it for another device) re-profiles nothing.
+//!
 //! ```text
 //! cargo run --release --example batch_size_planner
 //! ```
 
 use xmem::prelude::*;
 
-/// Largest batch (within the probe range) whose estimate fits the device.
-fn max_safe_batch(
-    model: ModelId,
-    optimizer: OptimizerKind,
-    device: GpuDevice,
-    range: (usize, usize),
-) -> Option<usize> {
-    let estimator = Estimator::new(EstimatorConfig::for_device(device));
-    let fits = |batch: usize| -> bool {
-        let spec = TrainJobSpec::new(model, optimizer, batch);
-        estimator
-            .estimate_job(&spec)
-            .map(|e| !e.oom_predicted)
-            .unwrap_or(false)
-    };
-    let (mut lo, mut hi) = range;
-    if !fits(lo) {
-        return None;
-    }
-    // Binary search the fit/OOM frontier.
-    while lo < hi {
-        let mid = (lo + hi).div_ceil(2);
-        if fits(mid) {
-            lo = mid;
-        } else {
-            hi = mid - 1;
-        }
-    }
-    Some(lo)
-}
-
 fn main() {
     let device = GpuDevice::rtx3060();
+    let service = EstimationService::new(ServiceConfig::for_device(device));
     println!(
         "Largest safe batch size on {} (xMem-planned, then validated):\n",
         device.name
     );
-    for (model, optimizer, range) in [
+    for (model, optimizer, (lo, hi)) in [
         (ModelId::Gpt2, OptimizerKind::AdamW, (1, 128)),
         (ModelId::DistilGpt2, OptimizerKind::Adam, (1, 192)),
         (ModelId::ResNet101, OptimizerKind::Adam, (32, 2048)),
         (ModelId::ConvNextTiny, OptimizerKind::AdamW, (32, 2048)),
     ] {
-        match max_safe_batch(model, optimizer, device, range) {
+        let base = TrainJobSpec::new(model, optimizer, lo);
+        let planned = service
+            .max_batch_for_device(&base, device, lo, hi)
+            .expect("estimation succeeds");
+        match planned {
             Some(batch) => {
                 // Validate the frontier: the planned batch must run; the
                 // next probe step may OOM.
@@ -76,4 +55,9 @@ fn main() {
             ),
         }
     }
+    let stats = service.cache_stats();
+    println!(
+        "\nService cache: {} hits / {} misses ({} profiled stages reused across probes)",
+        stats.hits, stats.misses, stats.hits
+    );
 }

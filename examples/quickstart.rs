@@ -31,8 +31,7 @@ fn main() {
 
     // 3. Compare with ground truth (normally unknown before running!).
     let truth = run_on_gpu(&job, &device, None, false);
-    let err = (estimate.peak_bytes as f64 - truth.peak_nvml as f64).abs()
-        / truth.peak_nvml as f64;
+    let err = (estimate.peak_bytes as f64 - truth.peak_nvml as f64).abs() / truth.peak_nvml as f64;
     println!(
         "ground truth: {:.3} GiB (OOM: {}) -> relative error {:.2}%",
         truth.peak_nvml as f64 / (1u64 << 30) as f64,

@@ -4,7 +4,10 @@
 //!
 //! This is the downstream use the paper motivates (§1): accurate a-priori
 //! estimates let a scheduler co-locate jobs safely instead of reserving
-//! whole devices.
+//! whole devices. Estimation goes through the shared
+//! [`EstimationService`] — schedulers re-submit the same job shapes
+//! constantly, so repeated admissions hit the stage cache instead of
+//! re-profiling.
 //!
 //! ```text
 //! cargo run --release --example scheduler_admission
@@ -22,27 +25,47 @@ fn main() {
     let queue = vec![
         TrainJobSpec::new(ModelId::MobileNetV3Large, OptimizerKind::Adam, 300),
         TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 10),
-        TrainJobSpec::new(ModelId::ResNet101, OptimizerKind::Sgd { momentum: true }, 300),
+        TrainJobSpec::new(
+            ModelId::ResNet101,
+            OptimizerKind::Sgd { momentum: true },
+            300,
+        ),
         TrainJobSpec::new(ModelId::T5Small, OptimizerKind::Adafactor, 15),
         TrainJobSpec::new(ModelId::MnasNet, OptimizerKind::RMSprop, 400),
         TrainJobSpec::new(ModelId::Opt125M, OptimizerKind::Sgd { momentum: false }, 20),
+        // Re-submissions of earlier shapes — the common scheduler pattern;
+        // these are answered from the service cache.
+        TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 10),
+        TrainJobSpec::new(ModelId::MobileNetV3Large, OptimizerKind::Adam, 300),
     ];
     let mut pool = [
-        Gpu { device: GpuDevice::rtx3060(), committed: 0, jobs: Vec::new() },
-        Gpu { device: GpuDevice::rtx3060(), committed: 0, jobs: Vec::new() },
+        Gpu {
+            device: GpuDevice::rtx3060(),
+            committed: 0,
+            jobs: Vec::new(),
+        },
+        Gpu {
+            device: GpuDevice::rtx3060(),
+            committed: 0,
+            jobs: Vec::new(),
+        },
     ];
+    let service = EstimationService::new(ServiceConfig::for_device(pool[0].device));
 
-    println!("Admitting {} jobs onto {} GPUs using xMem estimates:\n", queue.len(), pool.len());
+    println!(
+        "Admitting {} jobs onto {} GPUs using xMem estimates:\n",
+        queue.len(),
+        pool.len()
+    );
     let mut rejected = Vec::new();
     for job in &queue {
-        let estimator = Estimator::new(EstimatorConfig::for_device(pool[0].device));
-        let estimate = estimator.estimate_job(job).expect("estimation succeeds");
+        let estimate = service.estimate(job).expect("estimation succeeds");
         // Job memory demand beyond the per-device framework overhead (paid
         // once per device, not per job).
         let demand = estimate.job_peak_bytes;
-        let slot = pool.iter_mut().find(|g| {
-            g.device.framework_bytes + g.committed + demand <= g.device.capacity
-        });
+        let slot = pool
+            .iter_mut()
+            .find(|g| g.device.framework_bytes + g.committed + demand <= g.device.capacity);
         match slot {
             Some(gpu) => {
                 gpu.committed += demand;
@@ -59,6 +82,12 @@ fn main() {
             }
         }
     }
+    let stats = service.cache_stats();
+    println!(
+        "\nService cache after admission: {} hits, {} misses — re-submitted jobs \
+         were admitted without re-profiling.",
+        stats.hits, stats.misses
+    );
     println!();
     for (i, gpu) in pool.iter().enumerate() {
         println!(
@@ -77,9 +106,15 @@ fn main() {
         queue.len()
     );
     // Verify: per GPU, the sum of true peaks (minus shared framework) fits.
+    // Duplicates are counted deliberately — a re-submitted job was admitted
+    // twice, and each admission reserved its own demand slice.
     for (i, gpu) in pool.iter().enumerate() {
         let mut true_total = gpu.device.framework_bytes;
-        for job in queue.iter().filter(|j| gpu.jobs.contains(&j.label())) {
+        for label in &gpu.jobs {
+            let job = queue
+                .iter()
+                .find(|j| &j.label() == label)
+                .expect("admitted job came from the queue");
             let gt = run_on_gpu(job, &gpu.device, None, false);
             assert!(!gt.oom);
             true_total += gt.peak_nvml - gpu.device.framework_bytes;

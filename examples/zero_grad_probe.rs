@@ -20,8 +20,7 @@ fn main() {
         let estimator = Estimator::new(EstimatorConfig::for_device(device));
         let mut row = format!("  {:<14}", model.info().name);
         for pos in [ZeroGradPos::BeforeBackward, ZeroGradPos::IterStart] {
-            let spec = TrainJobSpec::new(model, OptimizerKind::AdamW, batch)
-                .with_zero_grad(pos);
+            let spec = TrainJobSpec::new(model, OptimizerKind::AdamW, batch).with_zero_grad(pos);
             let est = estimator.estimate_job(&spec).expect("estimation succeeds");
             let truth = run_on_gpu(&spec, &device, None, false);
             row.push_str(&format!(

@@ -4,11 +4,17 @@
 //!
 //! ```text
 //! xmem-cli estimate --model gpt2 --optimizer AdamW --batch 16 --device rtx3060
+//! xmem-cli sweep    --model gpt2 --optimizer AdamW --batches 1,2,4,8,16,32
+//! xmem-cli plan     --model gpt2 --optimizer AdamW --min 1 --max 128 --device rtx3060
 //! xmem-cli profile  --model distilgpt2 --optimizer Adam --batch 8 --out trace.json
 //! xmem-cli estimate-trace --trace trace.json --device rtx4060
 //! xmem-cli layers   --model t5-base --optimizer Adafactor --batch 8 --top 12
 //! xmem-cli models
 //! ```
+//!
+//! `sweep` and `plan` run through the concurrent [`EstimationService`]:
+//! the batch grid fans out across worker threads and the profiled stages
+//! are cached, so overlapping probes are answered without re-profiling.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -20,7 +26,11 @@ fn usage() -> &'static str {
     "usage: xmem-cli <command> [options]\n\
      commands:\n\
        estimate        --model <name> --optimizer <name> --batch <n>\n\
-                       [--seq <n>] [--device rtx3060|rtx4060|a100] [--pos1] [--fp16]\n\
+                       [--seq <n>] [--iterations <n>]\n\
+                       [--device rtx3060|rtx4060|a100] [--pos1] [--fp16]\n\
+       sweep           (same job options) --batches <n,n,...> [--threads <n>]\n\
+       plan            (same job options, no --batch) --min <n> --max <n>\n\
+                       [--threads <n>]  find the largest batch that fits\n\
        profile         (same job options) --out <trace.json>\n\
        estimate-trace  --trace <trace.json> [--device ...]\n\
        layers          (same job options) [--top <n>]\n\
@@ -59,20 +69,38 @@ fn device_of(flags: &HashMap<String, String>) -> Result<GpuDevice, String> {
 }
 
 fn job_of(flags: &HashMap<String, String>) -> Result<TrainJobSpec, String> {
+    job_with_batch(flags, None)
+}
+
+/// Builds a job spec; `default_batch` backs commands (`sweep`, `plan`)
+/// where the batch size comes from the grid, not `--batch`.
+fn job_with_batch(
+    flags: &HashMap<String, String>,
+    default_batch: Option<usize>,
+) -> Result<TrainJobSpec, String> {
     let model_name = flags.get("model").ok_or("--model is required")?;
     let model = ModelId::by_name(model_name)
         .ok_or_else(|| format!("unknown model `{model_name}` (see `xmem-cli models`)"))?;
     let optimizer_name = flags.get("optimizer").ok_or("--optimizer is required")?;
     let optimizer = OptimizerKind::parse(optimizer_name)
         .ok_or_else(|| format!("unknown optimizer `{optimizer_name}`"))?;
-    let batch: usize = flags
-        .get("batch")
-        .ok_or("--batch is required")?
-        .parse()
-        .map_err(|_| "--batch must be a number".to_string())?;
+    let batch: usize = match (flags.get("batch"), default_batch) {
+        (Some(raw), _) => raw
+            .parse()
+            .map_err(|_| "--batch must be a number".to_string())?,
+        (None, Some(default)) => default,
+        (None, None) => return Err("--batch is required".to_string()),
+    };
     let mut spec = TrainJobSpec::new(model, optimizer, batch);
     if let Some(seq) = flags.get("seq") {
-        spec.seq = seq.parse().map_err(|_| "--seq must be a number".to_string())?;
+        spec.seq = seq
+            .parse()
+            .map_err(|_| "--seq must be a number".to_string())?;
+    }
+    if let Some(iterations) = flags.get("iterations") {
+        spec.iterations = iterations
+            .parse()
+            .map_err(|_| "--iterations must be a number".to_string())?;
     }
     if flags.contains_key("pos1") {
         spec = spec.with_zero_grad(ZeroGradPos::IterStart);
@@ -81,6 +109,16 @@ fn job_of(flags: &HashMap<String, String>) -> Result<TrainJobSpec, String> {
         spec = spec.with_precision(xmem::runtime::Precision::F16);
     }
     Ok(spec)
+}
+
+fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
+    flags
+        .get("threads")
+        .map(|t| {
+            t.parse()
+                .map_err(|_| "--threads must be a number".to_string())
+        })
+        .unwrap_or(Ok(0))
 }
 
 fn run() -> Result<(), String> {
@@ -98,6 +136,75 @@ fn run() -> Result<(), String> {
                 .estimate_job(&spec)
                 .map_err(|e| format!("estimation failed: {e}"))?;
             print!("{}", render_report(&spec.label(), &estimate));
+            Ok(())
+        }
+        "sweep" => {
+            let spec = job_with_batch(&flags, Some(1))?;
+            let device = device_of(&flags)?;
+            let batches: Vec<usize> = flags
+                .get("batches")
+                .ok_or("--batches is required (e.g. --batches 1,2,4,8)")?
+                .split(',')
+                .map(|b| b.trim().parse().map_err(|_| format!("bad batch `{b}`")))
+                .collect::<Result<_, _>>()?;
+            if batches.is_empty() {
+                return Err("--batches must name at least one batch size".to_string());
+            }
+            let service = EstimationService::new(
+                ServiceConfig::for_device(device).with_threads(threads_of(&flags)?),
+            );
+            println!(
+                "{:<8} {:>14} {:>14} {:>6}",
+                "batch", "peak (MiB)", "job peak (MiB)", "fits"
+            );
+            for (batch, estimate) in service.sweep(&spec, &batches) {
+                match estimate {
+                    Ok(e) => println!(
+                        "{:<8} {:>14.1} {:>14.1} {:>6}",
+                        batch,
+                        e.peak_bytes as f64 / (1 << 20) as f64,
+                        e.job_peak_bytes as f64 / (1 << 20) as f64,
+                        if e.oom_predicted { "OOM" } else { "yes" }
+                    ),
+                    Err(e) => println!("{batch:<8} estimation failed: {e}"),
+                }
+            }
+            let stats = service.cache_stats();
+            println!("cache: {} hits, {} misses", stats.hits, stats.misses);
+            Ok(())
+        }
+        "plan" => {
+            let spec = job_with_batch(&flags, Some(1))?;
+            let device = device_of(&flags)?;
+            let parse_bound = |key: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(key)
+                    .map(|v| v.parse().map_err(|_| format!("--{key} must be a number")))
+                    .unwrap_or(Ok(default))
+            };
+            let lo = parse_bound("min", 1)?;
+            let hi = parse_bound("max", 1024)?;
+            if lo < 1 || lo > hi {
+                return Err(format!("invalid batch range [{lo}, {hi}]"));
+            }
+            let service = EstimationService::new(
+                ServiceConfig::for_device(device).with_threads(threads_of(&flags)?),
+            );
+            match service.max_batch_for_device(&spec, device, lo, hi) {
+                Ok(Some(batch)) => println!(
+                    "largest batch for {} on {}: {batch}",
+                    spec.label(),
+                    device.name
+                ),
+                Ok(None) => println!(
+                    "{} does not fit {} at any batch in [{lo}, {hi}]",
+                    spec.label(),
+                    device.name
+                ),
+                Err(e) => return Err(format!("estimation failed: {e}")),
+            }
+            let stats = service.cache_stats();
+            println!("cache: {} hits, {} misses", stats.hits, stats.misses);
             Ok(())
         }
         "profile" => {
@@ -118,10 +225,8 @@ fn run() -> Result<(), String> {
         "estimate-trace" => {
             let path = flags.get("trace").ok_or("--trace is required")?;
             let device = device_of(&flags)?;
-            let json =
-                std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-            let trace =
-                Trace::from_json_str(&json).map_err(|e| format!("parse failed: {e}"))?;
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+            let trace = Trace::from_json_str(&json).map_err(|e| format!("parse failed: {e}"))?;
             let estimator = Estimator::new(EstimatorConfig::for_device(device));
             let estimate = estimator
                 .estimate_trace(&trace)
@@ -145,7 +250,10 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "models" => {
-            println!("{:<32} {:<12} {:>14} {:<14}", "name", "class", "params", "batch grid");
+            println!(
+                "{:<32} {:<12} {:>14} {:<14}",
+                "name", "class", "params", "batch grid"
+            );
             for model in ModelId::all() {
                 let info = model.info();
                 println!(

@@ -13,7 +13,9 @@
 //! * [`graph`], [`optim`] — model IR and optimizer memory models;
 //! * [`baselines`] — DNNMem, SchedTune and LLMem reproductions;
 //! * [`eval`] — metrics, two-round validation, ANOVA/Monte Carlo
-//!   campaigns.
+//!   campaigns;
+//! * [`service`] — the concurrent, cache-backed estimation service for
+//!   scheduler-scale traffic (parallel sweeps, admission control).
 //!
 //! # Quick start
 //!
@@ -42,6 +44,7 @@ pub use xmem_graph as graph;
 pub use xmem_models as models;
 pub use xmem_optim as optim;
 pub use xmem_runtime as runtime;
+pub use xmem_service as service;
 pub use xmem_trace as trace;
 
 /// The names needed for everyday use of the estimator.
@@ -50,7 +53,6 @@ pub mod prelude {
     pub use xmem_core::{Estimate, Estimator, EstimatorConfig};
     pub use xmem_models::ModelId;
     pub use xmem_optim::OptimizerKind;
-    pub use xmem_runtime::{
-        profile_on_cpu, run_on_gpu, GpuDevice, TrainJobSpec, ZeroGradPos,
-    };
+    pub use xmem_runtime::{profile_on_cpu, run_on_gpu, GpuDevice, TrainJobSpec, ZeroGradPos};
+    pub use xmem_service::{CacheStats, EstimationService, ServiceConfig};
 }

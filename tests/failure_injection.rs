@@ -6,8 +6,8 @@ use xmem::prelude::*;
 use xmem::trace::{names, EventCategory, Trace, TraceEvent};
 
 fn healthy_trace() -> Trace {
-    let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4)
-        .with_iterations(2);
+    let spec =
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2);
     profile_on_cpu(&spec)
 }
 
@@ -33,7 +33,9 @@ fn truncated_trace_still_estimates() {
         truncated.sort_by_time();
     }
     let estimator = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060()));
-    let est = estimator.estimate_trace(&truncated).expect("degraded estimate");
+    let est = estimator
+        .estimate_trace(&truncated)
+        .expect("degraded estimate");
     assert!(est.peak_bytes > 0);
 }
 

@@ -13,7 +13,9 @@ fn json_roundtrip_preserves_the_estimate() {
 
     let estimator = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060()));
     let direct = estimator.estimate_trace(&trace).expect("direct estimate");
-    let roundtrip = estimator.estimate_trace(&parsed).expect("roundtrip estimate");
+    let roundtrip = estimator
+        .estimate_trace(&parsed)
+        .expect("roundtrip estimate");
     assert_eq!(direct.peak_bytes, roundtrip.peak_bytes);
     assert_eq!(direct.job_peak_bytes, roundtrip.job_peak_bytes);
     assert_eq!(direct.oom_predicted, roundtrip.oom_predicted);
@@ -21,8 +23,8 @@ fn json_roundtrip_preserves_the_estimate() {
 
 #[test]
 fn traces_have_the_profiler_schema() {
-    let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4)
-        .with_iterations(2);
+    let spec =
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2);
     let trace = profile_on_cpu(&spec);
     let json = trace.to_json_string().expect("serialize");
     for needle in [
@@ -47,8 +49,8 @@ fn traces_have_the_profiler_schema() {
 fn foreign_events_do_not_break_estimation() {
     // A real PyTorch export contains categories xMem ignores; splice some
     // in and re-estimate.
-    let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4)
-        .with_iterations(2);
+    let spec =
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2);
     let trace = profile_on_cpu(&spec);
     let json = trace.to_json_string().expect("serialize");
     let spliced = json.replacen(

@@ -1,0 +1,494 @@
+//! Hand-rolled `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! parses the item token stream directly (no `syn`/`quote`) and emits impls
+//! of the simplified `serde` traits defined in `vendor/serde`. Supported
+//! shapes: named-field structs, tuple structs, and enums with unit, tuple
+//! and struct variants. Supported field attributes: `#[serde(rename =
+//! "...")]`, `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives the simplified `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the simplified `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    parse_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => ItemKind::Struct(match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        }),
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive stub: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        expect_punct(&toks, &mut i, ':');
+        skip_type_until_comma(&toks, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_type_until_comma(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        parse_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Consumes leading `#[...]` attributes, collecting `#[serde(...)]` keys.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        let Some(TokenTree::Punct(p)) = toks.get(*i) else {
+            return attrs;
+        };
+        if p.as_char() != '#' {
+            return attrs;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+            return attrs;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            return attrs;
+        }
+        merge_serde_attr(g.stream(), &mut attrs);
+        *i += 2;
+    }
+}
+
+fn merge_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            parse_serde_items(g.stream(), attrs);
+        }
+        _ => {}
+    }
+}
+
+fn parse_serde_items(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = expect_ident(&toks, &mut i);
+        let value = match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                match toks.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        i += 1;
+                        Some(unquote(&lit.to_string()))
+                    }
+                    _ => panic!("serde_derive stub: expected string after `{key} =`"),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("default", None) => attrs.default = true,
+            ("skip_serializing_if", Some(v)) => attrs.skip_if = Some(v),
+            (other, _) => panic!("serde_derive stub: unsupported serde attribute `{other}`"),
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive stub: expected string literal, got {lit}"))
+        .to_string()
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type, stopping after the comma that ends the field (or at end of
+/// input). Tracks `<`/`>` depth so commas inside generics don't terminate.
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+    }
+}
+
+fn expect_punct(toks: &[TokenTree], i: &mut usize, ch: char) {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ch => *i += 1,
+        other => panic!("serde_derive stub: expected `{ch}`, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn key_of(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+/// Statements that build a `fields` vec for a set of named fields; the
+/// caller wraps `fields` in the appropriate `Value`.
+fn ser_named_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        let key = key_of(f);
+        let access = accessor(&f.name);
+        let push =
+            format!("fields.push(({key:?}.to_string(), ::serde::Serialize::to_value({access})));");
+        if let Some(pred) = &f.attrs.skip_if {
+            out.push_str(&format!("if !{pred}({access}) {{ {push} }}"));
+        } else {
+            out.push_str(&push);
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            format!(
+                "{{ {} ::serde::Value::Object(fields) }}",
+                ser_named_fields(fields, |f| format!("&self.{f}"))
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(","))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}\
+                             .to_string(), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {payload} \
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                             ::serde::Value::Object(fields))]) }},",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn de_named_field(item: &str, f: &Field) -> String {
+    let key = key_of(f);
+    if f.attrs.default {
+        format!(
+            "{}: match ::serde::obj_get(obj, {key:?}) {{ \
+               ::std::option::Option::Some(v) if !v.is_null() => \
+                 ::serde::Deserialize::from_value(v)?, \
+               _ => ::std::default::Default::default() }},",
+            f.name
+        )
+    } else {
+        format!(
+            "{}: match ::serde::obj_get(obj, {key:?}) {{ \
+               ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+               ::std::option::Option::None => ::serde::missing_or_err({item:?}, {key:?})? }},",
+            f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields.iter().map(|f| de_named_field(name, f)).collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                   ::serde::Error::expected(\"object\", {name:?}))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                   ::serde::Error::expected(\"array\", {name:?}))?; \
+                 if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                   ::serde::Error::expected(\"array of length {n}\", {name:?})); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(",")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for var in variants {
+                let vname = &var.name;
+                match &var.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                           ::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => {{ let arr = payload.as_array().ok_or_else(|| \
+                               ::serde::Error::expected(\"array\", {name:?}))?; \
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                               ::serde::Error::expected(\"array of length {n}\", {name:?})); }} \
+                             ::std::result::Result::Ok({name}::{vname}({})) }},",
+                            inits.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: String =
+                            fields.iter().map(|f| de_named_field(name, f)).collect();
+                        payload_arms.push_str(&format!(
+                            "{vname:?} => {{ let obj = payload.as_object().ok_or_else(|| \
+                               ::serde::Error::expected(\"object\", {name:?}))?; \
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(\
+                       ::serde::Error::unknown_variant({name:?}, other)), \
+                   }}, \
+                   _ => {{ \
+                     let (tag, payload) = v.as_enum().ok_or_else(|| \
+                       ::serde::Error::expected(\"enum\", {name:?}))?; \
+                     match tag {{ \
+                       {payload_arms} \
+                       other => ::std::result::Result::Err(\
+                         ::serde::Error::unknown_variant({name:?}, other)), \
+                     }} \
+                   }} \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
