@@ -9,6 +9,12 @@ pub enum EstimateError {
     /// The trace lacks iteration markers (`ProfilerStep#k`), so phases
     /// cannot be delimited.
     MissingIterations,
+    /// The query was cancelled before a result was produced (async front
+    /// end: `EstimateFuture::cancel`).
+    Cancelled,
+    /// The query's deadline elapsed before a result was produced (async
+    /// front end: per-query deadlines).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EstimateError {
@@ -17,6 +23,10 @@ impl fmt::Display for EstimateError {
             EstimateError::EmptyTrace => write!(f, "trace contains no memory events"),
             EstimateError::MissingIterations => {
                 write!(f, "trace contains no ProfilerStep iteration markers")
+            }
+            EstimateError::Cancelled => write!(f, "estimation query was cancelled"),
+            EstimateError::DeadlineExceeded => {
+                write!(f, "estimation query missed its deadline")
             }
         }
     }

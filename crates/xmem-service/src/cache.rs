@@ -152,6 +152,20 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         self.len() == 0
     }
 
+    /// Looks up `key` without refreshing recency or touching the hit/miss
+    /// counters. Used by single-flight leaders re-checking for a value a
+    /// just-retired flight published, so stats keep their "one hit or
+    /// miss per query" invariant.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .get(key)
+            .map(|e| e.value.clone())
+    }
+
     /// Looks up `key`, refreshing its recency.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<V> {

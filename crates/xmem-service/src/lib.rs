@@ -18,7 +18,21 @@
 //! * [`EstimationService::max_batch_for_device`] answers the
 //!   admission-control question — the largest batch that fits a device —
 //!   by bracketing with a parallel coarse sweep and bisecting the
-//!   remainder over cached probes.
+//!   remainder over cached probes;
+//! * [`AsyncEstimationService`] is the future-based front end for
+//!   scheduler event loops: `submit` returns an [`EstimateFuture`]
+//!   answered by a bounded, channel-fed worker pool, with cancellation,
+//!   per-query deadlines, and [`SubmitError::Busy`] backpressure instead
+//!   of unbounded queues. Concurrent identical queries **single-flight**
+//!   onto one profile run ([`FlightStats`]), and Analyzer failures for
+//!   degenerate jobs are remembered in a TTL'd negative cache
+//!   ([`NegativeStats`]).
+//!
+//! The async machinery is dependency-free (the build environment has no
+//! crates.io): futures are hand-rolled shared-state promises, wakers come
+//! from [`std::task::Wake`], and [`block_on`] / [`Executor`] /
+//! [`join_all`] are the minimal executor surface a scheduler needs to
+//! drive thousands of in-flight queries from a few threads.
 //!
 //! Estimates are **bit-identical** to the sequential
 //! [`Estimator`](xmem_core::Estimator) path: the memoized stages are pure
@@ -28,9 +42,21 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod executor;
+mod future;
 mod key;
+mod negative;
 mod service;
+mod singleflight;
+mod timer;
 
 pub use cache::{CacheStats, ShardedLruCache};
+pub use executor::{block_on, join_all, Executor, JoinAll, SubmitError, WorkerPool};
+pub use future::{promise_pair, LateOutcome, PoolFuture, Promise};
 pub use key::JobKey;
-pub use service::{EstimationService, ProfiledStages, ServiceConfig};
+pub use negative::{NegativeCache, NegativeStats};
+pub use service::{
+    AsyncEstimationService, AsyncServiceConfig, EstimateFuture, EstimationService, PlanFuture,
+    ProfiledStages, ServiceConfig, SweepFuture, SweepOutcome,
+};
+pub use singleflight::{FlightStats, SingleFlight};

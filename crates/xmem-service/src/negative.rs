@@ -1,0 +1,218 @@
+//! Negative caching: remember Analyzer failures for a TTL.
+//!
+//! Degenerate jobs (e.g. zero profiled iterations) fail in the Analyzer,
+//! and failures are *not* stored in the positive stage cache — so before
+//! this cache, every repeated query for a broken job re-ran the full CPU
+//! profile just to fail again. Errors are deterministic in the job key,
+//! so they are safe to memoize; the TTL bounds how long a transient
+//! classification ("degenerate") is trusted before re-verification.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Monotonic counters for a [`NegativeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NegativeStats {
+    /// Lookups answered with a cached error.
+    pub hits: u64,
+    /// Errors written.
+    pub insertions: u64,
+    /// Entries dropped — TTL expiry or capacity eviction.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct NegativeEntry<E> {
+    error: E,
+    cached_at: Instant,
+}
+
+/// A bounded, TTL'd map of `key → error`.
+///
+/// Entries expire `ttl` after insertion (checked lazily on lookup). When
+/// full, inserting evicts the oldest entry — degenerate-job keys must not
+/// grow the map without bound.
+#[derive(Debug)]
+pub struct NegativeCache<K, E> {
+    entries: Mutex<HashMap<K, NegativeEntry<E>>>,
+    ttl: Duration,
+    capacity: usize,
+    hits: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, E: Clone> NegativeCache<K, E> {
+    /// A cache of at most `capacity` errors (clamped to ≥ 1), each valid
+    /// for `ttl` from insertion.
+    #[must_use]
+    pub fn new(ttl: Duration, capacity: usize) -> Self {
+        NegativeCache {
+            entries: Mutex::new(HashMap::new()),
+            ttl,
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured TTL.
+    #[must_use]
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// The cached error for `key`, if present and not expired.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<E> {
+        self.get_at(key, Instant::now())
+    }
+
+    /// Caches `error` for `key`.
+    pub fn insert(&self, key: K, error: E) {
+        self.insert_at(key, error, Instant::now());
+    }
+
+    /// Live (unexpired-at-last-touch) entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("negative cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/insert/evict counters.
+    #[must_use]
+    pub fn stats(&self) -> NegativeStats {
+        NegativeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clock-injected lookup; `get` passes `Instant::now`, tests pass a
+    /// synthetic time.
+    fn get_at(&self, key: &K, now: Instant) -> Option<E> {
+        let mut entries = self.entries.lock().expect("negative cache poisoned");
+        match entries.get(key) {
+            Some(entry) if now.duration_since(entry.cached_at) < self.ttl => {
+                let error = entry.error.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(error)
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Clock-injected insert. A zero TTL disables the cache entirely:
+    /// nothing is stored (an entry would be born expired), so a disabled
+    /// cache holds no dead entries and reports zero insertions.
+    fn insert_at(&self, key: K, error: E, now: Instant) {
+        if self.ttl.is_zero() {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("negative cache poisoned");
+        if !entries.contains_key(&key) && entries.len() >= self.capacity {
+            // Evict the stalest entry; expired entries go first naturally
+            // since they have the oldest timestamps.
+            if let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.cached_at)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.insert(
+            key,
+            NegativeEntry {
+                error,
+                cached_at: now,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn caches_an_error_until_the_ttl() {
+        let cache: NegativeCache<u32, &str> = NegativeCache::new(TTL, 8);
+        let t0 = Instant::now();
+        cache.insert_at(1, "degenerate", t0);
+        assert_eq!(
+            cache.get_at(&1, t0 + Duration::from_secs(59)),
+            Some("degenerate")
+        );
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn expired_entries_miss_and_are_evicted() {
+        let cache: NegativeCache<u32, &str> = NegativeCache::new(TTL, 8);
+        let t0 = Instant::now();
+        cache.insert_at(1, "degenerate", t0);
+        assert_eq!(cache.get_at(&1, t0 + TTL), None, "TTL is exclusive");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_the_ttl() {
+        let cache: NegativeCache<u32, &str> = NegativeCache::new(TTL, 8);
+        let t0 = Instant::now();
+        cache.insert_at(1, "first", t0);
+        cache.insert_at(1, "second", t0 + Duration::from_secs(30));
+        assert_eq!(
+            cache.get_at(&1, t0 + Duration::from_secs(80)),
+            Some("second"),
+            "TTL counts from the latest insertion"
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_entry() {
+        let cache: NegativeCache<u32, &str> = NegativeCache::new(TTL, 2);
+        let t0 = Instant::now();
+        cache.insert_at(1, "a", t0);
+        cache.insert_at(2, "b", t0 + Duration::from_secs(1));
+        cache.insert_at(3, "c", t0 + Duration::from_secs(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get_at(&1, t0 + Duration::from_secs(3)), None);
+        assert_eq!(cache.get_at(&2, t0 + Duration::from_secs(3)), Some("b"));
+        assert_eq!(cache.get_at(&3, t0 + Duration::from_secs(3)), Some("c"));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_ttl_disables_negative_caching() {
+        let cache: NegativeCache<u32, &str> = NegativeCache::new(Duration::ZERO, 8);
+        let t0 = Instant::now();
+        cache.insert_at(1, "a", t0);
+        assert_eq!(cache.get_at(&1, t0), None);
+        assert!(cache.is_empty(), "a disabled cache stores nothing");
+        assert_eq!(cache.stats().insertions, 0, "and counts nothing");
+    }
+}

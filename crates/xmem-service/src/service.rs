@@ -1,9 +1,16 @@
-//! The concurrent, cache-backed estimation front end.
+//! The concurrent, cache-backed estimation front end — blocking
+//! ([`EstimationService`]) and asynchronous ([`AsyncEstimationService`]).
 
 use crate::cache::{CacheStats, ShardedLruCache};
+use crate::executor::{SubmitError, WorkerPool};
+use crate::future::{promise_pair, PoolFuture};
 use crate::key::JobKey;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::negative::{NegativeCache, NegativeStats};
+use crate::singleflight::{FlightStats, SingleFlight};
+use crate::timer::DeadlineTimer;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use xmem_core::{AnalyzedTrace, Analyzer, Estimate, EstimateError, Estimator, EstimatorConfig};
 use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
 use xmem_trace::Trace;
@@ -37,11 +44,17 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Worker threads for [`EstimationService::sweep`] (0 = all cores).
     pub threads: usize,
+    /// How long an Analyzer failure for a degenerate job is remembered
+    /// before the job is re-verified. `Duration::ZERO` disables negative
+    /// caching.
+    pub negative_ttl: Duration,
+    /// Bound on remembered failures (oldest evicted beyond it).
+    pub negative_capacity: usize,
 }
 
 impl ServiceConfig {
-    /// Service defaults (16-way sharded 256-entry cache, all cores) for a
-    /// target device.
+    /// Service defaults (16-way sharded 256-entry cache, all cores,
+    /// 30-second negative TTL) for a target device.
     #[must_use]
     pub fn for_device(device: GpuDevice) -> Self {
         ServiceConfig {
@@ -49,6 +62,8 @@ impl ServiceConfig {
             cache_capacity: 256,
             shards: 16,
             threads: 0,
+            negative_ttl: Duration::from_secs(30),
+            negative_capacity: 256,
         }
     }
 
@@ -63,6 +78,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the negative-caching TTL (`Duration::ZERO` disables it).
+    #[must_use]
+    pub fn with_negative_ttl(mut self, ttl: Duration) -> Self {
+        self.negative_ttl = ttl;
         self
     }
 }
@@ -96,6 +118,14 @@ pub struct EstimationService {
     config: ServiceConfig,
     estimator: Estimator,
     cache: ShardedLruCache<JobKey, Arc<ProfiledStages>>,
+    /// In-flight dedup: concurrent misses for one key coalesce onto a
+    /// single profile/analyze run.
+    flights: SingleFlight<JobKey, Result<Arc<ProfiledStages>, EstimateError>>,
+    /// TTL'd memory of Analyzer failures for degenerate jobs.
+    negative: NegativeCache<JobKey, EstimateError>,
+    /// Count of actual `profile_on_cpu` executions — the ground truth the
+    /// single-flight and cache layers are judged against.
+    profiles: AtomicU64,
 }
 
 impl EstimationService {
@@ -104,10 +134,14 @@ impl EstimationService {
     pub fn new(config: ServiceConfig) -> Self {
         let estimator = Estimator::new(config.estimator.clone());
         let cache = ShardedLruCache::new(config.cache_capacity, config.shards);
+        let negative = NegativeCache::new(config.negative_ttl, config.negative_capacity);
         EstimationService {
             config,
             estimator,
             cache,
+            flights: SingleFlight::new(),
+            negative,
+            profiles: AtomicU64::new(0),
         }
     }
 
@@ -130,17 +164,69 @@ impl EstimationService {
         self.cache.stats()
     }
 
+    /// Single-flight counters: leader executions vs coalesced followers.
+    #[must_use]
+    pub fn flight_stats(&self) -> FlightStats {
+        self.flights.stats()
+    }
+
+    /// Negative-cache counters (hits/insertions/evictions), exposed
+    /// alongside the positive [`cache_stats`](Self::cache_stats).
+    #[must_use]
+    pub fn negative_stats(&self) -> NegativeStats {
+        self.negative.stats()
+    }
+
+    /// How many times `profile_on_cpu` actually ran. Under any mix of
+    /// cache hits and coalesced concurrent queries, this is at most one
+    /// per distinct [`JobKey`] still covered by the cache/flight layers.
+    #[must_use]
+    pub fn profile_runs(&self) -> u64 {
+        self.profiles.load(Ordering::Relaxed)
+    }
+
     /// The memoized profile+analysis stages for `spec`, computing them on
     /// a cache miss.
     ///
+    /// Concurrent misses for the same key are **single-flighted**: one
+    /// caller profiles, the rest block on its result. Analyzer failures
+    /// land in a TTL'd negative cache so degenerate jobs are not
+    /// re-profiled on every query.
+    ///
     /// # Errors
-    /// Propagates Analyzer failures for degenerate jobs.
+    /// Propagates Analyzer failures for degenerate jobs (possibly from
+    /// the negative cache).
     pub fn stages(&self, spec: &TrainJobSpec) -> Result<Arc<ProfiledStages>, EstimateError> {
         let key = JobKey::of(spec);
-        self.cache.get_or_insert_with(&key, || {
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit);
+        }
+        if let Some(error) = self.negative.get(&key) {
+            return Err(error);
+        }
+        self.flights.run(&key, || {
+            // Winning leadership races a just-retired flight for the same
+            // key: its leader published before retiring, so re-check both
+            // caches before paying for a profile run.
+            if let Some(hit) = self.cache.peek(&key) {
+                return Ok(hit);
+            }
+            if let Some(error) = self.negative.get(&key) {
+                return Err(error);
+            }
+            self.profiles.fetch_add(1, Ordering::Relaxed);
             let trace = profile_on_cpu(spec);
-            let analyzed = Analyzer::new().analyze(&trace)?;
-            Ok(Arc::new(ProfiledStages { trace, analyzed }))
+            match Analyzer::new().analyze(&trace) {
+                Ok(analyzed) => {
+                    let stages = Arc::new(ProfiledStages { trace, analyzed });
+                    self.cache.insert(key.clone(), Arc::clone(&stages));
+                    Ok(stages)
+                }
+                Err(error) => {
+                    self.negative.insert(key.clone(), error.clone());
+                    Err(error)
+                }
+            }
         })
     }
 
@@ -291,6 +377,261 @@ impl EstimationService {
             }
         }
         Ok(Some(lo))
+    }
+}
+
+/// Future resolving to one estimate ([`AsyncEstimationService::submit`]).
+pub type EstimateFuture = PoolFuture<Result<Estimate, EstimateError>>;
+
+/// Future resolving to a whole batch-size sweep, in grid order
+/// ([`AsyncEstimationService::sweep_async`]). The outer `Result` carries
+/// only cancellation/deadline outcomes; per-batch estimation failures stay
+/// inside the vector.
+pub type SweepFuture = PoolFuture<SweepOutcome>;
+
+/// Output of [`AsyncEstimationService::sweep_async`].
+pub type SweepOutcome = Result<Vec<(usize, Result<Estimate, EstimateError>)>, EstimateError>;
+
+/// Future resolving to an admission-control answer
+/// ([`AsyncEstimationService::max_batch_for_device_async`]).
+pub type PlanFuture = PoolFuture<Result<Option<usize>, EstimateError>>;
+
+/// Configuration of an [`AsyncEstimationService`].
+#[derive(Debug, Clone)]
+pub struct AsyncServiceConfig {
+    /// The underlying blocking service (cache, estimator, sweep threads).
+    pub service: ServiceConfig,
+    /// Worker threads answering submitted queries (0 = all cores).
+    pub workers: usize,
+    /// Bound on queued-but-unclaimed submissions; a full queue makes
+    /// `submit` fail fast with [`SubmitError::Busy`].
+    pub queue_depth: usize,
+}
+
+impl AsyncServiceConfig {
+    /// Async defaults for a device: service defaults, all-core workers,
+    /// a 1024-deep submission queue.
+    #[must_use]
+    pub fn for_device(device: GpuDevice) -> Self {
+        AsyncServiceConfig {
+            service: ServiceConfig::for_device(device),
+            workers: 0,
+            queue_depth: 1024,
+        }
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the submission-queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
+/// The asynchronous estimation front end: a scheduler event loop submits
+/// queries and receives [`PoolFuture`]s, instead of burning a blocked
+/// thread per in-flight question.
+///
+/// Queries are answered by a fixed, channel-fed worker pool over a shared
+/// [`EstimationService`], so everything the blocking service guarantees
+/// carries over: estimates are bit-identical to the sequential
+/// [`Estimator`](xmem_core::Estimator), concurrent identical queries
+/// single-flight onto one profile run, and degenerate jobs are answered
+/// from the negative cache.
+///
+/// Three controls make it safe under scheduler-scale load:
+/// * **Backpressure** — the submission queue is bounded; a full queue
+///   fails fast with [`SubmitError::Busy`] instead of queueing without
+///   bound.
+/// * **Cancellation** — [`EstimateFuture::cancel`](PoolFuture::cancel)
+///   resolves the future to [`EstimateError::Cancelled`]; a job cancelled
+///   before a worker claims it never runs at all.
+/// * **Per-query deadlines** —
+///   [`submit_with_deadline`](Self::submit_with_deadline) bounds each
+///   query; an unclaimed job whose deadline passes resolves to
+///   [`EstimateError::DeadlineExceeded`] without running.
+///
+/// # Example
+///
+/// ```
+/// use xmem_service::{block_on, join_all, AsyncEstimationService};
+/// use xmem_runtime::{GpuDevice, TrainJobSpec};
+/// use xmem_models::ModelId;
+/// use xmem_optim::OptimizerKind;
+///
+/// let service = AsyncEstimationService::for_device(GpuDevice::rtx3060());
+/// let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+///     .with_iterations(2);
+/// // Submit a herd of identical admission checks...
+/// let futures: Vec<_> = (0..16)
+///     .map(|_| service.submit(&spec).expect("queue has room"))
+///     .collect();
+/// // ...and drive them all from one thread.
+/// let estimates = block_on(join_all(futures));
+/// assert!(estimates.windows(2).all(|w| w[0] == w[1]));
+/// // The herd coalesced onto a single CPU profile.
+/// assert_eq!(service.service().profile_runs(), 1);
+/// ```
+#[derive(Debug)]
+pub struct AsyncEstimationService {
+    service: Arc<EstimationService>,
+    pool: WorkerPool,
+    /// Actively settles deadline-carrying futures at their due time, so
+    /// `.await`-ing consumers are not at the mercy of the next pool
+    /// completion.
+    timer: DeadlineTimer,
+}
+
+impl AsyncEstimationService {
+    /// Creates an async front end with its own underlying service.
+    #[must_use]
+    pub fn new(config: AsyncServiceConfig) -> Self {
+        let workers = config.workers;
+        let queue_depth = config.queue_depth;
+        let service = Arc::new(EstimationService::new(config.service));
+        AsyncEstimationService::from_service(service, workers, queue_depth)
+    }
+
+    /// Convenience constructor with async defaults for a device.
+    #[must_use]
+    pub fn for_device(device: GpuDevice) -> Self {
+        AsyncEstimationService::new(AsyncServiceConfig::for_device(device))
+    }
+
+    /// Wraps an existing (possibly shared) blocking service — the async
+    /// and blocking front ends then share one cache, single-flight table
+    /// and negative cache. `workers` = 0 uses all cores.
+    #[must_use]
+    pub fn from_service(
+        service: Arc<EstimationService>,
+        workers: usize,
+        queue_depth: usize,
+    ) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            workers
+        };
+        AsyncEstimationService {
+            service,
+            pool: WorkerPool::new(workers, queue_depth),
+            timer: DeadlineTimer::new(),
+        }
+    }
+
+    /// The underlying blocking service (shared cache and counters).
+    #[must_use]
+    pub fn service(&self) -> &EstimationService {
+        &self.service
+    }
+
+    /// Worker threads answering queries.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Enqueues `work` against the shared service, returning the matching
+    /// future. The closure must not panic: a panicking worker neither
+    /// completes its promise nor returns to the pool.
+    fn dispatch<T, F>(
+        &self,
+        deadline: Option<Instant>,
+        work: F,
+    ) -> Result<PoolFuture<T>, SubmitError>
+    where
+        T: crate::future::LateOutcome + 'static,
+        F: FnOnce(&EstimationService) -> T + Send + 'static,
+    {
+        let (promise, future) = promise_pair(deadline);
+        let service = Arc::clone(&self.service);
+        self.pool.try_execute(Box::new(move || {
+            // A cancelled or expired query is settled here without ever
+            // touching the profiler.
+            if !promise.claim() {
+                return;
+            }
+            promise.complete(work(&service));
+        }))?;
+        // Only accepted, deadline-carrying submissions are watched.
+        self.timer.watch(&future);
+        Ok(future)
+    }
+
+    /// Submits one estimation query.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full;
+    /// resolve some in-flight futures and retry.
+    pub fn submit(&self, spec: &TrainJobSpec) -> Result<EstimateFuture, SubmitError> {
+        let spec = spec.clone();
+        self.dispatch(None, move |service| service.estimate(&spec))
+    }
+
+    /// Submits one estimation query that must resolve by `deadline`. If
+    /// the deadline passes first, a dedicated timer thread settles the
+    /// future with [`EstimateError::DeadlineExceeded`] — `.await`-ing
+    /// consumers are woken at the deadline, not at the next pool
+    /// completion — and, when no worker had claimed the job yet, the
+    /// profile run is skipped entirely.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn submit_with_deadline(
+        &self,
+        spec: &TrainJobSpec,
+        deadline: Instant,
+    ) -> Result<EstimateFuture, SubmitError> {
+        let spec = spec.clone();
+        self.dispatch(Some(deadline), move |service| service.estimate(&spec))
+    }
+
+    /// Submits a whole batch-size sweep as one pooled query; the worker
+    /// fans the grid out exactly like [`EstimationService::sweep`].
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn sweep_async(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+    ) -> Result<SweepFuture, SubmitError> {
+        let base = base.clone();
+        let batches = batches.to_vec();
+        self.dispatch(None, move |service| Ok(service.sweep(&base, &batches)))
+    }
+
+    /// Submits an admission-control query: the largest batch in
+    /// `[lo, hi]` fitting `device` (see
+    /// [`EstimationService::max_batch_for_device`]).
+    ///
+    /// # Panics
+    /// Panics (before dispatch) unless `1 <= lo <= hi`, matching the
+    /// blocking API.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn max_batch_for_device_async(
+        &self,
+        base: &TrainJobSpec,
+        device: GpuDevice,
+        lo: usize,
+        hi: usize,
+    ) -> Result<PlanFuture, SubmitError> {
+        assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
+        let base = base.clone();
+        self.dispatch(None, move |service| {
+            service.max_batch_for_device(&base, device, lo, hi)
+        })
     }
 }
 

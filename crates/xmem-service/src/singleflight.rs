@@ -1,0 +1,286 @@
+//! Single-flight execution: coalesce concurrent computations of the same
+//! key onto one leader.
+//!
+//! A thundering herd of identical admission checks — every pending job in
+//! a scheduler queue asking about the same `(model, optimizer, batch)` —
+//! must trigger exactly one CPU profile. The cache alone cannot guarantee
+//! that: concurrent misses race past the lookup and each recompute. Here,
+//! the first miss per key becomes the *leader* and runs the computation;
+//! every concurrent caller for the same key becomes a *follower* and
+//! blocks on the leader's result instead of recomputing.
+//!
+//! Leaders publish through the closure's own side effects first (the
+//! service inserts into its cache inside the closure), so by the time a
+//! flight is retired the cache already holds the value — a late caller
+//! either joins the flight or hits the cache, never recomputes.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Monotonic counters for a [`SingleFlight`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Computations actually executed (leader runs).
+    pub executions: u64,
+    /// Calls that waited on another caller's in-flight computation
+    /// instead of executing their own.
+    pub coalesced: u64,
+}
+
+#[derive(Debug)]
+struct Flight<V> {
+    outcome: Mutex<FlightOutcome<V>>,
+    settled: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightOutcome<V> {
+    Pending,
+    Done(V),
+    /// The leader unwound without publishing (a panic in the computation);
+    /// followers must retry rather than wait forever.
+    Abandoned,
+}
+
+/// Deduplicates concurrent computations per key. `V` is cloned to every
+/// follower, so it should be cheap to clone (the service uses
+/// `Result<Arc<_>, _>`).
+#[derive(Debug)]
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    executions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Removes the flight entry when the leader unwinds without publishing,
+/// and marks it abandoned so followers retry.
+struct AbandonGuard<'a, K: Hash + Eq + Clone, V: Clone> {
+    owner: &'a SingleFlight<K, V>,
+    key: K,
+    flight: Arc<Flight<V>>,
+    armed: bool,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Drop for AbandonGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.owner.retire(&self.key);
+        *self.flight.outcome.lock().expect("flight poisoned") = FlightOutcome::Abandoned;
+        self.flight.settled.notify_all();
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty flight table.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+            executions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `compute` for `key`, unless another caller is already running
+    /// it — then blocks until that leader finishes and returns a clone of
+    /// its result.
+    ///
+    /// `compute` runs outside the flight-table lock, so distinct keys
+    /// execute fully in parallel. Side effects inside `compute` (cache
+    /// population) are visible before any follower observes the result.
+    pub fn run(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        loop {
+            let flight = {
+                let mut inflight = self.inflight.lock().expect("flight table poisoned");
+                match inflight.get(key) {
+                    Some(flight) => Follower(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight {
+                            outcome: Mutex::new(FlightOutcome::Pending),
+                            settled: Condvar::new(),
+                        });
+                        inflight.insert(key.clone(), Arc::clone(&flight));
+                        Leader(flight)
+                    }
+                }
+            };
+            match flight {
+                Leader(flight) => {
+                    let mut guard = AbandonGuard {
+                        owner: self,
+                        key: key.clone(),
+                        flight: Arc::clone(&flight),
+                        armed: true,
+                    };
+                    let value = compute();
+                    guard.armed = false;
+                    drop(guard);
+                    self.executions.fetch_add(1, Ordering::Relaxed);
+                    // Publish, then retire the flight: late arrivals either
+                    // join before retirement or find the closure's side
+                    // effects (cache entry) afterwards.
+                    *flight.outcome.lock().expect("flight poisoned") =
+                        FlightOutcome::Done(value.clone());
+                    flight.settled.notify_all();
+                    self.retire(key);
+                    return value;
+                }
+                Follower(flight) => {
+                    let mut outcome = flight.outcome.lock().expect("flight poisoned");
+                    loop {
+                        match &*outcome {
+                            FlightOutcome::Done(value) => {
+                                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return value.clone();
+                            }
+                            FlightOutcome::Abandoned => break, // retry from the top
+                            FlightOutcome::Pending => {
+                                outcome = flight.settled.wait(outcome).expect("flight poisoned");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire(&self, key: &K) {
+        self.inflight
+            .lock()
+            .expect("flight table poisoned")
+            .remove(key);
+    }
+
+    /// Keys currently in flight.
+    #[must_use]
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("flight table poisoned").len()
+    }
+
+    /// A snapshot of the execution/coalescing counters.
+    #[must_use]
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            executions: self.executions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Role a caller takes for one key.
+enum Role<V> {
+    Leader(Arc<Flight<V>>),
+    Follower(Arc<Flight<V>>),
+}
+use Role::{Follower, Leader};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_execute() {
+        let flights: SingleFlight<u32, u32> = SingleFlight::new();
+        assert_eq!(flights.run(&1, || 10), 10);
+        assert_eq!(flights.run(&1, || 11), 11, "no caching, only coalescing");
+        let stats = flights.stats();
+        assert_eq!(stats.executions, 2);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(flights.inflight_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_executes_once() {
+        const CALLERS: usize = 16;
+        let flights: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(CALLERS));
+        let results: Vec<u32> = std::thread::scope(|scope| {
+            (0..CALLERS)
+                .map(|_| {
+                    let flights = Arc::clone(&flights);
+                    let runs = Arc::clone(&runs);
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || {
+                        gate.wait();
+                        flights.run(&7, || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Widen the window so followers pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            70
+                        })
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("caller"))
+                .collect()
+        });
+        assert!(results.iter().all(|&v| v == 70));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "one leader only");
+        let stats = flights.stats();
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.coalesced as usize, CALLERS - 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flights: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        std::thread::scope(|scope| {
+            for k in 0..4u32 {
+                let flights = Arc::clone(&flights);
+                scope.spawn(move || {
+                    assert_eq!(flights.run(&k, move || k * 10), k * 10);
+                });
+            }
+        });
+        assert_eq!(flights.stats().executions, 4);
+    }
+
+    #[test]
+    fn panicking_leader_does_not_strand_followers() {
+        let flights: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let gate = Arc::new(Barrier::new(2));
+        std::thread::scope(|scope| {
+            let leader = {
+                let flights = Arc::clone(&flights);
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        flights.run(&9, || {
+                            gate.wait();
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            panic!("profiler blew up")
+                        })
+                    }));
+                    assert!(result.is_err());
+                })
+            };
+            let follower = {
+                let flights = Arc::clone(&flights);
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    gate.wait();
+                    // The abandoned flight must fall through to a retry
+                    // that executes the computation itself.
+                    assert_eq!(flights.run(&9, || 90), 90);
+                })
+            };
+            leader.join().expect("leader");
+            follower.join().expect("follower");
+        });
+        assert_eq!(flights.inflight_len(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Deadline timer: actively settles expired futures.
+//!
+//! Deadlines are checked lazily at poll, wait, and worker-claim time, but
+//! an `.await`-ing consumer parked behind a busy pool would otherwise see
+//! nothing until the next completion wake-up — arbitrarily later than the
+//! deadline it asked for. The timer closes that gap: every
+//! deadline-carrying submission is registered here, and a dedicated
+//! thread sleeps until the nearest due time and settles whatever expired,
+//! waking the parked consumer through the future's own wakers.
+//!
+//! One timer thread serves a whole [`AsyncEstimationService`]
+//! (`crate::AsyncEstimationService`); it blocks in `recv` while nothing
+//! carries a deadline, and shuts down when the service drops its sender.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::future::{LateOutcome, PoolFuture, WeakExpiry};
+
+/// Type-erased view of a deadline-carrying future: one timer watches
+/// futures of every output type. Implementations hold only a weak
+/// reference — the timer never keeps results alive past settlement.
+trait Expirable: Send {
+    /// Settles the future with its deadline outcome unless it already
+    /// settled (or every caller-side handle is gone).
+    fn expire(&self);
+}
+
+impl<T: LateOutcome + 'static> Expirable for WeakExpiry<T> {
+    fn expire(&self) {
+        WeakExpiry::expire(self);
+    }
+}
+
+struct Watch {
+    due: Instant,
+    future: Box<dyn Expirable>,
+}
+
+impl PartialEq for Watch {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Watch {}
+impl PartialOrd for Watch {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Watch {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&other.due)
+    }
+}
+
+/// Settles watched futures at their deadlines from a dedicated thread.
+#[derive(Debug)]
+pub(crate) struct DeadlineTimer {
+    sender: Option<Sender<Watch>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DeadlineTimer {
+    /// Spawns the timer thread (idle-blocked until the first watch).
+    pub(crate) fn new() -> Self {
+        let (sender, receiver) = mpsc::channel::<Watch>();
+        let thread = std::thread::Builder::new()
+            .name("xmem-deadline-timer".to_string())
+            .spawn(move || {
+                let mut heap: BinaryHeap<Reverse<Watch>> = BinaryHeap::new();
+                loop {
+                    // Sleep until the nearest deadline (or forever when
+                    // nothing is watched); a new watch interrupts the sleep.
+                    let received = match heap.peek() {
+                        Some(Reverse(next)) => {
+                            let timeout = next.due.saturating_duration_since(Instant::now());
+                            receiver.recv_timeout(timeout)
+                        }
+                        None => receiver.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                    };
+                    match received {
+                        Ok(watch) => heap.push(Reverse(watch)),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|Reverse(w)| w.due <= now) {
+                        let Reverse(watch) = heap.pop().expect("peeked entry");
+                        watch.future.expire();
+                    }
+                }
+            })
+            .expect("spawn deadline timer");
+        DeadlineTimer {
+            sender: Some(sender),
+            thread: Some(thread),
+        }
+    }
+
+    /// Registers `future` for active expiry at its deadline. Futures
+    /// without a deadline are not watched.
+    pub(crate) fn watch<T: LateOutcome + 'static>(&self, future: &PoolFuture<T>) {
+        let Some(due) = future.deadline() else {
+            return;
+        };
+        let watch = Watch {
+            due,
+            future: Box::new(future.weak_expiry()),
+        };
+        self.sender
+            .as_ref()
+            .expect("timer sender lives until drop")
+            .send(watch)
+            .expect("timer thread lives until drop");
+    }
+}
+
+impl Drop for DeadlineTimer {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::promise_pair;
+    use std::time::Duration;
+    use xmem_core::EstimateError;
+
+    #[test]
+    fn timer_settles_an_unclaimed_future_at_its_deadline() {
+        let timer = DeadlineTimer::new();
+        let (_promise, future) = promise_pair::<Result<u32, EstimateError>>(Some(
+            Instant::now() + Duration::from_millis(25),
+        ));
+        timer.watch(&future);
+        // Block on the future without ever calling wait()'s own timeout
+        // path: the timer must wake the poll loop by itself.
+        let started = Instant::now();
+        let output = crate::executor::block_on(future);
+        assert_eq!(output, Err(EstimateError::DeadlineExceeded));
+        assert!(started.elapsed() >= Duration::from_millis(24));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the timer, not a fallback, must have fired"
+        );
+    }
+
+    #[test]
+    fn timer_leaves_completed_futures_alone() {
+        let timer = DeadlineTimer::new();
+        let (promise, future) = promise_pair::<Result<u32, EstimateError>>(Some(
+            Instant::now() + Duration::from_millis(20),
+        ));
+        timer.watch(&future);
+        assert!(promise.claim());
+        assert!(promise.complete(Ok(3)));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(future.wait(), Ok(3), "expiry after settlement is a no-op");
+    }
+
+    #[test]
+    fn watches_in_any_order_fire_in_due_order() {
+        let timer = DeadlineTimer::new();
+        let late = promise_pair::<Result<u32, EstimateError>>(Some(
+            Instant::now() + Duration::from_millis(60),
+        ))
+        .1;
+        let early = promise_pair::<Result<u32, EstimateError>>(Some(
+            Instant::now() + Duration::from_millis(15),
+        ))
+        .1;
+        timer.watch(&late); // registered first, due second
+        timer.watch(&early);
+        std::thread::sleep(Duration::from_millis(35));
+        assert!(early.is_settled(), "earlier deadline fired first");
+        assert!(!late.is_settled(), "later deadline still pending");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(late.is_settled());
+    }
+}

@@ -2,10 +2,12 @@
 //! given GPU, using xMem estimates only (no GPU time consumed), then
 //! validate the frontier with ground-truth runs.
 //!
-//! Planning goes through the [`EstimationService`]: a coarse parallel
-//! sweep brackets the fit/OOM frontier, bisection pins it down, and every
-//! probe lands in the service's stage cache — so re-planning the same
-//! model (or planning it for another device) re-profiles nothing.
+//! Planning goes through the **async** front end: all four models'
+//! admission questions are submitted as futures and answered through the
+//! shared service concurrently. Per question, a coarse sweep brackets the
+//! fit/OOM frontier, bisection pins it down, and every probe lands in the
+//! stage cache — so re-planning the same model (or planning it for
+//! another device) re-profiles nothing.
 //!
 //! ```text
 //! cargo run --release --example batch_size_planner
@@ -15,21 +17,32 @@ use xmem::prelude::*;
 
 fn main() {
     let device = GpuDevice::rtx3060();
-    let service = EstimationService::new(ServiceConfig::for_device(device));
+    let service = AsyncEstimationService::new(AsyncServiceConfig::for_device(device));
     println!(
         "Largest safe batch size on {} (xMem-planned, then validated):\n",
         device.name
     );
-    for (model, optimizer, (lo, hi)) in [
+    let questions = [
         (ModelId::Gpt2, OptimizerKind::AdamW, (1, 128)),
         (ModelId::DistilGpt2, OptimizerKind::Adam, (1, 192)),
         (ModelId::ResNet101, OptimizerKind::Adam, (32, 2048)),
         (ModelId::ConvNextTiny, OptimizerKind::AdamW, (32, 2048)),
-    ] {
-        let base = TrainJobSpec::new(model, optimizer, lo);
-        let planned = service
-            .max_batch_for_device(&base, device, lo, hi)
-            .expect("estimation succeeds");
+    ];
+    // Submit every planning question up front; each resolves to the
+    // largest batch that fits the device.
+    let futures: Vec<_> = questions
+        .iter()
+        .map(|&(model, optimizer, (lo, hi))| {
+            let base = TrainJobSpec::new(model, optimizer, lo);
+            service
+                .max_batch_for_device_async(&base, device, lo, hi)
+                .expect("queue sized for the workload")
+        })
+        .collect();
+    let answers = block_on(join_all(futures));
+
+    for (&(model, optimizer, _), planned) in questions.iter().zip(answers) {
+        let planned = planned.expect("estimation succeeds");
         match planned {
             Some(batch) => {
                 // Validate the frontier: the planned batch must run; the
@@ -55,7 +68,7 @@ fn main() {
             ),
         }
     }
-    let stats = service.cache_stats();
+    let stats = service.service().cache_stats();
     println!(
         "\nService cache: {} hits / {} misses ({} profiled stages reused across probes)",
         stats.hits, stats.misses, stats.hits

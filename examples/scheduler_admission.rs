@@ -4,10 +4,11 @@
 //!
 //! This is the downstream use the paper motivates (§1): accurate a-priori
 //! estimates let a scheduler co-locate jobs safely instead of reserving
-//! whole devices. Estimation goes through the shared
-//! [`EstimationService`] — schedulers re-submit the same job shapes
-//! constantly, so repeated admissions hit the stage cache instead of
-//! re-profiling.
+//! whole devices. Estimation goes through the **async** front end the way
+//! a scheduler event loop would: every queued job's admission check is
+//! submitted up front as a future — a thundering herd — and the service
+//! answers them all while single-flighting duplicate shapes onto one
+//! profile run.
 //!
 //! ```text
 //! cargo run --release --example scheduler_admission
@@ -22,7 +23,7 @@ struct Gpu {
 }
 
 fn main() {
-    let queue = vec![
+    let queue = [
         TrainJobSpec::new(ModelId::MobileNetV3Large, OptimizerKind::Adam, 300),
         TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 10),
         TrainJobSpec::new(
@@ -50,16 +51,24 @@ fn main() {
             jobs: Vec::new(),
         },
     ];
-    let service = EstimationService::new(ServiceConfig::for_device(pool[0].device));
+    let service = AsyncEstimationService::new(AsyncServiceConfig::for_device(pool[0].device));
 
     println!(
         "Admitting {} jobs onto {} GPUs using xMem estimates:\n",
         queue.len(),
         pool.len()
     );
+    // The scheduler event loop: submit every pending job's admission
+    // check at once, then drive all the futures from this one thread.
+    let futures: Vec<_> = queue
+        .iter()
+        .map(|job| service.submit(job).expect("queue sized for the workload"))
+        .collect();
+    let estimates = block_on(join_all(futures));
+
     let mut rejected = Vec::new();
-    for job in &queue {
-        let estimate = service.estimate(job).expect("estimation succeeds");
+    for (job, estimate) in queue.iter().zip(estimates) {
+        let estimate = estimate.expect("estimation succeeds");
         // Job memory demand beyond the per-device framework overhead (paid
         // once per device, not per job).
         let demand = estimate.job_peak_bytes;
@@ -82,11 +91,18 @@ fn main() {
             }
         }
     }
-    let stats = service.cache_stats();
+    let inner = service.service();
+    let stats = inner.cache_stats();
+    let flights = inner.flight_stats();
     println!(
-        "\nService cache after admission: {} hits, {} misses — re-submitted jobs \
-         were admitted without re-profiling.",
-        stats.hits, stats.misses
+        "\nService after admission: {} cache hits, {} misses; single-flight \
+         coalesced {} duplicate checks; {} profile runs for {} submissions — \
+         re-submitted jobs were admitted without re-profiling.",
+        stats.hits,
+        stats.misses,
+        flights.coalesced,
+        inner.profile_runs(),
+        queue.len()
     );
     println!();
     for (i, gpu) in pool.iter().enumerate() {

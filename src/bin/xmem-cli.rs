@@ -6,6 +6,7 @@
 //! xmem-cli estimate --model gpt2 --optimizer AdamW --batch 16 --device rtx3060
 //! xmem-cli sweep    --model gpt2 --optimizer AdamW --batches 1,2,4,8,16,32
 //! xmem-cli plan     --model gpt2 --optimizer AdamW --min 1 --max 128 --device rtx3060
+//! xmem-cli serve    --jobs queue.jobs --device rtx3060
 //! xmem-cli profile  --model distilgpt2 --optimizer Adam --batch 8 --out trace.json
 //! xmem-cli estimate-trace --trace trace.json --device rtx4060
 //! xmem-cli layers   --model t5-base --optimizer Adafactor --batch 8 --top 12
@@ -15,11 +16,17 @@
 //! `sweep` and `plan` run through the concurrent [`EstimationService`]:
 //! the batch grid fans out across worker threads and the profiled stages
 //! are cached, so overlapping probes are answered without re-profiling.
+//! `serve` is the scheduler-shaped batch mode: it reads one job per line,
+//! submits them all through the [`AsyncEstimationService`] (with `Busy`
+//! backpressure handling and optional per-query deadlines), and drives
+//! the resulting futures from a single thread.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 use xmem::core::{layer_report, render_layer_report, render_report, Analyzer, Orchestrator};
 use xmem::prelude::*;
+use xmem::service::AsyncServiceConfig;
 use xmem::trace::Trace;
 
 fn usage() -> &'static str {
@@ -31,6 +38,11 @@ fn usage() -> &'static str {
        sweep           (same job options) --batches <n,n,...> [--threads <n>]\n\
        plan            (same job options, no --batch) --min <n> --max <n>\n\
                        [--threads <n>]  find the largest batch that fits\n\
+       serve           --jobs <file|-> [--device ...] [--workers <n>]\n\
+                       [--queue <n>] [--deadline-ms <n>]\n\
+                       batch mode: one job per line\n\
+                       (`<model> <optimizer> <batch> [seq=N] [iters=N] [pos1] [fp16]`,\n\
+                       `#` comments), answered through the async service\n\
        profile         (same job options) --out <trace.json>\n\
        estimate-trace  --trace <trace.json> [--device ...]\n\
        layers          (same job options) [--top <n>]\n\
@@ -121,6 +133,169 @@ fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
         .unwrap_or(Ok(0))
 }
 
+/// Parses one `serve` job line —
+/// `<model> <optimizer> <batch> [seq=N] [iters=N] [pos1] [fp16]` — by
+/// translating the tokens into the same flag map the rest of the CLI
+/// uses, so `serve` job files and CLI flags share one job-spec grammar.
+fn parse_job_line(line: &str) -> Result<TrainJobSpec, String> {
+    let mut tokens = line.split_whitespace();
+    let mut flags = HashMap::new();
+    for positional in ["model", "optimizer", "batch"] {
+        let value = tokens
+            .next()
+            .ok_or_else(|| format!("missing {positional}"))?;
+        flags.insert(positional.to_string(), value.to_string());
+    }
+    for token in tokens {
+        if let Some(seq) = token.strip_prefix("seq=") {
+            flags.insert("seq".to_string(), seq.to_string());
+        } else if let Some(iters) = token.strip_prefix("iters=") {
+            flags.insert("iterations".to_string(), iters.to_string());
+        } else if token == "pos1" || token == "fp16" {
+            flags.insert(token.to_string(), "true".to_string());
+        } else {
+            return Err(format!("unknown job token `{token}`"));
+        }
+    }
+    job_of(&flags)
+}
+
+/// The `serve` command: answer a whole queue of jobs through the async
+/// front end — submit everything (draining in-flight futures when the
+/// bounded queue pushes back), then drive all futures from this thread.
+fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let source = flags
+        .get("jobs")
+        .ok_or("--jobs is required (a file, or - for stdin)")?;
+    let text = if source == "-" {
+        use std::io::Read;
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("read stdin failed: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("read {source} failed: {e}"))?
+    };
+    let mut specs = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let spec = parse_job_line(line).map_err(|e| format!("line {}: {e}", number + 1))?;
+        specs.push(spec);
+    }
+    if specs.is_empty() {
+        return Err("no jobs found".to_string());
+    }
+
+    let device = device_of(flags)?;
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("--{key} must be a number")))
+            .unwrap_or(Ok(default))
+    };
+    let workers = parse_usize("workers", 0)?;
+    let queue_depth = parse_usize("queue", 1024)?;
+    let deadline = flags
+        .get("deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "--deadline-ms must be a number".to_string())
+        })
+        .transpose()?
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    let service = AsyncEstimationService::new(
+        AsyncServiceConfig::for_device(device)
+            .with_workers(workers)
+            .with_queue_depth(queue_depth),
+    );
+    eprintln!(
+        "serving {} jobs on {} workers (queue depth {queue_depth})",
+        specs.len(),
+        service.workers()
+    );
+
+    let mut futures: Vec<EstimateFuture> = Vec::with_capacity(specs.len());
+    // Monotonic cursor over the submission order: everything before it is
+    // settled, so Busy-retries never rescan resolved futures.
+    let mut first_pending = 0;
+    for spec in &specs {
+        loop {
+            let submitted = match deadline {
+                Some(deadline) => service.submit_with_deadline(spec, deadline),
+                None => service.submit(spec),
+            };
+            match submitted {
+                Ok(future) => {
+                    futures.push(future);
+                    break;
+                }
+                Err(SubmitError::Busy) => {
+                    // Backpressure: resolve the oldest unresolved future
+                    // to free queue room, then retry this submission.
+                    while first_pending < futures.len() && futures[first_pending].is_settled() {
+                        first_pending += 1;
+                    }
+                    match futures.get(first_pending) {
+                        Some(pending) => {
+                            let _ = pending.wait();
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }
+        }
+    }
+
+    let outputs = block_on(join_all(futures));
+    println!(
+        "{:<44} {:>14} {:>14} {:>6}",
+        "job", "peak (MiB)", "job peak (MiB)", "fits"
+    );
+    let mut failed = 0usize;
+    for (spec, output) in specs.iter().zip(&outputs) {
+        match output {
+            Ok(e) => println!(
+                "{:<44} {:>14.1} {:>14.1} {:>6}",
+                spec.label(),
+                e.peak_bytes as f64 / (1 << 20) as f64,
+                e.job_peak_bytes as f64 / (1 << 20) as f64,
+                if e.oom_predicted { "OOM" } else { "yes" }
+            ),
+            Err(e) => {
+                failed += 1;
+                println!("{:<44} {e}", spec.label());
+            }
+        }
+    }
+    let inner = service.service();
+    let cache = inner.cache_stats();
+    let flights = inner.flight_stats();
+    let negative = inner.negative_stats();
+    println!(
+        "cache: {} hits, {} misses | single-flight: {} executions, {} coalesced | \
+         negative: {} hits, {} insertions | profile runs: {}",
+        cache.hits,
+        cache.misses,
+        flights.executions,
+        flights.coalesced,
+        negative.hits,
+        negative.insertions,
+        inner.profile_runs()
+    );
+    // Per-job failures are reported in the table above, but the process
+    // must still signal them (like every other subcommand) so CI and
+    // scripts notice estimation regressions.
+    if failed > 0 {
+        return Err(format!("{failed}/{} jobs failed estimation", specs.len()));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -207,6 +382,7 @@ fn run() -> Result<(), String> {
             println!("cache: {} hits, {} misses", stats.hits, stats.misses);
             Ok(())
         }
+        "serve" => serve(&flags),
         "profile" => {
             let spec = job_of(&flags)?;
             let out = flags.get("out").ok_or("--out is required")?;

@@ -54,5 +54,8 @@ pub mod prelude {
     pub use xmem_models::ModelId;
     pub use xmem_optim::OptimizerKind;
     pub use xmem_runtime::{profile_on_cpu, run_on_gpu, GpuDevice, TrainJobSpec, ZeroGradPos};
-    pub use xmem_service::{CacheStats, EstimationService, ServiceConfig};
+    pub use xmem_service::{
+        block_on, join_all, AsyncEstimationService, AsyncServiceConfig, CacheStats, EstimateFuture,
+        EstimationService, Executor, ServiceConfig, SubmitError,
+    };
 }
