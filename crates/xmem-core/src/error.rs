@@ -15,6 +15,14 @@ pub enum EstimateError {
     /// The query's deadline elapsed before a result was produced (async
     /// front end: per-query deadlines).
     DeadlineExceeded,
+    /// The named device is not registered with the service's device
+    /// registry (multi-device front end: matrix and placement queries
+    /// address simulation targets by name).
+    UnknownDevice(String),
+    /// The estimation job failed internally — a panic unwound out of the
+    /// pipeline and was caught by the worker pool, which settled the query
+    /// with the panic payload instead of stranding the caller.
+    Internal(String),
 }
 
 impl fmt::Display for EstimateError {
@@ -27,6 +35,12 @@ impl fmt::Display for EstimateError {
             EstimateError::Cancelled => write!(f, "estimation query was cancelled"),
             EstimateError::DeadlineExceeded => {
                 write!(f, "estimation query missed its deadline")
+            }
+            EstimateError::UnknownDevice(name) => {
+                write!(f, "device `{name}` is not in the device registry")
+            }
+            EstimateError::Internal(message) => {
+                write!(f, "estimation job failed internally: {message}")
             }
         }
     }

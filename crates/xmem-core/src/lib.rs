@@ -47,6 +47,7 @@ mod analyzer;
 mod error;
 mod layerwise;
 mod lifecycle;
+mod matrix;
 mod orchestrator;
 mod pipeline;
 mod report;
@@ -57,8 +58,9 @@ pub use analyzer::{AnalyzedBlock, AnalyzedTrace, Analyzer, BlockCategory};
 pub use error::EstimateError;
 pub use layerwise::{layer_report, render_layer_report, LayerMemory};
 pub use lifecycle::{reconstruct_lifecycles, LifecycleStats, MemoryBlock};
+pub use matrix::{DeviceMatrix, DevicePlacement, MatrixCell, MatrixRow};
 pub use orchestrator::{OrchestratedEvent, OrchestratedSequence, Orchestrator};
-pub use pipeline::{Estimate, Estimator, EstimatorConfig};
+pub use pipeline::{AnalysisStats, Estimate, Estimator, EstimatorConfig};
 pub use report::render_report;
 pub use simulator::{SimulationResult, Simulator};
 pub use windows::{AnnotationIndex, OpWindow, WindowIndex};

@@ -1,0 +1,158 @@
+//! Device-matrix result types.
+//!
+//! A per-cluster estimation service answers the scheduler question "which
+//! of my device types fits this job?" for *every* pending job: one cached
+//! CPU analysis per job, replayed against N device simulations. The types
+//! here carry that answer — an M-jobs × D-devices grid of estimates —
+//! plus the placement summary a scheduler actually consumes.
+
+use crate::{Estimate, EstimateError};
+use xmem_runtime::TrainJobSpec;
+
+/// One cell of a device matrix: one job's estimate on one named device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// Registry name of the simulated device (the name the matrix query
+    /// addressed it by, not the marketing name).
+    pub device: String,
+    /// The estimate, or the per-job analysis failure. Device-independent
+    /// failures (a degenerate trace) repeat across the row's cells.
+    pub estimate: Result<Estimate, EstimateError>,
+}
+
+impl MatrixCell {
+    /// Whether this cell predicts the job fits the device (estimation
+    /// succeeded and no OOM is predicted).
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        matches!(&self.estimate, Ok(e) if !e.oom_predicted)
+    }
+}
+
+/// One row of a device matrix: a job and its estimate on every device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// The job this row estimates.
+    pub spec: TrainJobSpec,
+    /// Per-device cells, in the matrix's device order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixRow {
+    /// The cell for `device`, if that device is part of the matrix.
+    #[must_use]
+    pub fn cell(&self, device: &str) -> Option<&MatrixCell> {
+        self.cells.iter().find(|c| c.device == device)
+    }
+
+    /// Names of the devices this job is predicted to fit, in the matrix's
+    /// device order.
+    #[must_use]
+    pub fn fitting_devices(&self) -> Vec<&str> {
+        self.cells
+            .iter()
+            .filter(|c| c.fits())
+            .map(|c| c.device.as_str())
+            .collect()
+    }
+}
+
+/// An M-jobs × D-devices grid of estimates: one cached analysis per job,
+/// one allocator simulation per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMatrix {
+    /// Device names, in column order (every row's `cells` follow it).
+    pub devices: Vec<String>,
+    /// Per-job rows, in the query's job order.
+    pub rows: Vec<MatrixRow>,
+}
+
+impl DeviceMatrix {
+    /// The cell at (`row`, `device`), if both exist.
+    #[must_use]
+    pub fn cell(&self, row: usize, device: &str) -> Option<&MatrixCell> {
+        self.rows.get(row).and_then(|r| r.cell(device))
+    }
+
+    /// Total number of cells (jobs × devices).
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.rows.len() * self.devices.len()
+    }
+
+    /// Whether the matrix has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_cells() == 0
+    }
+}
+
+/// A placement decision: the chosen device and the estimate that
+/// justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePlacement {
+    /// Registry name of the chosen device.
+    pub device: String,
+    /// The job's estimate on that device (never an OOM prediction).
+    pub estimate: Estimate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnalysisStats;
+    use xmem_models::ModelId;
+    use xmem_optim::OptimizerKind;
+
+    fn estimate(oom: bool) -> Estimate {
+        Estimate {
+            peak_bytes: 100,
+            job_peak_bytes: 80,
+            tensor_peak_bytes: 60,
+            oom_predicted: oom,
+            curve: Vec::new(),
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    fn row(cells: Vec<(&str, Result<Estimate, EstimateError>)>) -> MatrixRow {
+        MatrixRow {
+            spec: TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4),
+            cells: cells
+                .into_iter()
+                .map(|(device, estimate)| MatrixCell {
+                    device: device.to_string(),
+                    estimate,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fitting_devices_excludes_oom_and_errors() {
+        let row = row(vec![
+            ("small", Ok(estimate(true))),
+            ("big", Ok(estimate(false))),
+            ("broken", Err(EstimateError::EmptyTrace)),
+        ]);
+        assert_eq!(row.fitting_devices(), vec!["big"]);
+        assert!(row.cell("small").is_some());
+        assert!(row.cell("missing").is_none());
+    }
+
+    #[test]
+    fn matrix_indexing_and_counts() {
+        let matrix = DeviceMatrix {
+            devices: vec!["a".to_string(), "b".to_string()],
+            rows: vec![row(vec![
+                ("a", Ok(estimate(false))),
+                ("b", Ok(estimate(true))),
+            ])],
+        };
+        assert_eq!(matrix.num_cells(), 2);
+        assert!(!matrix.is_empty());
+        assert!(matrix.cell(0, "a").unwrap().fits());
+        assert!(!matrix.cell(0, "b").unwrap().fits());
+        assert!(matrix.cell(1, "a").is_none());
+    }
+}

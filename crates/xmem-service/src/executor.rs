@@ -14,13 +14,15 @@
 //! its in-flight futures (or shed load) before submitting more.
 
 use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::{JoinHandle, Thread};
 
-use crate::future::{LateOutcome, PoolFuture};
+use crate::future::{LateOutcome, PoolFuture, Promise};
 
 /// Submission failure of the async front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,10 +50,20 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// [`Promise`](crate::future::Promise) so completion flows back through
 /// the matching future. Dropping the pool closes the channel and joins
 /// every worker (queued jobs still run to completion first).
+///
+/// The pool is **panic-resilient**: a job that unwinds is caught at the
+/// worker loop, so the pool stays at full strength no matter what the
+/// workload throws. Promise-settling jobs submitted through
+/// [`try_execute_settling`](Self::try_execute_settling) additionally
+/// resolve their future to [`LateOutcome::internal`] carrying the panic
+/// payload, so no caller is ever stranded on an unsettled future.
 #[derive(Debug)]
 pub struct WorkerPool {
     sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Panics that unwound out of a job and were caught by the worker
+    /// loop (settling jobs catch their own, so they don't count here).
+    panics: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -62,9 +74,11 @@ impl WorkerPool {
         let threads = threads.max(1);
         let (sender, receiver) = mpsc::sync_channel::<Job>(queue_depth.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..threads)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("xmem-estimate-{i}"))
                     .spawn(move || loop {
@@ -72,7 +86,13 @@ impl WorkerPool {
                         // workers run jobs concurrently.
                         let job = receiver.lock().expect("pool receiver poisoned").recv();
                         match job {
-                            Ok(job) => job(),
+                            // Catch unwinds so one panicking job cannot
+                            // take a worker thread down with it.
+                            Ok(job) => {
+                                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                             Err(_) => break, // channel closed: shut down
                         }
                     })
@@ -82,6 +102,7 @@ impl WorkerPool {
         WorkerPool {
             sender: Some(sender),
             workers,
+            panics,
         }
     }
 
@@ -89,6 +110,15 @@ impl WorkerPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Panics that unwound out of a raw [`try_execute`](Self::try_execute)
+    /// job and were caught by the worker loop. Settling jobs convert
+    /// their panics into [`LateOutcome::internal`] results instead, so
+    /// they leave this counter alone.
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Enqueues `job` without blocking.
@@ -101,6 +131,54 @@ impl WorkerPool {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => Err(SubmitError::Busy),
         }
+    }
+
+    /// Enqueues `work` paired with `promise`: the worker claims the
+    /// promise (skipping cancelled/expired queries without running them),
+    /// runs `work`, and settles the promise with its output — or, if
+    /// `work` panics, with [`LateOutcome::internal`] carrying the panic
+    /// payload. Either way the matching future always settles and the
+    /// worker thread survives.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the queue is at capacity (the promise
+    /// is dropped; its future never settles, matching a rejected
+    /// submission).
+    pub fn try_execute_settling<T, F>(
+        &self,
+        promise: Promise<T>,
+        work: F,
+    ) -> Result<(), SubmitError>
+    where
+        T: LateOutcome + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.try_execute(Box::new(move || {
+            // A cancelled or expired query is settled here without ever
+            // touching the profiler.
+            if !promise.claim() {
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(work)) {
+                Ok(value) => {
+                    promise.complete(value);
+                }
+                Err(payload) => {
+                    promise.complete(T::internal(&panic_message(payload.as_ref())));
+                }
+            }
+        }))
+    }
+}
+
+/// Best-effort extraction of a printable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "estimation job panicked with a non-string payload".to_string()
     }
 }
 
@@ -351,6 +429,48 @@ mod tests {
         }
         assert!(busy >= 1, "bounded queue must push back ({accepted} fit)");
         release_tx.send(()).ok();
+    }
+
+    #[test]
+    fn a_panicking_job_settles_its_promise_and_spares_the_worker() {
+        // One worker: if the panic killed it, nothing after it would run.
+        let pool = WorkerPool::new(1, 16);
+        let (promise, future) = promise_pair::<Result<u32, EstimateError>>(None);
+        pool.try_execute_settling(promise, || -> Result<u32, EstimateError> {
+            panic!("injected profiler failure")
+        })
+        .expect("queue has room");
+        assert_eq!(
+            future.wait(),
+            Err(EstimateError::Internal(
+                "injected profiler failure".to_string()
+            ))
+        );
+        // The pool still serves the next N queries at full strength.
+        for i in 0..8u32 {
+            let (promise, future) = promise_pair::<Result<u32, EstimateError>>(None);
+            pool.try_execute_settling(promise, move || Ok(i))
+                .expect("queue has room");
+            assert_eq!(future.wait(), Ok(i));
+        }
+        assert_eq!(
+            pool.panics(),
+            0,
+            "settling jobs catch their own panics before the worker loop"
+        );
+    }
+
+    #[test]
+    fn a_panicking_raw_job_is_caught_by_the_worker_loop() {
+        let pool = WorkerPool::new(1, 16);
+        pool.try_execute(Box::new(|| panic!("raw job blew up")))
+            .expect("queue has room");
+        // The same (sole) worker must still be alive to answer this.
+        let (promise, future) = promise_pair::<Result<u32, EstimateError>>(None);
+        pool.try_execute_settling(promise, || Ok(7))
+            .expect("queue has room");
+        assert_eq!(future.wait(), Ok(7));
+        assert_eq!(pool.panics(), 1);
     }
 
     #[test]

@@ -24,13 +24,18 @@ use std::time::Instant;
 use xmem_core::EstimateError;
 
 /// Values a [`PoolFuture`] can resolve to when the computation itself is
-/// pre-empted: the type must be able to express "cancelled" and "missed
-/// the deadline" outcomes fabricated without running the computation.
+/// pre-empted: the type must be able to express "cancelled", "missed the
+/// deadline", and "died mid-computation" outcomes fabricated without
+/// (fully) running the computation.
 pub trait LateOutcome: Clone + Send {
     /// The value a cancelled query resolves to.
     fn cancelled() -> Self;
     /// The value an expired query resolves to.
     fn deadline_exceeded() -> Self;
+    /// The value a query resolves to when its computation panicked and
+    /// the worker pool caught the unwind (`message` carries the panic
+    /// payload when printable).
+    fn internal(message: &str) -> Self;
 }
 
 impl<V: Clone + Send> LateOutcome for Result<V, EstimateError> {
@@ -39,6 +44,9 @@ impl<V: Clone + Send> LateOutcome for Result<V, EstimateError> {
     }
     fn deadline_exceeded() -> Self {
         Err(EstimateError::DeadlineExceeded)
+    }
+    fn internal(message: &str) -> Self {
+        Err(EstimateError::Internal(message.to_string()))
     }
 }
 

@@ -26,7 +26,17 @@
 //!   of unbounded queues. Concurrent identical queries **single-flight**
 //!   onto one profile run ([`FlightStats`]), and Analyzer failures for
 //!   degenerate jobs are remembered in a TTL'd negative cache
-//!   ([`NegativeStats`]).
+//!   ([`NegativeStats`]);
+//! * the **multi-device sharded simulation layer** makes one service
+//!   instance the per-cluster estimator: a [`DeviceRegistry`] of named
+//!   [`GpuDevice`](xmem_runtime::GpuDevice) configs (loadable from a
+//!   JSON fleet file), per-device simulation shards ([`SimStats`]), and
+//!   batched replay — [`EstimationService::estimate_matrix`] /
+//!   [`AsyncEstimationService::submit_matrix`] answer an M-jobs ×
+//!   D-devices grid with exactly one profile/analyze per job fanned out
+//!   to concurrent per-device simulations, and
+//!   [`EstimationService::best_device_for_job`] turns the matrix into a
+//!   best-fit placement decision.
 //!
 //! The async machinery is dependency-free (the build environment has no
 //! crates.io): futures are hand-rolled shared-state promises, wakers come
@@ -46,7 +56,9 @@ mod executor;
 mod future;
 mod key;
 mod negative;
+mod registry;
 mod service;
+mod simcache;
 mod singleflight;
 mod timer;
 
@@ -55,8 +67,10 @@ pub use executor::{block_on, join_all, Executor, JoinAll, SubmitError, WorkerPoo
 pub use future::{promise_pair, LateOutcome, PoolFuture, Promise};
 pub use key::JobKey;
 pub use negative::{NegativeCache, NegativeStats};
+pub use registry::{DeviceRegistry, RegistryParseError};
 pub use service::{
-    AsyncEstimationService, AsyncServiceConfig, EstimateFuture, EstimationService, PlanFuture,
-    ProfiledStages, ServiceConfig, SweepFuture, SweepOutcome,
+    AsyncEstimationService, AsyncServiceConfig, EstimateFuture, EstimationService, MatrixFuture,
+    PlacementFuture, PlanFuture, ProfiledStages, ServiceConfig, SweepFuture, SweepOutcome,
 };
+pub use simcache::{DeviceFingerprint, SimShards, SimStats};
 pub use singleflight::{FlightStats, SingleFlight};

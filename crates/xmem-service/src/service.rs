@@ -1,19 +1,30 @@
 //! The concurrent, cache-backed estimation front end — blocking
-//! ([`EstimationService`]) and asynchronous ([`AsyncEstimationService`]).
+//! ([`EstimationService`]) and asynchronous ([`AsyncEstimationService`]) —
+//! including the multi-device sharded simulation layer (device matrices,
+//! batched replay, placement).
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::executor::{SubmitError, WorkerPool};
 use crate::future::{promise_pair, PoolFuture};
 use crate::key::JobKey;
 use crate::negative::{NegativeCache, NegativeStats};
+use crate::registry::DeviceRegistry;
+use crate::simcache::{DeviceFingerprint, SimShards, SimStats};
 use crate::singleflight::{FlightStats, SingleFlight};
 use crate::timer::DeadlineTimer;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use xmem_core::{AnalyzedTrace, Analyzer, Estimate, EstimateError, Estimator, EstimatorConfig};
+use xmem_core::{
+    AnalyzedTrace, Analyzer, DeviceMatrix, DevicePlacement, Estimate, EstimateError, Estimator,
+    EstimatorConfig, MatrixCell, MatrixRow,
+};
 use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
 use xmem_trace::Trace;
+
+/// Identity of one simulation cell: which analysis, replayed against
+/// which device configuration.
+type SimKey = (JobKey, DeviceFingerprint);
 
 /// The memoized (device-independent) front half of the pipeline: the CPU
 /// profiler trace and its analysis. Orchestration + simulation are cheap
@@ -50,11 +61,16 @@ pub struct ServiceConfig {
     pub negative_ttl: Duration,
     /// Bound on remembered failures (oldest evicted beyond it).
     pub negative_capacity: usize,
+    /// Named simulation targets for matrix / placement queries
+    /// ([`EstimationService::estimate_matrix`],
+    /// [`EstimationService::best_device_for_job`]).
+    pub registry: DeviceRegistry,
 }
 
 impl ServiceConfig {
     /// Service defaults (16-way sharded 256-entry cache, all cores,
-    /// 30-second negative TTL) for a target device.
+    /// 30-second negative TTL, built-in device registry) for a target
+    /// device.
     #[must_use]
     pub fn for_device(device: GpuDevice) -> Self {
         ServiceConfig {
@@ -64,7 +80,15 @@ impl ServiceConfig {
             threads: 0,
             negative_ttl: Duration::from_secs(30),
             negative_capacity: 256,
+            registry: DeviceRegistry::builtin(),
         }
+    }
+
+    /// Overrides the device registry (the cluster's fleet description).
+    #[must_use]
+    pub fn with_registry(mut self, registry: DeviceRegistry) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// Overrides the cache capacity.
@@ -123,6 +147,16 @@ pub struct EstimationService {
     flights: SingleFlight<JobKey, Result<Arc<ProfiledStages>, EstimateError>>,
     /// TTL'd memory of Analyzer failures for degenerate jobs.
     negative: NegativeCache<JobKey, EstimateError>,
+    /// Per-device simulation shards: one LRU of `(job key → estimate)`
+    /// per device configuration, fed by the matrix / replay paths. The
+    /// registry naming the devices lives in `config.registry` (there is
+    /// exactly one copy: `registry()` and `config()` agree by
+    /// construction).
+    sims: SimShards,
+    /// In-flight dedup of simulation cells, mirroring `flights` one level
+    /// down: concurrent identical `(analysis, device)` replays coalesce
+    /// onto one simulation.
+    sim_flights: SingleFlight<SimKey, Estimate>,
     /// Count of actual `profile_on_cpu` executions — the ground truth the
     /// single-flight and cache layers are judged against.
     profiles: AtomicU64,
@@ -135,12 +169,15 @@ impl EstimationService {
         let estimator = Estimator::new(config.estimator.clone());
         let cache = ShardedLruCache::new(config.cache_capacity, config.shards);
         let negative = NegativeCache::new(config.negative_ttl, config.negative_capacity);
+        let sims = SimShards::new(config.cache_capacity, config.shards);
         EstimationService {
             config,
             estimator,
             cache,
             flights: SingleFlight::new(),
             negative,
+            sims,
+            sim_flights: SingleFlight::new(),
             profiles: AtomicU64::new(0),
         }
     }
@@ -183,6 +220,64 @@ impl EstimationService {
     #[must_use]
     pub fn profile_runs(&self) -> u64 {
         self.profiles.load(Ordering::Relaxed)
+    }
+
+    /// The device registry backing matrix / placement queries (the same
+    /// instance [`config`](Self::config) carries).
+    ///
+    /// Read freely; to *replace* a device's configuration prefer
+    /// [`register_device`](Self::register_device), which also retires the
+    /// old configuration's cached simulation results.
+    #[must_use]
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.config.registry
+    }
+
+    /// Registers (or reconfigures) a named simulation target. Replacing a
+    /// device with a *different* configuration invalidates exactly that
+    /// configuration's simulation shard — every other device keeps its
+    /// warm entries, and the device-independent analysis cache is never
+    /// touched. Returns the previous configuration for `name`, if any.
+    ///
+    /// Two names registered with an *identical* configuration share one
+    /// simulation shard; the shard is only invalidated once no remaining
+    /// name maps to the old configuration.
+    pub fn register_device(&self, name: &str, device: GpuDevice) -> Option<GpuDevice> {
+        let replaced = self.registry().register(name, device);
+        if let Some(old) = replaced {
+            let old_fingerprint = DeviceFingerprint::of(&old);
+            // An alias registered with the same config still owns the
+            // shard — dropping it would evict a live device's entries.
+            let still_referenced = self
+                .registry()
+                .snapshot()
+                .iter()
+                .any(|(_, d)| DeviceFingerprint::of(d) == old_fingerprint);
+            if old != device && !still_referenced {
+                self.sims.invalidate(&old_fingerprint);
+            }
+        }
+        replaced
+    }
+
+    /// Counters of the per-device simulation layer: aggregated shard
+    /// hit/miss stats, executed simulations, live device shards, and
+    /// entries dropped by device reconfiguration.
+    ///
+    /// Together with [`profile_runs`](Self::profile_runs) these prove the
+    /// batched-replay contract: a cold M-jobs × D-devices matrix costs
+    /// exactly M analyses and M × D simulations.
+    #[must_use]
+    pub fn sim_stats(&self) -> SimStats {
+        self.sims.stats()
+    }
+
+    /// How many allocator simulations actually executed on the cached
+    /// (matrix / placement / per-device) paths — shorthand for
+    /// [`sim_stats`](Self::sim_stats)`.sim_runs`.
+    #[must_use]
+    pub fn sim_runs(&self) -> u64 {
+        self.sims.stats().sim_runs
     }
 
     /// The memoized profile+analysis stages for `spec`, computing them on
@@ -258,6 +353,211 @@ impl EstimationService {
         Ok(Estimator::new(config.clone()).estimate_analyzed(&stages.analyzed))
     }
 
+    /// Replays already-analyzed stages against one device, through the
+    /// per-device simulation shard. The simulation uses the paper-default
+    /// [`EstimatorConfig::for_device`] for `device` (custom estimator
+    /// configurations go through the uncached
+    /// [`estimate_with`](Self::estimate_with)), so results are
+    /// bit-identical to a sequential `Estimator` built the same way.
+    ///
+    /// Concurrent identical cells single-flight onto one simulation;
+    /// repeats hit the device's shard.
+    fn simulate_on(&self, key: &JobKey, stages: &ProfiledStages, device: GpuDevice) -> Estimate {
+        if let Some(hit) = self.sims.shard(&device).get(key) {
+            return hit;
+        }
+        let sim_key = (key.clone(), DeviceFingerprint::of(&device));
+        self.sim_flights.run(&sim_key, || {
+            // Re-fetch the shard inside the flight: a concurrent
+            // `register_device` may have invalidated the one the fast
+            // path saw, and inserting into a detached shard would lose
+            // the entry and its counters. (A reconfiguration landing
+            // between this fetch and the insert still only costs a
+            // recomputation — stale entries are never *served*, because
+            // lookups are fingerprint-keyed.)
+            let shard = self.sims.shard(&device);
+            // Same re-check as `stages`: a just-retired flight for this
+            // cell published before retiring.
+            if let Some(hit) = shard.peek(key) {
+                return hit;
+            }
+            self.sims.count_run();
+            let estimate = Estimator::new(EstimatorConfig::for_device(device))
+                .estimate_analyzed(&stages.analyzed);
+            shard.insert(key.clone(), estimate.clone());
+            estimate
+        })
+    }
+
+    /// Estimates `spec` on the registered device `device_name`, sharing
+    /// both cache layers: the device-independent analysis cache and the
+    /// per-device simulation shard. A query for a cell that an earlier
+    /// [`estimate_matrix`](Self::estimate_matrix) call computed is a pure
+    /// cache hit — no profiling, no simulation.
+    ///
+    /// Like every named-device path (the matrix and placement queries),
+    /// the simulation uses the paper-default
+    /// [`EstimatorConfig::for_device`] for the named device — a
+    /// customized [`ServiceConfig::estimator`] (ablation knobs, timeline
+    /// recording) applies only to [`estimate`](Self::estimate) /
+    /// [`sweep`](Self::sweep); pair a custom configuration with
+    /// [`estimate_with`](Self::estimate_with) instead.
+    ///
+    /// # Errors
+    /// [`EstimateError::UnknownDevice`] for an unregistered name;
+    /// Analyzer failures for degenerate jobs.
+    pub fn estimate_on(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: &str,
+    ) -> Result<Estimate, EstimateError> {
+        let device = self
+            .registry()
+            .get(device_name)
+            .ok_or_else(|| EstimateError::UnknownDevice(device_name.to_string()))?;
+        let stages = self.stages(spec)?;
+        Ok(self.simulate_on(&JobKey::of(spec), &stages, device))
+    }
+
+    /// Batched replay: estimates every job in `specs` on every named
+    /// device, running the expensive profile + analyze stages **once per
+    /// distinct job** and fanning the cached analyses out to concurrent
+    /// per-device allocator simulations ("1 analysis, N simulations" —
+    /// provable via [`profile_runs`](Self::profile_runs) and
+    /// [`sim_stats`](Self::sim_stats)).
+    ///
+    /// Cells land in the per-device simulation shards, so a later
+    /// single-device query ([`estimate_on`](Self::estimate_on)) for any
+    /// cell is a cache hit. Every cell is bit-identical to a sequential
+    /// [`Estimator::estimate_job`] against
+    /// [`EstimatorConfig::for_device`] of its device — a customized
+    /// [`ServiceConfig::estimator`] does not apply here (see
+    /// [`estimate_on`](Self::estimate_on)).
+    ///
+    /// Per-job analysis failures are carried in the affected cells;
+    /// matrix-level failure is reserved for unresolvable device names.
+    ///
+    /// # Errors
+    /// [`EstimateError::UnknownDevice`] naming the first unknown device.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xmem_service::{EstimationService, ServiceConfig};
+    /// use xmem_runtime::{GpuDevice, TrainJobSpec};
+    /// use xmem_models::ModelId;
+    /// use xmem_optim::OptimizerKind;
+    ///
+    /// let service = EstimationService::for_device(GpuDevice::rtx3060());
+    /// let jobs = [TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8)
+    ///     .with_iterations(2)];
+    /// let matrix = service.estimate_matrix(&jobs, &["rtx3060", "rtx4060"]).unwrap();
+    /// assert_eq!(matrix.num_cells(), 2);
+    /// assert_eq!(service.profile_runs(), 1, "one analysis");
+    /// assert_eq!(service.sim_runs(), 2, "two simulations");
+    /// ```
+    pub fn estimate_matrix(
+        &self,
+        specs: &[TrainJobSpec],
+        devices: &[&str],
+    ) -> Result<DeviceMatrix, EstimateError> {
+        let resolved = self.registry().resolve(devices)?;
+        let jobs = specs.len();
+        // Column-major issue order: the first `jobs` work items cover
+        // every job once, so distinct analyses profile in parallel;
+        // later columns replay them from cache.
+        let mut columns: Vec<Option<Result<Estimate, EstimateError>>> = self
+            .parallel_fill(jobs * resolved.len(), |c| {
+                let (device_index, job_index) = (c / jobs.max(1), c % jobs.max(1));
+                let spec = &specs[job_index];
+                self.stages(spec).map(|stages| {
+                    self.simulate_on(&JobKey::of(spec), &stages, resolved[device_index])
+                })
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        let device_names: Vec<String> = devices.iter().map(|&d| d.to_string()).collect();
+        let rows = specs
+            .iter()
+            .enumerate()
+            .map(|(job_index, spec)| MatrixRow {
+                spec: spec.clone(),
+                cells: device_names
+                    .iter()
+                    .enumerate()
+                    .map(|(device_index, name)| MatrixCell {
+                        device: name.clone(),
+                        estimate: columns[device_index * jobs + job_index]
+                            .take()
+                            .expect("one output per cell"),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(DeviceMatrix {
+            devices: device_names,
+            rows,
+        })
+    }
+
+    /// Batch-size sweep across a device fleet: one matrix whose rows are
+    /// `base` at each batch in `batches` (in `batches` order) and whose
+    /// columns are the named devices. Each distinct batch profiles once;
+    /// its analysis replays against all devices.
+    ///
+    /// # Errors
+    /// [`EstimateError::UnknownDevice`] naming the first unknown device.
+    pub fn sweep_matrix(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        devices: &[&str],
+    ) -> Result<DeviceMatrix, EstimateError> {
+        let specs: Vec<TrainJobSpec> = batches.iter().map(|&b| with_batch(base, b)).collect();
+        self.estimate_matrix(&specs, devices)
+    }
+
+    /// Placement: the best registered device for `spec` — the
+    /// smallest-capacity device whose estimate predicts no OOM (best fit:
+    /// big devices stay free for jobs that need them), with ties broken
+    /// by registry name order. `Ok(None)` when no registered device fits
+    /// (or the registry is empty).
+    ///
+    /// Runs one analysis and at most one simulation per device; all of it
+    /// lands in the shared caches.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures — an estimation error is an error,
+    /// never a "does not fit" verdict.
+    pub fn best_device_for_job(
+        &self,
+        spec: &TrainJobSpec,
+    ) -> Result<Option<DevicePlacement>, EstimateError> {
+        let mut fleet = self.registry().snapshot();
+        if fleet.is_empty() {
+            return Ok(None);
+        }
+        let stages = self.stages(spec)?;
+        let key = JobKey::of(spec);
+        // Smallest capacity first (the stable sort keeps the snapshot's
+        // name order within equal capacities, preserving the tie-break),
+        // so the first fit is the answer — a small job on a large fleet
+        // costs one simulation, not one per device.
+        fleet.sort_by_key(|&(_, device)| device.capacity);
+        for (name, device) in fleet {
+            let estimate = self.simulate_on(&key, &stages, device);
+            if !estimate.oom_predicted {
+                return Ok(Some(DevicePlacement {
+                    device: name,
+                    estimate,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
     fn worker_count(&self, work_items: usize) -> usize {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -269,6 +569,35 @@ impl EstimationService {
         threads.min(work_items).max(1)
     }
 
+    /// Fans `count` independent work items out across the service's
+    /// worker threads (the shared scaffold under [`sweep`](Self::sweep)
+    /// and [`estimate_matrix`](Self::estimate_matrix)): `work(i)` runs
+    /// once per index, and outputs come back in index order.
+    fn parallel_fill<T: Send>(&self, count: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.worker_count(count);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    *results[i].lock().expect("parallel slot poisoned") = Some(work(i));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("parallel slot poisoned")
+                    .expect("every slot is filled")
+            })
+            .collect()
+    }
+
     /// Estimates `base` at every batch size in `batches`, fanning the grid
     /// out across worker threads. Per-model work (profile + analysis of
     /// each distinct batch) is shared through the cache, so concurrent and
@@ -278,45 +607,23 @@ impl EstimationService {
         base: &TrainJobSpec,
         batches: &[usize],
     ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
-        self.sweep_inner(base, batches, &self.estimator)
+        self.sweep_inner(base, batches, |_, stages| {
+            self.estimator.estimate_analyzed(&stages.analyzed)
+        })
     }
 
     fn sweep_inner(
         &self,
         base: &TrainJobSpec,
         batches: &[usize],
-        estimator: &Estimator,
+        eval: impl Fn(&JobKey, &ProfiledStages) -> Estimate + Sync,
     ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
-        let results: Vec<Mutex<Option<Result<Estimate, EstimateError>>>> =
-            batches.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.worker_count(batches.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&batch) = batches.get(i) else {
-                        break;
-                    };
-                    let spec = with_batch(base, batch);
-                    let estimate = self
-                        .stages(&spec)
-                        .map(|stages| estimator.estimate_analyzed(&stages.analyzed));
-                    *results[i].lock().expect("sweep slot poisoned") = Some(estimate);
-                });
-            }
+        let estimates = self.parallel_fill(batches.len(), |i| {
+            let spec = with_batch(base, batches[i]);
+            self.stages(&spec)
+                .map(|stages| eval(&JobKey::of(&spec), &stages))
         });
-        batches
-            .iter()
-            .zip(results)
-            .map(|(&batch, slot)| {
-                let estimate = slot
-                    .into_inner()
-                    .expect("sweep slot poisoned")
-                    .expect("every slot is filled");
-                (batch, estimate)
-            })
-            .collect()
+        batches.iter().copied().zip(estimates).collect()
     }
 
     /// Admission control: the largest batch in `[lo, hi]` whose estimate
@@ -324,8 +631,10 @@ impl EstimationService {
     /// does not fit.
     ///
     /// A coarse parallel sweep first brackets the fit/OOM frontier (warming
-    /// the cache), then bisection pins it down; probe batches hit the
-    /// shared cache on repeat queries.
+    /// the cache), then bisection pins it down; probe batches hit both
+    /// shared cache layers (the analysis cache and `device`'s simulation
+    /// shard) on repeat queries — including repeats for *other* devices,
+    /// which reuse the analyses and pay only for their own simulations.
     ///
     /// # Errors
     /// Propagates the first Analyzer failure hit by a probe — an
@@ -338,7 +647,6 @@ impl EstimationService {
         hi: usize,
     ) -> Result<Option<usize>, EstimateError> {
         assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
-        let estimator = Estimator::new(EstimatorConfig::for_device(device));
 
         // Coarse bracket: a parallel sweep over an evenly spaced grid
         // warms the cache and narrows the frontier. The grid is capped —
@@ -348,7 +656,10 @@ impl EstimationService {
         let points = self.worker_count(usize::MAX).min(MAX_BRACKET_POINTS);
         let grid = coarse_grid(lo, hi, points);
         let mut coarse = Vec::with_capacity(grid.len());
-        for (batch, estimate) in self.sweep_inner(base, &grid, &estimator) {
+        let probes = self.sweep_inner(base, &grid, |key, stages| {
+            self.simulate_on(key, stages, device)
+        });
+        for (batch, estimate) in probes {
             coarse.push((batch, !estimate?.oom_predicted));
         }
         if !coarse.first().map(|&(_, fits)| fits).unwrap_or(false) {
@@ -366,11 +677,15 @@ impl EstimationService {
             .map(|&(b, _)| b - 1)
             .unwrap_or(hi);
 
-        // Bisect the remaining bracket; probes land in the shared cache.
+        // Bisect the remaining bracket; probes land in the shared caches.
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
-            let stages = self.stages(&with_batch(base, mid))?;
-            if !estimator.estimate_analyzed(&stages.analyzed).oom_predicted {
+            let spec = with_batch(base, mid);
+            let stages = self.stages(&spec)?;
+            if !self
+                .simulate_on(&JobKey::of(&spec), &stages, device)
+                .oom_predicted
+            {
                 lo = mid;
             } else {
                 hi = mid - 1;
@@ -395,6 +710,16 @@ pub type SweepOutcome = Result<Vec<(usize, Result<Estimate, EstimateError>)>, Es
 /// Future resolving to an admission-control answer
 /// ([`AsyncEstimationService::max_batch_for_device_async`]).
 pub type PlanFuture = PoolFuture<Result<Option<usize>, EstimateError>>;
+
+/// Future resolving to a whole device matrix
+/// ([`AsyncEstimationService::submit_matrix`]). The outer `Result`
+/// carries unknown-device / cancellation / deadline outcomes; per-cell
+/// estimation failures stay inside the matrix.
+pub type MatrixFuture = PoolFuture<Result<DeviceMatrix, EstimateError>>;
+
+/// Future resolving to a placement decision
+/// ([`AsyncEstimationService::best_device_for_job_async`]).
+pub type PlacementFuture = PoolFuture<Result<Option<DevicePlacement>, EstimateError>>;
 
 /// Configuration of an [`AsyncEstimationService`].
 #[derive(Debug, Clone)]
@@ -431,6 +756,14 @@ impl AsyncServiceConfig {
     #[must_use]
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the underlying service's device registry (the cluster's
+    /// fleet description).
+    #[must_use]
+    pub fn with_registry(mut self, registry: DeviceRegistry) -> Self {
+        self.service = self.service.with_registry(registry);
         self
     }
 }
@@ -541,8 +874,9 @@ impl AsyncEstimationService {
     }
 
     /// Enqueues `work` against the shared service, returning the matching
-    /// future. The closure must not panic: a panicking worker neither
-    /// completes its promise nor returns to the pool.
+    /// future. The pool settles the promise even if `work` panics (the
+    /// future resolves to [`EstimateError::Internal`]) and the worker
+    /// thread survives, so the pool stays at full strength.
     fn dispatch<T, F>(
         &self,
         deadline: Option<Instant>,
@@ -554,14 +888,8 @@ impl AsyncEstimationService {
     {
         let (promise, future) = promise_pair(deadline);
         let service = Arc::clone(&self.service);
-        self.pool.try_execute(Box::new(move || {
-            // A cancelled or expired query is settled here without ever
-            // touching the profiler.
-            if !promise.claim() {
-                return;
-            }
-            promise.complete(work(&service));
-        }))?;
+        self.pool
+            .try_execute_settling(promise, move || work(&service))?;
         // Only accepted, deadline-carrying submissions are watched.
         self.timer.watch(&future);
         Ok(future)
@@ -632,6 +960,67 @@ impl AsyncEstimationService {
         self.dispatch(None, move |service| {
             service.max_batch_for_device(&base, device, lo, hi)
         })
+    }
+
+    /// Submits one estimation query against a *named* registered device
+    /// (see [`EstimationService::estimate_on`]); the answer shares the
+    /// analysis cache and the device's simulation shard with every matrix
+    /// query in flight.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn submit_on(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: &str,
+    ) -> Result<EstimateFuture, SubmitError> {
+        let spec = spec.clone();
+        let device_name = device_name.to_string();
+        self.dispatch(None, move |service| {
+            service.estimate_on(&spec, &device_name)
+        })
+    }
+
+    /// Submits a whole device matrix as one pooled query: every job in
+    /// `specs` × every named device, with one analysis per distinct job
+    /// fanned out to per-device simulations (see
+    /// [`EstimationService::estimate_matrix`]).
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn submit_matrix(
+        &self,
+        specs: &[TrainJobSpec],
+        devices: &[&str],
+    ) -> Result<MatrixFuture, SubmitError> {
+        let specs = specs.to_vec();
+        let devices: Vec<String> = devices.iter().map(|&d| d.to_string()).collect();
+        self.dispatch(None, move |service| {
+            let names: Vec<&str> = devices.iter().map(String::as_str).collect();
+            service.estimate_matrix(&specs, &names)
+        })
+    }
+
+    /// Submits a placement query: the best registered device for `spec`
+    /// (see [`EstimationService::best_device_for_job`]).
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn best_device_for_job_async(
+        &self,
+        spec: &TrainJobSpec,
+    ) -> Result<PlacementFuture, SubmitError> {
+        let spec = spec.clone();
+        self.dispatch(None, move |service| service.best_device_for_job(&spec))
+    }
+
+    /// Panics that escaped a raw pool job and were caught by the worker
+    /// loop (see [`WorkerPool::panics`]). Queries submitted through this
+    /// front end convert panics into [`EstimateError::Internal`] results
+    /// instead, so they never appear here.
+    #[must_use]
+    pub fn pool_panics(&self) -> u64 {
+        self.pool.panics()
     }
 }
 

@@ -1,0 +1,284 @@
+//! Per-device simulation shards.
+//!
+//! The pipeline's back half — orchestration + allocator simulation — is
+//! device-dependent: the same cached analysis replays differently against
+//! every capacity/overhead configuration. The multi-device front end
+//! therefore keeps **one simulation LRU per device configuration**: a
+//! shard map keyed by the device's [`DeviceFingerprint`], each shard an
+//! independently sized [`ShardedLruCache`] from [`JobKey`] to the cell's
+//! [`Estimate`]. Sharding per device is what makes invalidation surgical:
+//! when a device's configuration changes, only that configuration's shard
+//! is dropped — every other device keeps its warm entries.
+
+use crate::cache::{CacheStats, ShardedLruCache};
+use crate::key::JobKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use xmem_core::Estimate;
+use xmem_runtime::GpuDevice;
+
+/// The simulation-relevant identity of a device configuration.
+///
+/// Two [`GpuDevice`]s with equal fingerprints produce bit-identical
+/// simulations for any analysis, so they may share one simulation shard;
+/// changing any field yields a new fingerprint — and therefore a cold
+/// shard — which is how stale entries become unreachable the moment a
+/// device is reconfigured.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeviceFingerprint {
+    /// Marketing name (part of identity: two models with coincidentally
+    /// equal sizes still simulate as distinct fleet entries).
+    pub name: &'static str,
+    /// Total memory capacity in bytes.
+    pub capacity: u64,
+    /// Framework + CUDA-context overhead in bytes.
+    pub framework_bytes: u64,
+    /// Memory used by other tenants in bytes.
+    pub init_bytes: u64,
+}
+
+impl DeviceFingerprint {
+    /// The fingerprint of `device`.
+    #[must_use]
+    pub fn of(device: &GpuDevice) -> Self {
+        // Exhaustive destructuring: a future simulation-relevant
+        // GpuDevice field breaks this line instead of being silently
+        // excluded from cache identity.
+        let GpuDevice {
+            name,
+            capacity,
+            framework_bytes,
+            init_bytes,
+        } = *device;
+        DeviceFingerprint {
+            name,
+            capacity,
+            framework_bytes,
+            init_bytes,
+        }
+    }
+}
+
+/// Counters of the per-device simulation layer, alongside the analysis
+/// cache's [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Aggregated hit/miss/insert/evict counters over every device shard.
+    pub cache: CacheStats,
+    /// Allocator simulations actually executed — the ground truth the
+    /// matrix layer is judged against: a full M × D matrix costs exactly
+    /// M analyses and M × D simulations.
+    pub sim_runs: u64,
+    /// Live device shards (distinct device configurations simulated so
+    /// far).
+    pub device_shards: usize,
+    /// Cached estimates dropped because their device configuration was
+    /// replaced ([`invalidate`](SimShards::invalidate)).
+    pub invalidated_entries: u64,
+}
+
+/// The shard map: one simulation LRU per device fingerprint.
+///
+/// Shards are created on first use and sized identically (capacity and
+/// lock-shard count are fixed at construction). Lookups take a read lock
+/// on the map — only shard *creation* and invalidation write-lock it.
+#[derive(Debug)]
+pub struct SimShards {
+    shards: RwLock<HashMap<DeviceFingerprint, Arc<ShardedLruCache<JobKey, Estimate>>>>,
+    /// Per-shard entry capacity.
+    capacity: usize,
+    /// Lock shards inside each per-device LRU.
+    lock_shards: usize,
+    runs: AtomicU64,
+    invalidated: AtomicU64,
+    /// Counter history of invalidated shards, folded in so
+    /// [`stats`](Self::stats) stays **monotonic**: dropping a shard must
+    /// not make previously reported hits/misses vanish (delta-based
+    /// monitoring would see negative rates).
+    retired: RwLock<CacheStats>,
+}
+
+impl SimShards {
+    /// An empty shard map whose per-device LRUs hold `capacity` entries
+    /// over `lock_shards` locks each.
+    #[must_use]
+    pub fn new(capacity: usize, lock_shards: usize) -> Self {
+        SimShards {
+            shards: RwLock::new(HashMap::new()),
+            capacity,
+            lock_shards,
+            runs: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            retired: RwLock::new(CacheStats::default()),
+        }
+    }
+
+    /// The simulation LRU for `device`, created on first use.
+    #[must_use]
+    pub fn shard(&self, device: &GpuDevice) -> Arc<ShardedLruCache<JobKey, Estimate>> {
+        let fingerprint = DeviceFingerprint::of(device);
+        if let Some(shard) = self
+            .shards
+            .read()
+            .expect("sim shard map poisoned")
+            .get(&fingerprint)
+        {
+            return Arc::clone(shard);
+        }
+        let mut shards = self.shards.write().expect("sim shard map poisoned");
+        Arc::clone(
+            shards
+                .entry(fingerprint)
+                .or_insert_with(|| Arc::new(ShardedLruCache::new(self.capacity, self.lock_shards))),
+        )
+    }
+
+    /// Records one executed allocator simulation.
+    pub fn count_run(&self) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops the shard for `fingerprint` (a replaced device
+    /// configuration), returning how many cached estimates it held. Other
+    /// devices' shards are untouched, and the dropped shard's counter
+    /// history is retained so [`stats`](Self::stats) never goes
+    /// backwards.
+    pub fn invalidate(&self, fingerprint: &DeviceFingerprint) -> usize {
+        let removed = self
+            .shards
+            .write()
+            .expect("sim shard map poisoned")
+            .remove(fingerprint);
+        let Some(shard) = removed else {
+            return 0;
+        };
+        let history = shard.stats();
+        let mut retired = self.retired.write().expect("retired stats poisoned");
+        retired.hits += history.hits;
+        retired.misses += history.misses;
+        retired.insertions += history.insertions;
+        retired.evictions += history.evictions;
+        drop(retired);
+        let entries = shard.len();
+        self.invalidated
+            .fetch_add(entries as u64, Ordering::Relaxed);
+        entries
+    }
+
+    /// A snapshot of the simulation counters. Monotonic: counters of
+    /// invalidated shards stay folded in.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let shards = self.shards.read().expect("sim shard map poisoned");
+        let mut cache = *self.retired.read().expect("retired stats poisoned");
+        for shard in shards.values() {
+            let s = shard.stats();
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.insertions += s.insertions;
+            cache.evictions += s.evictions;
+        }
+        SimStats {
+            cache,
+            sim_runs: self.runs.load(Ordering::Relaxed),
+            device_shards: shards.len(),
+            invalidated_entries: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_core::AnalysisStats;
+    use xmem_models::ModelId;
+    use xmem_optim::OptimizerKind;
+    use xmem_runtime::TrainJobSpec;
+
+    fn key(batch: usize) -> JobKey {
+        JobKey::of(&TrainJobSpec::new(
+            ModelId::MobileNetV3Small,
+            OptimizerKind::Adam,
+            batch,
+        ))
+    }
+
+    fn estimate(peak: u64) -> Estimate {
+        Estimate {
+            peak_bytes: peak,
+            job_peak_bytes: peak / 2,
+            tensor_peak_bytes: peak / 4,
+            oom_predicted: false,
+            curve: Vec::new(),
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    #[test]
+    fn equal_configs_share_a_shard_and_distinct_ones_do_not() {
+        let sims = SimShards::new(8, 2);
+        let a = GpuDevice::rtx3060();
+        let b = GpuDevice::rtx3060();
+        let c = GpuDevice::rtx4060();
+        assert!(Arc::ptr_eq(&sims.shard(&a), &sims.shard(&b)));
+        assert!(!Arc::ptr_eq(&sims.shard(&a), &sims.shard(&c)));
+        assert_eq!(sims.stats().device_shards, 2);
+    }
+
+    #[test]
+    fn invalidation_is_per_device() {
+        let sims = SimShards::new(8, 2);
+        let kept = GpuDevice::rtx3060();
+        let replaced = GpuDevice::rtx4060();
+        sims.shard(&kept).insert(key(1), estimate(100));
+        sims.shard(&replaced).insert(key(1), estimate(200));
+        sims.shard(&replaced).insert(key(2), estimate(300));
+
+        assert_eq!(sims.invalidate(&DeviceFingerprint::of(&replaced)), 2);
+        assert_eq!(sims.stats().invalidated_entries, 2);
+        assert_eq!(sims.stats().device_shards, 1);
+        assert_eq!(sims.shard(&kept).peek(&key(1)), Some(estimate(100)));
+        // The replaced device starts cold.
+        assert_eq!(sims.shard(&replaced).peek(&key(1)), None);
+        // Invalidating an unknown fingerprint is a no-op.
+        assert_eq!(sims.invalidate(&DeviceFingerprint::of(&replaced)), 0);
+    }
+
+    #[test]
+    fn stats_stay_monotonic_across_invalidation() {
+        let sims = SimShards::new(8, 2);
+        let device = GpuDevice::rtx3060();
+        sims.shard(&device).insert(key(1), estimate(1));
+        assert_eq!(sims.shard(&device).get(&key(1)), Some(estimate(1)));
+        assert_eq!(sims.shard(&device).get(&key(2)), None);
+        let before = sims.stats();
+        assert_eq!((before.cache.hits, before.cache.misses), (1, 1));
+
+        sims.invalidate(&DeviceFingerprint::of(&device));
+        let after = sims.stats();
+        assert_eq!(
+            after.cache, before.cache,
+            "dropping a shard must not erase its counter history"
+        );
+        assert_eq!(after.device_shards, 0);
+        assert_eq!(after.invalidated_entries, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let sims = SimShards::new(8, 2);
+        let a = GpuDevice::rtx3060();
+        let b = GpuDevice::rtx4060();
+        sims.shard(&a).insert(key(1), estimate(1));
+        sims.shard(&b).insert(key(1), estimate(2));
+        assert_eq!(sims.shard(&a).get(&key(1)), Some(estimate(1)));
+        assert_eq!(sims.shard(&b).get(&key(2)), None);
+        sims.count_run();
+        let stats = sims.stats();
+        assert_eq!(stats.cache.insertions, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.sim_runs, 1);
+    }
+}

@@ -1,14 +1,17 @@
 //! Property-based tests of the sharded LRU cache under service-shaped
-//! keys: arbitrary `(model, optimizer, batch)` workloads must never change
-//! the value a key maps to, and occupancy must respect the configured
-//! capacity.
+//! keys — arbitrary `(model, optimizer, batch)` workloads must never
+//! change the value a key maps to, and occupancy must respect the
+//! configured capacity — plus the multi-device layer under random
+//! fleets: `best_device_for_job` must always pick a fitting device, and
+//! matrix cells must equal independent sequential estimates.
 
 use proptest::prelude::*;
 use std::collections::HashMap;
+use xmem_core::{Estimator, EstimatorConfig};
 use xmem_models::ModelId;
 use xmem_optim::OptimizerKind;
-use xmem_runtime::TrainJobSpec;
-use xmem_service::{JobKey, ShardedLruCache};
+use xmem_runtime::{GpuDevice, TrainJobSpec};
+use xmem_service::{DeviceRegistry, EstimationService, JobKey, ServiceConfig, ShardedLruCache};
 
 const MODELS: [ModelId; 4] = [
     ModelId::MobileNetV3Small,
@@ -122,6 +125,118 @@ proptest! {
         prop_assert_eq!(stats.hits + stats.misses, keys.len() as u64);
         prop_assert_eq!(stats.insertions, stats.misses);
         prop_assert!(stats.evictions <= stats.insertions);
+    }
+}
+
+/// Registry-key names for randomly generated fleets (`GpuDevice::name`
+/// is `&'static str`, so the pool is static).
+const FLEET_NAMES: [&str; 4] = ["prop-dev-0", "prop-dev-1", "prop-dev-2", "prop-dev-3"];
+
+/// A random device: raw byte sizes, deliberately *not* MiB-aligned, so
+/// the allocator simulation's page-granularity rounding is exercised at
+/// odd capacities. Capacity always exceeds framework + tenant overheads.
+fn device_strategy(index: usize) -> impl Strategy<Value = GpuDevice> {
+    (
+        1_400_000_000u64..20_000_000_000,
+        500_000_000u64..590_000_000,
+        0u64..130_000_000,
+    )
+        .prop_map(move |(capacity, framework_bytes, init_bytes)| GpuDevice {
+            name: FLEET_NAMES[index],
+            capacity,
+            framework_bytes,
+            init_bytes,
+        })
+}
+
+fn fleet_strategy() -> impl Strategy<Value = Vec<GpuDevice>> {
+    // The vendored proptest implements `Strategy` for tuples up to arity
+    // 4, so the four device slots are nested in pairs.
+    (
+        1usize..FLEET_NAMES.len() + 1,
+        (device_strategy(0), device_strategy(1)),
+        (device_strategy(2), device_strategy(3)),
+    )
+        .prop_map(|(size, (a, b), (c, d))| {
+            let mut fleet = vec![a, b, c, d];
+            fleet.truncate(size);
+            fleet
+        })
+}
+
+proptest! {
+    // Each case profiles the job once for the service plus once per
+    // device for the independent sequential estimates, so the case count
+    // is kept low; the job space is what varies cheaply.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random fleets × random jobs: every matrix cell equals an
+    /// independent sequential estimate, and `best_device_for_job` picks a
+    /// *fitting* device of minimal capacity — or `None` exactly when no
+    /// cell fits.
+    #[test]
+    fn placement_always_fits_and_matrix_matches_independent_estimates(
+        fleet in fleet_strategy(),
+        batch in 1usize..5,
+    ) {
+        let registry = DeviceRegistry::empty();
+        for device in &fleet {
+            registry.register(device.name, *device);
+        }
+        let names: Vec<&str> = fleet.iter().map(|d| d.name).collect();
+        let service = EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_registry(registry),
+        );
+        let spec = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, batch)
+            .with_iterations(2);
+
+        let matrix = service
+            .estimate_matrix(std::slice::from_ref(&spec), &names)
+            .expect("all fleet names are registered");
+        prop_assert_eq!(service.profile_runs(), 1, "one analysis for the whole row");
+        prop_assert_eq!(service.sim_runs(), fleet.len() as u64);
+
+        let row = &matrix.rows[0];
+        for device in &fleet {
+            let independent = Estimator::new(EstimatorConfig::for_device(*device))
+                .estimate_job(&spec)
+                .expect("sequential estimate succeeds");
+            let cell = row.cell(device.name).expect("cell per fleet device");
+            prop_assert_eq!(
+                cell.estimate.as_ref().expect("cell estimate succeeds"),
+                &independent,
+                "cell for {} diverged from the independent estimate",
+                device.name
+            );
+        }
+
+        let placement = service
+            .best_device_for_job(&spec)
+            .expect("estimation succeeds");
+        let fitting: Vec<&GpuDevice> = fleet
+            .iter()
+            .filter(|d| row.cell(d.name).expect("cell").fits())
+            .collect();
+        match placement {
+            Some(placement) => {
+                let chosen = fleet
+                    .iter()
+                    .find(|d| d.name == placement.device)
+                    .expect("placement names a fleet device");
+                prop_assert!(
+                    !placement.estimate.oom_predicted,
+                    "placement must fit its device"
+                );
+                prop_assert!(
+                    fitting.iter().all(|d| chosen.capacity <= d.capacity),
+                    "best fit must be a minimal-capacity fitting device"
+                );
+            }
+            None => prop_assert!(
+                fitting.is_empty(),
+                "placement may only pass when no device fits"
+            ),
+        }
     }
 }
 

@@ -6,6 +6,8 @@
 //! xmem-cli estimate --model gpt2 --optimizer AdamW --batch 16 --device rtx3060
 //! xmem-cli sweep    --model gpt2 --optimizer AdamW --batches 1,2,4,8,16,32
 //! xmem-cli plan     --model gpt2 --optimizer AdamW --min 1 --max 128 --device rtx3060
+//! xmem-cli matrix   --models gpt2,resnet101 --optimizer AdamW --batch 16 \
+//!                   --devices rtx3060,rtx4060,a100
 //! xmem-cli serve    --jobs queue.jobs --device rtx3060
 //! xmem-cli profile  --model distilgpt2 --optimizer Adam --batch 8 --out trace.json
 //! xmem-cli estimate-trace --trace trace.json --device rtx4060
@@ -16,10 +18,19 @@
 //! `sweep` and `plan` run through the concurrent [`EstimationService`]:
 //! the batch grid fans out across worker threads and the profiled stages
 //! are cached, so overlapping probes are answered without re-profiling.
-//! `serve` is the scheduler-shaped batch mode: it reads one job per line,
-//! submits them all through the [`AsyncEstimationService`] (with `Busy`
-//! backpressure handling and optional per-query deadlines), and drives
-//! the resulting futures from a single thread.
+//! `matrix` is the multi-device batched replay: every listed job is
+//! profiled and analyzed **once**, and the cached analysis fans out to a
+//! concurrent allocator simulation per device — the per-cluster question
+//! "which of my device types fits each pending job?" answered in one
+//! call. `serve` is the scheduler-shaped batch mode: it reads one job per
+//! line, submits them all through the [`AsyncEstimationService`] (with
+//! `Busy` backpressure handling and optional per-query deadlines), and
+//! drives the resulting futures from a single thread.
+//!
+//! Every device-addressing command accepts `--registry <file.json>`: a
+//! fleet description merged over the built-in devices, so a cluster
+//! operator can estimate against custom capacities by name (see
+//! [`DeviceRegistry::extend_from_json_str`] for the format).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -34,19 +45,26 @@ fn usage() -> &'static str {
      commands:\n\
        estimate        --model <name> --optimizer <name> --batch <n>\n\
                        [--seq <n>] [--iterations <n>]\n\
-                       [--device rtx3060|rtx4060|a100] [--pos1] [--fp16]\n\
+                       [--device <name>] [--registry <file.json>] [--pos1] [--fp16]\n\
        sweep           (same job options) --batches <n,n,...> [--threads <n>]\n\
        plan            (same job options, no --batch) --min <n> --max <n>\n\
                        [--threads <n>]  find the largest batch that fits\n\
-       serve           --jobs <file|-> [--device ...] [--workers <n>]\n\
-                       [--queue <n>] [--deadline-ms <n>]\n\
+       matrix          --models <m1,m2,...> --optimizer <name> --batch <n>\n\
+                       [--devices <d1,d2,...>] [--registry <file.json>]\n\
+                       [--threads <n>] (same job options otherwise)\n\
+                       one analysis per model, replayed against every device;\n\
+                       prints the fit grid and the best-fit device per job\n\
+       serve           --jobs <file|-> [--device ...] [--registry <file.json>]\n\
+                       [--workers <n>] [--queue <n>] [--deadline-ms <n>]\n\
                        batch mode: one job per line\n\
                        (`<model> <optimizer> <batch> [seq=N] [iters=N] [pos1] [fp16]`,\n\
                        `#` comments), answered through the async service\n\
        profile         (same job options) --out <trace.json>\n\
        estimate-trace  --trace <trace.json> [--device ...]\n\
        layers          (same job options) [--top <n>]\n\
-       models          list the model zoo\n"
+       models          list the model zoo\n\
+     devices default to the built-in registry (rtx3060, rtx4060, a100);\n\
+     --registry merges a JSON fleet file over it\n"
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -71,13 +89,30 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn device_of(flags: &HashMap<String, String>) -> Result<GpuDevice, String> {
-    match flags.get("device").map(String::as_str).unwrap_or("rtx3060") {
-        "rtx3060" => Ok(GpuDevice::rtx3060()),
-        "rtx4060" => Ok(GpuDevice::rtx4060()),
-        "a100" => Ok(GpuDevice::a100_40g()),
-        other => Err(format!("unknown device `{other}` (rtx3060|rtx4060|a100)")),
+/// The device fleet a command runs against: the built-in registry, with
+/// an optional `--registry <file.json>` merged over it.
+fn registry_of(flags: &HashMap<String, String>) -> Result<DeviceRegistry, String> {
+    let registry = DeviceRegistry::builtin();
+    if let Some(path) = flags.get("registry") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path} failed: {e}"))?;
+        registry
+            .extend_from_json_str(&json)
+            .map_err(|e| format!("registry {path}: {e}"))?;
     }
+    Ok(registry)
+}
+
+fn device_of(
+    flags: &HashMap<String, String>,
+    registry: &DeviceRegistry,
+) -> Result<GpuDevice, String> {
+    let name = flags.get("device").map(String::as_str).unwrap_or("rtx3060");
+    registry.get(name).ok_or_else(|| {
+        format!(
+            "unknown device `{name}` (known: {})",
+            registry.names().join("|")
+        )
+    })
 }
 
 fn job_of(flags: &HashMap<String, String>) -> Result<TrainJobSpec, String> {
@@ -160,6 +195,89 @@ fn parse_job_line(line: &str) -> Result<TrainJobSpec, String> {
     job_of(&flags)
 }
 
+/// The `matrix` command: profile + analyze each listed model **once**,
+/// then replay the cached analyses against every named device — the
+/// per-cluster "which device type fits which job?" grid in one call.
+fn matrix(flags: &HashMap<String, String>) -> Result<(), String> {
+    let registry = registry_of(flags)?;
+    let model_list = flags
+        .get("models")
+        .ok_or("--models is required (e.g. --models gpt2,resnet101)")?;
+    let mut specs = Vec::new();
+    for name in model_list.split(',') {
+        let mut per_model = flags.clone();
+        per_model.insert("model".to_string(), name.trim().to_string());
+        specs.push(job_of(&per_model)?);
+    }
+    if specs.is_empty() {
+        return Err("--models must name at least one model".to_string());
+    }
+    let devices: Vec<String> = match flags.get("devices") {
+        Some(list) => list.split(',').map(|d| d.trim().to_string()).collect(),
+        None => registry.names(),
+    };
+    if devices.is_empty() {
+        return Err("no devices to simulate against".to_string());
+    }
+
+    let service = EstimationService::new(
+        ServiceConfig::for_device(device_of(flags, &registry)?)
+            .with_threads(threads_of(flags)?)
+            .with_registry(registry.clone()),
+    );
+    let names: Vec<&str> = devices.iter().map(String::as_str).collect();
+    let matrix = service
+        .estimate_matrix(&specs, &names)
+        .map_err(|e| format!("matrix failed: {e}"))?;
+
+    const MIB: f64 = (1u64 << 20) as f64;
+    print!("{:<44}", "job \\ peak (MiB) on");
+    for device in &matrix.devices {
+        print!(" {device:>14}");
+    }
+    println!(" {:>14}", "best fit");
+    let mut failed = 0usize;
+    for row in &matrix.rows {
+        print!("{:<44}", row.spec.label());
+        for cell in &row.cells {
+            match &cell.estimate {
+                Ok(e) if e.oom_predicted => print!(" {:>14}", "OOM"),
+                Ok(e) => print!(" {:>14.1}", e.peak_bytes as f64 / MIB),
+                Err(_) => {
+                    failed += 1;
+                    print!(" {:>14}", "error");
+                }
+            }
+        }
+        // Best fit over the *requested* columns: the smallest-capacity
+        // device predicted to hold the job.
+        let best = row
+            .fitting_devices()
+            .into_iter()
+            .filter_map(|name| registry.get(name).map(|d| (d.capacity, name)))
+            .min_by_key(|&(capacity, name)| (capacity, name.to_string()));
+        match best {
+            Some((_, name)) => println!(" {name:>14}"),
+            None => println!(" {:>14}", "-"),
+        }
+    }
+    let sims = service.sim_stats();
+    println!(
+        "analysis runs: {} (one per job) | simulations: {} ({} jobs x {} devices) | \
+         sim cache: {} hits, {} misses",
+        service.profile_runs(),
+        sims.sim_runs,
+        matrix.rows.len(),
+        matrix.devices.len(),
+        sims.cache.hits,
+        sims.cache.misses,
+    );
+    if failed > 0 {
+        return Err(format!("{failed} matrix cells failed estimation"));
+    }
+    Ok(())
+}
+
 /// The `serve` command: answer a whole queue of jobs through the async
 /// front end — submit everything (draining in-flight futures when the
 /// bounded queue pushes back), then drive all futures from this thread.
@@ -190,7 +308,8 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("no jobs found".to_string());
     }
 
-    let device = device_of(flags)?;
+    let registry = registry_of(flags)?;
+    let device = device_of(flags, &registry)?;
     let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
         flags
             .get(key)
@@ -211,7 +330,8 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let service = AsyncEstimationService::new(
         AsyncServiceConfig::for_device(device)
             .with_workers(workers)
-            .with_queue_depth(queue_depth),
+            .with_queue_depth(queue_depth)
+            .with_registry(registry),
     );
     eprintln!(
         "serving {} jobs on {} workers (queue depth {queue_depth})",
@@ -305,7 +425,7 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "estimate" => {
             let spec = job_of(&flags)?;
-            let device = device_of(&flags)?;
+            let device = device_of(&flags, &registry_of(&flags)?)?;
             let estimator = Estimator::new(EstimatorConfig::for_device(device));
             let estimate = estimator
                 .estimate_job(&spec)
@@ -315,7 +435,7 @@ fn run() -> Result<(), String> {
         }
         "sweep" => {
             let spec = job_with_batch(&flags, Some(1))?;
-            let device = device_of(&flags)?;
+            let device = device_of(&flags, &registry_of(&flags)?)?;
             let batches: Vec<usize> = flags
                 .get("batches")
                 .ok_or("--batches is required (e.g. --batches 1,2,4,8)")?
@@ -350,7 +470,7 @@ fn run() -> Result<(), String> {
         }
         "plan" => {
             let spec = job_with_batch(&flags, Some(1))?;
-            let device = device_of(&flags)?;
+            let device = device_of(&flags, &registry_of(&flags)?)?;
             let parse_bound = |key: &str, default: usize| -> Result<usize, String> {
                 flags
                     .get(key)
@@ -382,6 +502,7 @@ fn run() -> Result<(), String> {
             println!("cache: {} hits, {} misses", stats.hits, stats.misses);
             Ok(())
         }
+        "matrix" => matrix(&flags),
         "serve" => serve(&flags),
         "profile" => {
             let spec = job_of(&flags)?;
@@ -400,7 +521,7 @@ fn run() -> Result<(), String> {
         }
         "estimate-trace" => {
             let path = flags.get("trace").ok_or("--trace is required")?;
-            let device = device_of(&flags)?;
+            let device = device_of(&flags, &registry_of(&flags)?)?;
             let json = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
             let trace = Trace::from_json_str(&json).map_err(|e| format!("parse failed: {e}"))?;
             let estimator = Estimator::new(EstimatorConfig::for_device(device));

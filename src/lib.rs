@@ -50,12 +50,14 @@ pub use xmem_trace as trace;
 /// The names needed for everyday use of the estimator.
 pub mod prelude {
     pub use xmem_baselines::{EstimateOutcome, MemoryEstimator};
-    pub use xmem_core::{Estimate, Estimator, EstimatorConfig};
+    pub use xmem_core::{
+        DeviceMatrix, DevicePlacement, Estimate, Estimator, EstimatorConfig, MatrixCell, MatrixRow,
+    };
     pub use xmem_models::ModelId;
     pub use xmem_optim::OptimizerKind;
     pub use xmem_runtime::{profile_on_cpu, run_on_gpu, GpuDevice, TrainJobSpec, ZeroGradPos};
     pub use xmem_service::{
-        block_on, join_all, AsyncEstimationService, AsyncServiceConfig, CacheStats, EstimateFuture,
-        EstimationService, Executor, ServiceConfig, SubmitError,
+        block_on, join_all, AsyncEstimationService, AsyncServiceConfig, CacheStats, DeviceRegistry,
+        EstimateFuture, EstimationService, Executor, MatrixFuture, ServiceConfig, SubmitError,
     };
 }

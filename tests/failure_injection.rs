@@ -105,3 +105,55 @@ fn gpu_device_events_are_ignored_by_the_cpu_analyzer() {
     let b = estimator.estimate_trace(&mixed).expect("mixed");
     assert_eq!(a.peak_bytes, b.peak_bytes);
 }
+
+#[test]
+fn a_panicking_estimation_job_settles_its_future_and_spares_the_pool() {
+    use xmem::service::{promise_pair, WorkerPool};
+
+    // One worker, so pool survival is observable: if the panic killed the
+    // worker thread, none of the follow-up queries could complete.
+    let pool = WorkerPool::new(1, 32);
+    let (promise, poisoned) = promise_pair::<Result<Estimate, EstimateError>>(None);
+    pool.try_execute_settling(promise, || -> Result<Estimate, EstimateError> {
+        panic!("injected mid-estimation panic")
+    })
+    .expect("queue has room");
+
+    // The caller is not stranded: the future resolves to the new
+    // internal-error variant carrying the panic payload.
+    match poisoned.wait() {
+        Err(EstimateError::Internal(message)) => {
+            assert!(
+                message.contains("injected mid-estimation panic"),
+                "{message}"
+            );
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+
+    // The pool still serves the next N queries — real estimations, run on
+    // the very worker the panic unwound through.
+    let spec =
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 2).with_iterations(2);
+    let expected = Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060()))
+        .estimate_job(&spec)
+        .expect("sequential estimate");
+    for round in 0..5 {
+        let (promise, future) = promise_pair::<Result<Estimate, EstimateError>>(None);
+        let spec = spec.clone();
+        pool.try_execute_settling(promise, move || {
+            Estimator::new(EstimatorConfig::for_device(GpuDevice::rtx3060())).estimate_job(&spec)
+        })
+        .expect("queue has room");
+        assert_eq!(
+            future.wait().expect("round succeeds"),
+            expected,
+            "round {round}"
+        );
+    }
+    assert_eq!(
+        pool.panics(),
+        0,
+        "settling jobs catch their own panics before the worker loop sees them"
+    );
+}
