@@ -465,7 +465,13 @@ impl CachingAllocator {
     /// `release_available_cached_blocks`); with `None`, everything
     /// releasable goes (`release_cached_blocks`).
     fn release_cached_segments(&mut self, filter: Option<(PoolKind, usize)>) {
-        let mut to_release: Vec<(SegmentKey, BlockKey, PoolKind)> = Vec::new();
+        // Single scan over the segments: everything the release loop
+        // needs — including the free-set entry, which is fully determined
+        // by the (whole-segment) block — is captured here, so no slab
+        // lookups happen while mutating. The buffer is sized up front; a
+        // reclaim never reallocates it mid-collection.
+        let mut to_release: Vec<(SegmentKey, BlockKey, PoolKind, usize, u64)> =
+            Vec::with_capacity(self.segments.len());
         for (seg_key, seg) in self.segments.iter() {
             if let Some((pool, min_size)) = filter {
                 if seg.pool != pool || seg.size < min_size {
@@ -475,13 +481,11 @@ impl CachingAllocator {
             let first = self.blocks.get(seg.first_block);
             // Releasable iff the segment is one free block.
             if !first.allocated && first.next.is_none() && first.prev.is_none() {
-                to_release.push((seg_key, seg.first_block, seg.pool));
+                to_release.push((seg_key, seg.first_block, seg.pool, first.size, first.addr));
             }
         }
-        for (seg_key, block_key, pool) in to_release {
-            let b = self.blocks.get(block_key);
-            let entry = (b.size, b.addr, block_key);
-            self.free_set(pool).remove(&entry);
+        for (seg_key, block_key, pool, size, addr) in to_release {
+            self.free_set(pool).remove(&(size, addr, block_key));
             self.release_segment_with_block(seg_key, block_key);
         }
     }

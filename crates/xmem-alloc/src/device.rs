@@ -23,6 +23,13 @@ pub struct DeviceAllocator {
 }
 
 impl DeviceAllocator {
+    /// Allocation granularity of modern CUDA drivers (2 MiB). The one
+    /// definition every simulation layer shares: the bounded/unbounded
+    /// simulators pass it to [`DeviceAllocator::new`], and the fast-path
+    /// exactness check in `xmem-core` verifies segment sizes against it —
+    /// changing the page here keeps both in lockstep.
+    pub const DEFAULT_PAGE: u64 = 2 << 20;
+
     /// Creates a device with `capacity` bytes, `page`-byte allocation
     /// granularity (2 MiB for modern CUDA drivers) and `reserved_external`
     /// bytes already unavailable to the job.
@@ -50,7 +57,7 @@ impl DeviceAllocator {
     /// Fig. 3 example and the one-level ablation).
     #[must_use]
     pub fn unlimited() -> Self {
-        DeviceAllocator::new(u64::MAX / 2, 2 << 20, 0)
+        DeviceAllocator::new(u64::MAX / 2, Self::DEFAULT_PAGE, 0)
     }
 
     /// Total device capacity in bytes.

@@ -1,0 +1,359 @@
+//! `perf` — the estimate-serving performance harness.
+//!
+//! Times the hot paths the service layers optimize — single estimates
+//! (cold and warm), N×D matrix replay with the pressure-aware fast path
+//! on and off, contended simulation-cell cache hits, raw allocator replay
+//! throughput, and the O(1) LRU against a scan-based reference — and
+//! emits a machine-readable `BENCH_estimator.json` so every PR has a
+//! measurable trajectory.
+//!
+//! Usage: `perf [--quick] [--out PATH]`
+//!
+//! * `--quick` — CI-sized iteration counts (seconds, not minutes);
+//! * `--out`  — output path (default `BENCH_estimator.json`, i.e. the
+//!   repo root when run from it).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use xmem_core::{Analyzer, Orchestrator, Simulator};
+use xmem_models::ModelId;
+use xmem_optim::OptimizerKind;
+use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
+use xmem_service::{EstimationService, ServiceConfig, ShardedLruCache};
+
+/// One timed benchmark.
+#[derive(Debug, Serialize)]
+struct Benchmark {
+    /// Stable benchmark identifier.
+    name: String,
+    /// Operations timed.
+    iterations: u64,
+    /// Total wall time.
+    total_ns: u64,
+    /// Per-operation latency.
+    ns_per_op: f64,
+    /// Throughput.
+    ops_per_sec: f64,
+    /// What one "operation" is.
+    unit: String,
+}
+
+/// Service counters snapshot proving what the timed paths executed.
+#[derive(Debug, Serialize)]
+struct Counters {
+    profile_runs: u64,
+    sim_runs: u64,
+    fast_path_hits: u64,
+    full_replays: u64,
+    unbounded_replays: u64,
+    sim_cache_hits: u64,
+    analysis_cache_hits: u64,
+}
+
+/// Headline ratios derived from paired benchmarks.
+#[derive(Debug, Serialize)]
+struct Derived {
+    /// `matrix_replay_full` time over `matrix_replay_fast` time: the
+    /// measured speedup of the pressure-aware fast path on an all-roomy
+    /// fleet (analyses prewarmed in both runs).
+    matrix_fast_path_speedup: f64,
+    /// Scan-based reference LRU insert latency over the intrusive-list
+    /// cache's: the measured win of O(1) eviction at this capacity.
+    lru_o1_speedup_vs_scan: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: &'static str,
+    quick: bool,
+    generated_unix: u64,
+    benchmarks: Vec<Benchmark>,
+    counters: Counters,
+    derived: Derived,
+}
+
+fn bench(name: &str, unit: &str, iterations: u64, mut op: impl FnMut()) -> Benchmark {
+    let started = Instant::now();
+    for _ in 0..iterations {
+        op();
+    }
+    let total_ns = started.elapsed().as_nanos() as u64;
+    finish(name, unit, iterations, total_ns)
+}
+
+fn finish(name: &str, unit: &str, iterations: u64, total_ns: u64) -> Benchmark {
+    let ns_per_op = total_ns as f64 / iterations.max(1) as f64;
+    let bench = Benchmark {
+        name: name.to_string(),
+        iterations,
+        total_ns,
+        ns_per_op,
+        ops_per_sec: if ns_per_op > 0.0 {
+            1e9 / ns_per_op
+        } else {
+            0.0
+        },
+        unit: unit.to_string(),
+    };
+    println!(
+        "  {:<34} {:>12.0} ns/{} ({:.0} /s, n={})",
+        bench.name, bench.ns_per_op, bench.unit, bench.ops_per_sec, bench.iterations
+    );
+    bench
+}
+
+/// The benchmark job mix: small CNN sweeps plus a transformer.
+fn jobs() -> Vec<TrainJobSpec> {
+    vec![
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2),
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2),
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 16).with_iterations(2),
+        TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 2).with_iterations(2),
+    ]
+}
+
+/// Registry names of the synthetic benchmark fleet.
+const FLEET: [&str; 8] = ["d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"];
+
+/// An all-roomy 8-device fleet (16–72 GiB): every cell qualifies for the
+/// fast path, so the fast/full pairing isolates the replay strategy.
+fn register_fleet(service: &EstimationService) {
+    for (i, name) in FLEET.iter().enumerate() {
+        service.register_device(
+            name,
+            GpuDevice {
+                name: "perf-fleet",
+                capacity: (16 + 8 * i as u64) << 30,
+                framework_bytes: 550 << 20,
+                init_bytes: 0,
+            },
+        );
+    }
+}
+
+/// Times one matrix replay over prewarmed analyses (profiling excluded),
+/// so fast vs full compares only the simulation fan-out.
+fn matrix_replay(service: &EstimationService, name: &str) -> Benchmark {
+    let jobs = jobs();
+    for job in &jobs {
+        service.stages(job).expect("benchmark jobs analyze");
+    }
+    let names: Vec<&str> = FLEET.to_vec();
+    let started = Instant::now();
+    let matrix = service
+        .estimate_matrix(&jobs, &names)
+        .expect("fleet is registered");
+    let total_ns = started.elapsed().as_nanos() as u64;
+    finish(name, "cell", matrix.num_cells() as u64, total_ns)
+}
+
+/// The scan-based eviction reference the O(1) cache replaced: a
+/// `min_by_key` sweep over the whole shard per insert at capacity.
+struct ScanLru {
+    map: std::collections::HashMap<u64, (u64, u64)>, // key -> (value, tick)
+    clock: u64,
+    capacity: usize,
+}
+
+impl ScanLru {
+    fn insert(&mut self, key: u64, value: u64) {
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, tick))| tick)
+                .map(|(&k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.clock));
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_estimator.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("missing value for --out"),
+            other => panic!("unknown flag `{other}` (perf [--quick] [--out PATH])"),
+        }
+    }
+    println!(
+        "xmem perf harness ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut benchmarks = Vec::new();
+    let warm_reps: u64 = if quick { 100 } else { 1000 };
+    let hit_reps: u64 = if quick { 2_000 } else { 20_000 };
+    let replay_reps: u64 = if quick { 5 } else { 40 };
+    let lru_reps: u64 = if quick { 20_000 } else { 200_000 };
+
+    // --- single estimates -------------------------------------------------
+    let single =
+        TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
+    let service = EstimationService::for_device(GpuDevice::rtx3060());
+    benchmarks.push(bench("estimate_cold", "estimate", 1, || {
+        service.estimate(&single).expect("estimates");
+    }));
+    benchmarks.push(bench("estimate_warm", "estimate", warm_reps, || {
+        service.estimate(&single).expect("estimates");
+    }));
+
+    // --- N x D matrix replay: fast path vs forced full replays -----------
+    let fast_service = EstimationService::for_device(GpuDevice::rtx3060());
+    register_fleet(&fast_service);
+    let fast = matrix_replay(&fast_service, "matrix_replay_fast");
+    let stats = fast_service.sim_stats();
+    assert_eq!(
+        stats.full_replays, 0,
+        "all-roomy fleet must serve every cell via the fast path"
+    );
+    assert_eq!(stats.unbounded_replays, jobs().len() as u64);
+
+    let full_service = EstimationService::new(
+        ServiceConfig::for_device(GpuDevice::rtx3060()).with_fast_path(false),
+    );
+    register_fleet(&full_service);
+    let full = matrix_replay(&full_service, "matrix_replay_full");
+    assert_eq!(full_service.sim_stats().fast_path_hits, 0);
+    let matrix_fast_path_speedup = full.ns_per_op / fast.ns_per_op.max(1.0);
+
+    // Warm matrix: every cell is a pure sim-shard hit.
+    {
+        let jobs = jobs();
+        let names: Vec<&str> = FLEET.to_vec();
+        let cells = (jobs.len() * FLEET.len()) as u64;
+        let reps = if quick { 20 } else { 200 };
+        let started = Instant::now();
+        for _ in 0..reps {
+            fast_service
+                .estimate_matrix(&jobs, &names)
+                .expect("fleet is registered");
+        }
+        let total_ns = started.elapsed().as_nanos() as u64;
+        benchmarks.push(finish("matrix_warm", "cell", cells * reps, total_ns));
+    }
+    benchmarks.push(fast);
+    benchmarks.push(full);
+
+    // --- contended cache-hit latency --------------------------------------
+    // 8 threads hammering one warm simulation cell: shard-lock + clone
+    // cost under contention.
+    {
+        let device = GpuDevice::rtx3060();
+        fast_service
+            .estimate_for_device(&single, device)
+            .expect("warms the cell");
+        let done = AtomicU64::new(0);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..hit_reps {
+                        fast_service
+                            .estimate_for_device(&single, device)
+                            .expect("pure hit");
+                    }
+                    done.fetch_add(hit_reps, Ordering::Relaxed);
+                });
+            }
+        });
+        let total_ns = started.elapsed().as_nanos() as u64;
+        benchmarks.push(finish(
+            "sim_cell_hit_contended_8t",
+            "lookup",
+            done.load(Ordering::Relaxed),
+            total_ns,
+        ));
+    }
+
+    // --- allocator replay throughput --------------------------------------
+    {
+        let spec =
+            TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 4).with_iterations(2);
+        let trace = profile_on_cpu(&spec);
+        let analyzed = Analyzer::new().analyze(&trace).expect("trace analyzes");
+        let sequence = Orchestrator::default().orchestrate(&analyzed);
+        let events = sequence.events.len() as u64;
+        let simulator = Simulator::unbounded();
+        let started = Instant::now();
+        for _ in 0..replay_reps {
+            std::hint::black_box(simulator.replay(&sequence));
+        }
+        let total_ns = started.elapsed().as_nanos() as u64;
+        benchmarks.push(finish(
+            "replay_throughput",
+            "event",
+            events * replay_reps,
+            total_ns,
+        ));
+    }
+
+    // --- O(1) LRU vs the scan-based reference -----------------------------
+    // Distinct keys cycling twice the capacity: once warm, every insert
+    // evicts, which is exactly where the old implementation scanned.
+    let lru_capacity = 1024usize;
+    let o1 = {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(lru_capacity, 1);
+        let mut key = 0u64;
+        bench("lru_insert_o1", "insert", lru_reps, || {
+            cache.insert(key % (2 * lru_capacity as u64), key);
+            key += 1;
+        })
+    };
+    let scan = {
+        let mut cache = ScanLru {
+            map: std::collections::HashMap::new(),
+            clock: 0,
+            capacity: lru_capacity,
+        };
+        let mut key = 0u64;
+        bench("lru_insert_scan_reference", "insert", lru_reps, || {
+            cache.insert(key % (2 * lru_capacity as u64), key);
+            key += 1;
+        })
+    };
+    let lru_o1_speedup_vs_scan = scan.ns_per_op / o1.ns_per_op.max(1.0);
+    benchmarks.push(o1);
+    benchmarks.push(scan);
+
+    // --- report ------------------------------------------------------------
+    let sims = fast_service.sim_stats();
+    let counters = Counters {
+        profile_runs: fast_service.profile_runs(),
+        sim_runs: sims.sim_runs,
+        fast_path_hits: sims.fast_path_hits,
+        full_replays: sims.full_replays,
+        unbounded_replays: sims.unbounded_replays,
+        sim_cache_hits: sims.cache.hits,
+        analysis_cache_hits: fast_service.cache_stats().hits,
+    };
+    let report = Report {
+        schema: "xmem-bench-perf/v1",
+        quick,
+        generated_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        benchmarks,
+        counters,
+        derived: Derived {
+            matrix_fast_path_speedup,
+            lru_o1_speedup_vs_scan,
+        },
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!(
+        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x",
+        report.derived.matrix_fast_path_speedup, report.derived.lru_o1_speedup_vs_scan
+    );
+    println!("wrote {out}");
+}

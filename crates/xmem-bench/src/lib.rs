@@ -6,7 +6,14 @@
 //! * `--seed <u64>` — the campaign seed (default 2025);
 //! * `--out <dir>` — output directory for CSV/JSON artifacts (default
 //!   `bench_out/`);
-//! * `--threads <n>` — worker threads (default: all cores).
+//! * `--threads <n>` — worker threads (default: all cores);
+//! * `--uncached` — run xMem standalone (full pipeline per record) instead
+//!   of routing the campaign through the estimation service's batched
+//!   replay. The default (service-routed) collapses a campaign's xMem cost
+//!   to one profile/analyze per distinct job; per-record
+//!   `estimator_runtime_us` then measures the *serving* path (cache-hit
+//!   latency), so pass `--uncached` when reproducing the paper's
+//!   standalone runtime numbers (Table 4).
 //!
 //! Campaign records are cached as JSON per `(setting, scale, seed)` so the
 //! figure/table binaries that share a campaign (Fig. 7/8, Tables 3/4) run
@@ -17,10 +24,13 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use xmem_eval::anova::{anova_configs, AnovaScale};
 use xmem_eval::montecarlo::monte_carlo_configs;
-use xmem_eval::runner::{run_campaign, CampaignOptions, EstimatorSet};
+use xmem_eval::runner::{prewarm_matrix, run_campaign, CampaignOptions, EstimatorSet};
 use xmem_eval::RunRecord;
+use xmem_runtime::GpuDevice;
+use xmem_service::{DeviceRegistry, EstimationService, ServiceConfig};
 
 /// Campaign scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +63,9 @@ pub struct BenchArgs {
     pub out_dir: PathBuf,
     /// Worker threads (0 = all).
     pub threads: usize,
+    /// Run xMem standalone per record instead of service-routed (see the
+    /// crate docs on `--uncached`).
+    pub uncached: bool,
 }
 
 impl Default for BenchArgs {
@@ -62,6 +75,7 @@ impl Default for BenchArgs {
             seed: 2025,
             out_dir: PathBuf::from("bench_out"),
             threads: 0,
+            uncached: false,
         }
     }
 }
@@ -91,6 +105,7 @@ impl BenchArgs {
                 "--seed" => args.seed = value("--seed").parse().expect("numeric seed"),
                 "--out" => args.out_dir = PathBuf::from(value("--out")),
                 "--threads" => args.threads = value("--threads").parse().expect("numeric threads"),
+                "--uncached" => args.uncached = true,
                 other => panic!("unknown flag `{other}`"),
             }
         }
@@ -139,11 +154,16 @@ impl Setting {
 /// under the output directory and is keyed by setting/scale/seed.
 #[must_use]
 pub fn campaign_records(args: &BenchArgs, setting: Setting) -> Vec<RunRecord> {
+    // The estimation mode is part of the cache identity: service-routed
+    // and standalone runs differ in `estimator_runtime_us` (serving vs
+    // full-pipeline latency), so serving one mode's records for the other
+    // would silently corrupt runtime artifacts like Table 4.
     let cache = args.out_dir.join(format!(
-        "records_{}_{}_{}.json",
+        "records_{}_{}_{}{}.json",
         setting.label(),
         args.scale.label(),
-        args.seed
+        args.seed,
+        if args.uncached { "_uncached" } else { "" }
     ));
     if let Ok(s) = fs::read_to_string(&cache) {
         if let Ok(records) = serde_json::from_str::<Vec<RunRecord>>(&s) {
@@ -162,13 +182,42 @@ pub fn campaign_records(args: &BenchArgs, setting: Setting) -> Vec<RunRecord> {
         (Setting::MonteCarlo, Scale::Smoke) => monte_carlo_configs(160, args.seed),
     };
     println!(
-        "  running {} campaign: {} configurations ({} scale)",
+        "  running {} campaign: {} configurations ({} scale{})",
         setting.label(),
         configs.len(),
-        args.scale.label()
+        args.scale.label(),
+        if args.uncached {
+            ", standalone xMem"
+        } else {
+            ", service-routed xMem"
+        }
     );
-    let estimators = EstimatorSet::standard(args.seed);
     let started = std::time::Instant::now();
+    let (estimators, service) = if args.uncached {
+        (EstimatorSet::standard(args.seed), None)
+    } else {
+        // Route the whole campaign through the estimation service's
+        // batched replay: distinct jobs profile once, every (job, device)
+        // cell simulates once, and the per-record estimator calls below
+        // are pure cache hits.
+        let service = Arc::new(EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_registry(DeviceRegistry::empty()),
+        ));
+        let (jobs, devices) = prewarm_matrix(&service, &configs);
+        println!(
+            "  prewarmed matrix: {} configurations -> {} analyses x {} devices \
+             ({} profile runs, {} simulations)",
+            configs.len(),
+            jobs,
+            devices,
+            service.profile_runs(),
+            service.sim_runs(),
+        );
+        (
+            EstimatorSet::service_backed(args.seed, Arc::clone(&service)),
+            Some(service),
+        )
+    };
     let records = run_campaign(
         &configs,
         &estimators,
@@ -176,6 +225,14 @@ pub fn campaign_records(args: &BenchArgs, setting: Setting) -> Vec<RunRecord> {
             threads: args.threads,
         },
     );
+    if let Some(service) = service {
+        println!(
+            "  analysis collapse held: {} profile runs / {} simulations for {} records",
+            service.profile_runs(),
+            service.sim_runs(),
+            records.len()
+        );
+    }
     println!(
         "  campaign finished: {} records in {:.1}s",
         records.len(),

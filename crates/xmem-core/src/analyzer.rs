@@ -87,6 +87,24 @@ impl AnalyzedTrace {
             .map(|b| b.block.bytes)
             .sum()
     }
+
+    /// Approximate resident size of this analysis in bytes (block structs,
+    /// their attribution strings, and the window index). Bytes-budgeted
+    /// caches use it to price retained analyses; it is a stable,
+    /// monotone-in-size figure, not exact heap accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let blocks = std::mem::size_of::<AnalyzedBlock>() as u64 * self.blocks.len() as u64;
+        let strings: u64 = self
+            .blocks
+            .iter()
+            .map(|b| {
+                b.operator.as_deref().map_or(0, str::len) as u64
+                    + b.component.as_deref().map_or(0, str::len) as u64
+            })
+            .sum();
+        blocks + strings + self.windows.approx_bytes()
+    }
 }
 
 /// The Analyzer. Stateless; configuration selects the profiled device.

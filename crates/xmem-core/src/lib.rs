@@ -60,7 +60,7 @@ pub use layerwise::{layer_report, render_layer_report, LayerMemory};
 pub use lifecycle::{reconstruct_lifecycles, LifecycleStats, MemoryBlock};
 pub use matrix::{DeviceMatrix, DevicePlacement, MatrixCell, MatrixRow};
 pub use orchestrator::{OrchestratedEvent, OrchestratedSequence, Orchestrator};
-pub use pipeline::{AnalysisStats, Estimate, Estimator, EstimatorConfig};
+pub use pipeline::{AnalysisStats, Estimate, Estimator, EstimatorConfig, UnboundedReplay};
 pub use report::render_report;
 pub use simulator::{SimulationResult, Simulator};
 pub use windows::{AnnotationIndex, OpWindow, WindowIndex};

@@ -1,7 +1,7 @@
 //! The public estimation facade: Analyzer → Orchestrator → Simulator.
 
 use crate::analyzer::{AnalyzedTrace, Analyzer, BlockCategory};
-use crate::orchestrator::Orchestrator;
+use crate::orchestrator::{OrchestratedSequence, Orchestrator};
 use crate::simulator::Simulator;
 use crate::EstimateError;
 use serde::{Deserialize, Serialize};
@@ -80,11 +80,48 @@ pub struct Estimate {
     pub stats: AnalysisStats,
 }
 
+/// The device-independent replay artifact behind the pressure-aware fast
+/// path: the orchestrated sequence replayed **once** against an unbounded
+/// simulator.
+///
+/// The two-level allocator simulation only consults device capacity in two
+/// places — proactive garbage collection and the reclaim-then-OOM path on
+/// a failed device allocation. A device roomy enough that neither can
+/// trigger therefore replays **bit-identically** to the unbounded device,
+/// and its whole [`Estimate`] can be *derived* from this artifact in O(1)
+/// ([`Estimator::derive_from_replay`]) instead of re-walking the event
+/// sequence. Serving layers cache one `UnboundedReplay` per job and pay a
+/// full stateful replay only for capacity-pressured devices, where
+/// reclaim/OOM genuinely diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundedReplay {
+    /// Peak job segment bytes on the unbounded device (the job's true
+    /// segment high-water mark, `M̂^peak` before overheads).
+    pub peak_reserved: u64,
+    /// Peak tensor (allocated) bytes.
+    pub peak_allocated: u64,
+    /// Orchestrated events replayed (diagnostics; also the unit of the
+    /// perf harness's replay-throughput benchmark).
+    pub events: usize,
+    /// The analysis diagnostics a derived estimate carries — identical to
+    /// what a full replay would report, since they never depend on the
+    /// device.
+    pub stats: AnalysisStats,
+}
+
 /// The xMem estimator.
 #[derive(Debug, Clone)]
 pub struct Estimator {
     config: EstimatorConfig,
 }
+
+/// Page granularity of the simulated device level — the same
+/// [`DeviceAllocator::DEFAULT_PAGE`](xmem_alloc::DeviceAllocator::DEFAULT_PAGE)
+/// the [`Simulator`] hands to its device, so the fast-path exactness check
+/// and the bounded replay can never disagree on granularity. Segment sizes
+/// that are multiples of it make framework-level and device-level
+/// accounting agree exactly.
+const DEVICE_PAGE: usize = xmem_alloc::DeviceAllocator::DEFAULT_PAGE as usize;
 
 impl Estimator {
     /// Creates an estimator.
@@ -133,38 +170,97 @@ impl Estimator {
         let peak_total = job_peak + device.framework_bytes + self.config.context_allowance;
         let oom_predicted = sim.oom || peak_total > device.capacity - device.init_bytes;
 
-        let mut categories: Vec<(String, usize, u64)> = Vec::new();
-        for cat in [
-            BlockCategory::Parameter,
-            BlockCategory::BatchData,
-            BlockCategory::Activation,
-            BlockCategory::Gradient,
-            BlockCategory::BackwardTemp,
-            BlockCategory::OptimizerState,
-            BlockCategory::OptimizerScratch,
-            BlockCategory::Workspace,
-            BlockCategory::Script,
-        ] {
-            categories.push((format!("{cat:?}"), analyzed.count(cat), analyzed.bytes(cat)));
-        }
-
         Estimate {
             peak_bytes: peak_total,
             job_peak_bytes: job_peak,
             tensor_peak_bytes: sim.peak_allocated,
             oom_predicted,
             curve: sim.timeline,
-            stats: AnalysisStats {
-                categories,
-                filtered_blocks: sequence.filtered_blocks,
-                adjusted_blocks: sequence.adjusted_blocks,
-                unmatched_frees: analyzed.lifecycle_stats.unmatched_frees,
-            },
+            stats: analysis_stats(analyzed, &sequence),
         }
     }
 
+    /// Replays `analyzed` once against an **unbounded** device, producing
+    /// the device-independent artifact the pressure-aware fast path
+    /// derives roomy-device estimates from. Orchestration runs under this
+    /// estimator's configuration, so a derived estimate and a full
+    /// [`estimate_analyzed`](Self::estimate_analyzed) replay see the same
+    /// event sequence.
+    #[must_use]
+    pub fn replay_unbounded(&self, analyzed: &AnalyzedTrace) -> UnboundedReplay {
+        let sequence = self.config.orchestrator.orchestrate(analyzed);
+        let sim = Simulator {
+            allocator: self.config.allocator.clone(),
+            capacity: None,
+            framework_bytes: 0,
+            record_timeline: false,
+        }
+        .replay(&sequence);
+        UnboundedReplay {
+            peak_reserved: sim.peak_reserved,
+            peak_allocated: sim.peak_allocated,
+            events: sequence.events.len(),
+            stats: analysis_stats(analyzed, &sequence),
+        }
+    }
+
+    /// The job-usable capacity under which this estimator's device can be
+    /// served by derivation — or `None` when the configuration rules the
+    /// fast path out entirely.
+    ///
+    /// Derivation is exact only when the bounded replay provably cannot
+    /// consult capacity: proactive garbage collection must be off, no
+    /// usage curve may be requested, and every segment size the allocator
+    /// can produce must be a whole number of device pages (so framework-
+    /// and device-level accounting agree byte-for-byte). All of that holds
+    /// for [`EstimatorConfig::for_device`]; ablated configurations fall
+    /// back to the full replay.
+    #[must_use]
+    pub fn fast_path_capacity(&self) -> Option<u64> {
+        let allocator = &self.config.allocator;
+        let page_aligned = allocator.small_buffer.is_multiple_of(DEVICE_PAGE)
+            && allocator.large_buffer.is_multiple_of(DEVICE_PAGE)
+            && allocator.round_large > 0
+            && allocator.round_large.is_multiple_of(DEVICE_PAGE);
+        if allocator.gc_threshold.is_some() || self.config.record_timeline || !page_aligned {
+            return None;
+        }
+        let device = &self.config.device;
+        let job_capacity = device.capacity.checked_sub(device.init_bytes)?;
+        Some(job_capacity.saturating_sub(device.framework_bytes))
+    }
+
+    /// Derives this device's estimate from a cached [`UnboundedReplay`]
+    /// without replaying, when the device is roomy enough for the
+    /// derivation to be **bit-identical** to a full replay: its usable
+    /// capacity must cover the unbounded segment peak, so neither reclaim
+    /// nor OOM can fire. Returns `None` under capacity pressure (or for
+    /// configurations [`fast_path_capacity`](Self::fast_path_capacity)
+    /// rules out) — the caller then pays the full stateful replay.
+    #[must_use]
+    pub fn derive_from_replay(&self, replay: &UnboundedReplay) -> Option<Estimate> {
+        let usable = self.fast_path_capacity()?;
+        if replay.peak_reserved > usable {
+            return None;
+        }
+        let device = &self.config.device;
+        let peak_total =
+            replay.peak_reserved + device.framework_bytes + self.config.context_allowance;
+        Some(Estimate {
+            peak_bytes: peak_total,
+            job_peak_bytes: replay.peak_reserved,
+            tensor_peak_bytes: replay.peak_allocated,
+            // `sim.oom` is provably false on a roomy device; only the
+            // context-allowance headroom check remains.
+            oom_predicted: peak_total > device.capacity - device.init_bytes,
+            curve: Vec::new(),
+            stats: replay.stats.clone(),
+        })
+    }
+
     /// Profiles the job on the CPU backend, then estimates — the
-    /// end-to-end a-priori workflow of the paper's Fig. 4.
+    /// end-to-end a-priori workflow of the paper's Fig. 4 — unchanged by
+    /// the fast path, which serving layers opt into explicitly.
     ///
     /// # Errors
     /// Propagates Analyzer failures (the generated trace is well-formed,
@@ -172,6 +268,32 @@ impl Estimator {
     pub fn estimate_job(&self, spec: &TrainJobSpec) -> Result<Estimate, EstimateError> {
         let trace = profile_on_cpu(spec);
         self.estimate_trace(&trace)
+    }
+}
+
+/// The per-category diagnostics both the full replay and the derived fast
+/// path attach to an [`Estimate`]; everything here is a pure function of
+/// the analysis and the orchestrated sequence — never of the device.
+fn analysis_stats(analyzed: &AnalyzedTrace, sequence: &OrchestratedSequence) -> AnalysisStats {
+    let mut categories: Vec<(String, usize, u64)> = Vec::new();
+    for cat in [
+        BlockCategory::Parameter,
+        BlockCategory::BatchData,
+        BlockCategory::Activation,
+        BlockCategory::Gradient,
+        BlockCategory::BackwardTemp,
+        BlockCategory::OptimizerState,
+        BlockCategory::OptimizerScratch,
+        BlockCategory::Workspace,
+        BlockCategory::Script,
+    ] {
+        categories.push((format!("{cat:?}"), analyzed.count(cat), analyzed.bytes(cat)));
+    }
+    AnalysisStats {
+        categories,
+        filtered_blocks: sequence.filtered_blocks,
+        adjusted_blocks: sequence.adjusted_blocks,
+        unmatched_frees: analyzed.lifecycle_stats.unmatched_frees,
     }
 }
 
@@ -246,6 +368,78 @@ mod tests {
         let e0 = estimator.estimate_job(&pos0).unwrap();
         let e1 = estimator.estimate_job(&pos1).unwrap();
         assert_ne!(e0.peak_bytes, e1.peak_bytes, "Fig. 1 sensitivity");
+    }
+
+    #[test]
+    fn derived_estimate_is_bit_identical_on_roomy_devices() {
+        // Every builtin device fits this job with room to spare, so the
+        // derivation must reproduce the full replay exactly — including
+        // the diagnostics.
+        let s = spec(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let trace = xmem_runtime::profile_on_cpu(&s);
+        let analyzed = Analyzer::new().analyze(&trace).unwrap();
+        for device in [
+            GpuDevice::rtx3060(),
+            GpuDevice::rtx4060(),
+            GpuDevice::a100_40g(),
+        ] {
+            let estimator = Estimator::new(EstimatorConfig::for_device(device));
+            let replay = estimator.replay_unbounded(&analyzed);
+            assert!(replay.events > 0);
+            let derived = estimator
+                .derive_from_replay(&replay)
+                .expect("roomy device qualifies for the fast path");
+            assert_eq!(derived, estimator.estimate_analyzed(&analyzed));
+        }
+    }
+
+    #[test]
+    fn derivation_refuses_pressured_devices() {
+        // A device whose usable capacity sits below the unbounded segment
+        // peak may diverge (reclaim / OOM) — the fast path must bow out.
+        let s = spec(ModelId::DistilGpt2, OptimizerKind::AdamW, 8);
+        let trace = xmem_runtime::profile_on_cpu(&s);
+        let analyzed = Analyzer::new().analyze(&trace).unwrap();
+        let roomy = Estimator::new(EstimatorConfig::for_device(GpuDevice::a100_40g()));
+        let replay = roomy.replay_unbounded(&analyzed);
+        let tiny = GpuDevice {
+            name: "test-pressured",
+            capacity: replay.peak_reserved + (600 << 20),
+            framework_bytes: 600 << 20,
+            init_bytes: 1 << 20,
+        };
+        let estimator = Estimator::new(EstimatorConfig::for_device(tiny));
+        assert!(
+            estimator.fast_path_capacity().unwrap() < replay.peak_reserved,
+            "the test device must actually be pressured"
+        );
+        assert_eq!(estimator.derive_from_replay(&replay), None);
+    }
+
+    #[test]
+    fn derivation_refuses_inexact_configurations() {
+        let s = spec(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let trace = xmem_runtime::profile_on_cpu(&s);
+        let analyzed = Analyzer::new().analyze(&trace).unwrap();
+        let device = GpuDevice::a100_40g();
+        let replay =
+            Estimator::new(EstimatorConfig::for_device(device)).replay_unbounded(&analyzed);
+
+        // Usage-curve recording needs the stateful replay.
+        let recording = Estimator::new(EstimatorConfig::for_device(device).with_timeline());
+        assert_eq!(recording.fast_path_capacity(), None);
+        assert_eq!(recording.derive_from_replay(&replay), None);
+
+        // Proactive GC consults capacity mid-replay.
+        let mut gc = EstimatorConfig::for_device(device);
+        gc.allocator.gc_threshold = Some(0.8);
+        assert_eq!(Estimator::new(gc).fast_path_capacity(), None);
+
+        // Page-misaligned segment sizes break device-level accounting
+        // parity.
+        let mut odd = EstimatorConfig::for_device(device);
+        odd.allocator.large_buffer = 20 * (1 << 20) + 512;
+        assert_eq!(Estimator::new(odd).fast_path_capacity(), None);
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl Simulator {
     #[must_use]
     pub fn replay(&self, sequence: &OrchestratedSequence) -> SimulationResult {
         let device = match self.capacity {
-            Some(cap) => DeviceAllocator::new(cap, 2 << 20, self.framework_bytes),
+            Some(cap) => {
+                DeviceAllocator::new(cap, DeviceAllocator::DEFAULT_PAGE, self.framework_bytes)
+            }
             None => DeviceAllocator::unlimited(),
         };
         let mut alloc = CachingAllocator::new(self.allocator.clone(), device);

@@ -112,6 +112,29 @@ pub struct WindowIndex {
 }
 
 impl WindowIndex {
+    /// Approximate resident size of the index in bytes (window structs
+    /// plus their heap-owned names) — the window share of an analyzed
+    /// trace's cache cost.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let ops = std::mem::size_of::<OpWindow>() as u64 * self.ops.len() as u64
+            + self.ops.iter().map(|w| w.name.len() as u64).sum::<u64>();
+        let components = std::mem::size_of::<ComponentWindow>() as u64
+            * self.components.len() as u64
+            + self
+                .components
+                .iter()
+                .map(|w| w.name.len() as u64)
+                .sum::<u64>();
+        let annotations = std::mem::size_of::<AnnotationIndex>() as u64
+            + 24 * (self.annotations.iterations.len()
+                + self.annotations.zero_grads.len()
+                + self.annotations.optimizer_steps.len()
+                + self.annotations.dataloads.len()
+                + self.annotations.backwards.len()) as u64;
+        ops + components + annotations
+    }
+
     /// Builds the index from a trace.
     #[must_use]
     pub fn build(trace: &Trace) -> Self {

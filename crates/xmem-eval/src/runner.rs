@@ -3,10 +3,12 @@
 
 use crate::protocol::{validate, ConfigKey, GroundTruthSummary, RunRecord};
 use crate::XMemEstimator;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use xmem_baselines::{DnnMem, LlMem, MemoryEstimator, SchedTune};
 use xmem_runtime::{run_on_gpu, GpuDevice, TrainJobSpec};
+use xmem_service::{EstimationService, JobKey};
 
 /// One schedulable unit: a job spec bound to a device and repeat identity.
 #[derive(Debug, Clone)]
@@ -38,6 +40,21 @@ impl EstimatorSet {
     pub fn standard(seed: u64) -> Self {
         EstimatorSet {
             xmem: XMemEstimator::new(),
+            dnnmem: DnnMem::new(),
+            schedtune: SchedTune::train(seed),
+            llmem: LlMem::new(),
+        }
+    }
+
+    /// Like [`standard`](Self::standard), but xMem routes through a
+    /// shared [`EstimationService`]: combined with
+    /// [`prewarm_matrix`], a whole campaign's estimation cost collapses
+    /// to one profile/analyze per distinct job and one replay per
+    /// `(job, device)` cell — bit-identical to the standalone adapter.
+    #[must_use]
+    pub fn service_backed(seed: u64, service: Arc<EstimationService>) -> Self {
+        EstimatorSet {
+            xmem: XMemEstimator::with_service(service),
             dnnmem: DnnMem::new(),
             schedtune: SchedTune::train(seed),
             llmem: LlMem::new(),
@@ -106,6 +123,43 @@ pub fn run_campaign(
     records.into_inner().expect("poisoned")
 }
 
+/// Routes a campaign's whole estimation workload through
+/// [`EstimationService::estimate_matrix`]: distinct jobs (seeds and
+/// repeats collapse into one [`JobKey`]) × distinct devices, batched so
+/// each job profiles **once** and each `(job, device)` cell simulates
+/// once — the same collapse the scheduler paths enjoy. Devices are
+/// registered under their marketing names; the per-run estimator calls
+/// that follow ([`run_campaign`] with a
+/// [`service_backed`](EstimatorSet::service_backed) set) are then pure
+/// cache hits.
+///
+/// Returns `(distinct_jobs, distinct_devices)` — with the service's
+/// `profile_runs()`/`sim_runs()` counters, that is the whole
+/// analysis-collapse proof: `profile_runs == distinct_jobs` and
+/// `sim_runs == distinct_jobs × distinct_devices` after a prewarm from
+/// cold, however many `(config, repeat)` pairs the campaign holds.
+pub fn prewarm_matrix(service: &EstimationService, configs: &[JobConfig]) -> (usize, usize) {
+    let mut jobs: Vec<TrainJobSpec> = Vec::new();
+    let mut seen_jobs: HashSet<JobKey> = HashSet::new();
+    let mut devices: Vec<&'static str> = Vec::new();
+    for config in configs {
+        if seen_jobs.insert(JobKey::of(&config.spec)) {
+            jobs.push(config.spec.clone());
+        }
+        if !devices.contains(&config.device.name) {
+            devices.push(config.device.name);
+            service.register_device(config.device.name, config.device);
+        }
+    }
+    if jobs.is_empty() || devices.is_empty() {
+        return (jobs.len(), devices.len());
+    }
+    service
+        .estimate_matrix(&jobs, &devices)
+        .expect("prewarm devices were just registered");
+    (jobs.len(), devices.len())
+}
+
 /// Deterministic per-config seed derived from identity fields (FNV-1a).
 #[must_use]
 pub fn config_seed(campaign_seed: u64, label: &str, repeat: u32) -> u64 {
@@ -147,6 +201,64 @@ mod tests {
         assert_eq!(a, config_seed(1, "m+Adam+b8+POS0", 1));
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matrix_prewarmed_campaign_collapses_analyses() {
+        use xmem_service::{DeviceRegistry, ServiceConfig};
+
+        // 2 distinct jobs × 3 seeded repeats each, one job also probed on
+        // a second device: 7 configs, but only 2 analyses and 3 cells.
+        let spec_a =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 4).with_iterations(2);
+        let spec_b =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
+        let mut configs = Vec::new();
+        for repeat in 1..=3 {
+            configs.push(job(1, spec_a.clone(), GpuDevice::rtx3060(), repeat));
+            configs.push(job(1, spec_b.clone(), GpuDevice::rtx3060(), repeat));
+        }
+        configs.push(job(1, spec_a.clone(), GpuDevice::rtx4060(), 1));
+
+        let service = Arc::new(EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_registry(DeviceRegistry::empty()),
+        ));
+        let (distinct_jobs, distinct_devices) = prewarm_matrix(&service, &configs);
+        assert_eq!((distinct_jobs, distinct_devices), (2, 2));
+        assert_eq!(
+            service.profile_runs(),
+            distinct_jobs as u64,
+            "7 configs collapse onto 2 analyses"
+        );
+        assert_eq!(
+            service.sim_runs(),
+            (distinct_jobs * distinct_devices) as u64
+        );
+
+        // The campaign itself adds zero estimation work on the xMem side…
+        let estimators = EstimatorSet::service_backed(7, Arc::clone(&service));
+        let records = run_campaign(&configs, &estimators, CampaignOptions { threads: 2 });
+        assert_eq!(service.profile_runs(), distinct_jobs as u64);
+        assert_eq!(
+            service.sim_runs(),
+            (distinct_jobs * distinct_devices) as u64
+        );
+
+        // …and its xMem estimates are bit-identical to the standalone
+        // adapter's.
+        let standalone = XMemEstimator::new();
+        for record in records.iter().filter(|r| r.estimator == "xMem") {
+            let config = configs
+                .iter()
+                .find(|c| c.key == record.config)
+                .expect("record maps to a config");
+            assert_eq!(
+                record.estimate,
+                standalone.estimate(&config.spec, &config.device),
+                "service-routed estimate diverged for {}",
+                config.spec.label()
+            );
+        }
     }
 
     #[test]

@@ -258,7 +258,11 @@ pub fn run_on_gpu(
     let capacity = memory_cap.unwrap_or(device.capacity);
     let sampler_offset = rng.gen_range(0..1000);
 
-    let device_alloc = DeviceAllocator::new(capacity, 2 << 20, framework + device.init_bytes);
+    let device_alloc = DeviceAllocator::new(
+        capacity,
+        DeviceAllocator::DEFAULT_PAGE,
+        framework + device.init_bytes,
+    );
     let caching = CachingAllocator::new(AllocatorConfig::pytorch_defaults(), device_alloc);
     let arena = GpuArena::new(caching, sampler_offset, record);
 

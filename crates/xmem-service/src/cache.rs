@@ -1,10 +1,22 @@
-//! Sharded, mutex-per-shard LRU cache.
+//! Sharded, mutex-per-shard LRU cache with O(1) eviction and an optional
+//! bytes budget.
 //!
 //! Keys are spread across `shards` independent maps by hash, so concurrent
 //! estimation threads contend only when they touch the same shard. Each
-//! shard enforces its own capacity slice with least-recently-used
-//! eviction; recency is a per-shard logical tick bumped on every hit and
-//! insert.
+//! shard enforces its own capacity slice (and, when configured, its slice
+//! of the bytes budget) with least-recently-used eviction.
+//!
+//! Recency is an **intrusive, index-linked list** over a slab of nodes:
+//! every get/insert/evict is a constant number of index rewrites — no
+//! allocation per operation and, critically, no scan over the shard to
+//! find the eviction victim (the list tail *is* the victim). Entry costs
+//! vary wildly in this workload (profiler traces differ ~100× in size
+//! between MobileNet and Qwen3-4B), so a pure entry-count capacity is a
+//! poor memory bound; [`ShardedLruCache::with_bytes_budget`] adds
+//! per-entry cost accounting and evicts until both the entry and the byte
+//! limits hold. Entries costlier than their whole shard slice are not
+//! cached at all (counted in [`CacheStats::rejected`]) — callers still get
+//! their computed value, it just will not be retained.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -24,78 +36,231 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries written.
     pub insertions: u64,
-    /// Entries evicted to respect capacity.
+    /// Entries evicted to respect the capacity or the bytes budget.
     pub evictions: u64,
+    /// Entries refused because their cost alone exceeded the shard's
+    /// bytes-budget slice (the value was still returned to the caller).
+    pub rejected: u64,
 }
+
+impl CacheStats {
+    /// Folds another counter snapshot into this one (used by layers that
+    /// retire caches but must keep reporting monotonic totals).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.rejected += other.rejected;
+    }
+}
+
+/// Sentinel index terminating the intrusive list.
+const NIL: u32 = u32::MAX;
 
 #[derive(Debug)]
-struct Entry<V> {
+struct Node<K, V> {
+    key: K,
     value: V,
-    tick: u64,
+    /// Bytes this entry counts against the shard's budget slice.
+    cost: u64,
+    prev: u32,
+    next: u32,
 }
 
+/// One lock's worth of the cache: a key → slab-index map plus the
+/// intrusive recency list threaded through the slab (head = MRU,
+/// tail = LRU). All list surgery is O(1).
 #[derive(Debug)]
 struct Shard<K, V> {
-    map: HashMap<K, Entry<V>>,
-    clock: u64,
+    map: HashMap<K, u32>,
+    nodes: Vec<Option<Node<K, V>>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    /// Sum of live entry costs.
+    bytes: u64,
 }
 
 impl<K, V> Default for Shard<K, V> {
     fn default() -> Self {
         Shard {
             map: HashMap::new(),
-            clock: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
         }
     }
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
-    fn touch(&mut self, key: &K) -> Option<V> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(key).map(|e| {
-            e.tick = clock;
-            e.value.clone()
-        })
+    fn node(&self, index: u32) -> &Node<K, V> {
+        self.nodes[index as usize]
+            .as_ref()
+            .expect("vacant lru slot")
     }
 
-    /// Inserts, evicting the least-recently-used entry if the shard is at
-    /// capacity. Returns the number of evictions (0 or 1).
-    fn insert(&mut self, key: K, value: V, capacity: usize) -> u64 {
-        self.clock += 1;
-        let mut evicted = 0;
-        if !self.map.contains_key(&key) && self.map.len() >= capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&oldest);
-                evicted = 1;
+    fn node_mut(&mut self, index: u32) -> &mut Node<K, V> {
+        self.nodes[index as usize]
+            .as_mut()
+            .expect("vacant lru slot")
+    }
+
+    /// Detaches `index` from the recency list (it stays in the slab/map).
+    fn unlink(&mut self, index: u32) {
+        let (prev, next) = {
+            let n = self.node(index);
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.node_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.node_mut(next).prev = prev;
+        }
+    }
+
+    /// Links `index` at the MRU end.
+    fn push_front(&mut self, index: u32) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(index);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.node_mut(old_head).prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    fn touch(&mut self, key: &K) -> Option<V> {
+        let index = *self.map.get(key)?;
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+        Some(self.node(index).value.clone())
+    }
+
+    fn peek(&self, key: &K) -> Option<V> {
+        self.map.get(key).map(|&i| self.node(i).value.clone())
+    }
+
+    /// Removes the node at `index` entirely: list, slab, map and byte
+    /// gauge. The single removal path, shared by eviction and rejection.
+    fn remove_index(&mut self, index: u32) {
+        self.unlink(index);
+        let node = self.nodes[index as usize].take().expect("vacant lru slot");
+        self.free.push(index);
+        self.map.remove(&node.key);
+        self.bytes -= node.cost;
+    }
+
+    /// Removes the LRU entry. Must not be called on an empty shard.
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict on empty shard");
+        self.remove_index(victim);
+    }
+
+    /// Inserts (or replaces) `key → value` with `cost` bytes, then evicts
+    /// LRU entries until both `capacity` and `budget` hold. Returns
+    /// `(evictions, rejected)`.
+    fn insert(
+        &mut self,
+        key: K,
+        value: V,
+        cost: u64,
+        capacity: usize,
+        budget: Option<u64>,
+    ) -> (u64, bool) {
+        if let Some(budget) = budget {
+            if cost > budget {
+                // Not cacheable at any occupancy: drop a stale entry under
+                // the same key (it would otherwise keep serving the old
+                // value) and refuse.
+                if let Some(&index) = self.map.get(&key) {
+                    self.remove_index(index);
+                }
+                return (0, true);
             }
         }
-        self.map.insert(
-            key,
-            Entry {
+        if let Some(&index) = self.map.get(&key) {
+            // Replacement: refresh value, cost and recency in place.
+            self.bytes -= self.node(index).cost;
+            self.bytes += cost;
+            {
+                let n = self.node_mut(index);
+                n.value = value;
+                n.cost = cost;
+            }
+            if self.head != index {
+                self.unlink(index);
+                self.push_front(index);
+            }
+        } else {
+            let node = Node {
+                key: key.clone(),
                 value,
-                tick: self.clock,
-            },
-        );
-        evicted
+                cost,
+                prev: NIL,
+                next: NIL,
+            };
+            let index = match self.free.pop() {
+                Some(slot) => {
+                    self.nodes[slot as usize] = Some(node);
+                    slot
+                }
+                None => {
+                    self.nodes.push(Some(node));
+                    (self.nodes.len() - 1) as u32
+                }
+            };
+            self.map.insert(key, index);
+            self.bytes += cost;
+            self.push_front(index);
+        }
+        let mut evicted = 0;
+        while self.map.len() > capacity || budget.is_some_and(|b| self.bytes > b) {
+            self.evict_tail();
+            evicted += 1;
+        }
+        (evicted, false)
     }
 }
 
-/// A concurrent LRU cache split into independently locked shards.
+/// A concurrent LRU cache split into independently locked shards, with
+/// O(1) eviction and an optional bytes budget.
 #[derive(Debug)]
 pub struct ShardedLruCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     /// Per-shard capacity slices; they sum to exactly the configured total.
     capacities: Vec<usize>,
+    /// Per-shard bytes-budget slices (summing to the configured total), or
+    /// `None` for an entry-count-only cache.
+    budgets: Option<Vec<u64>>,
+    /// Computes an entry's budget cost. The default weigher costs
+    /// everything 0, so a budget only binds when a real weigher is set.
+    weigher: fn(&V) -> u64,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+fn zero_weight<V>(_: &V) -> u64 {
+    0
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
@@ -112,11 +277,31 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         ShardedLruCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             capacities: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
+            budgets: None,
+            weigher: zero_weight::<V>,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Adds a bytes budget: `weigher` prices every inserted value, and
+    /// each shard evicts LRU entries until its slice of `total_bytes`
+    /// holds (the slices partition the total exactly, so resident cost
+    /// never exceeds the budget). An entry costlier than its whole shard
+    /// slice is refused outright and counted in [`CacheStats::rejected`] —
+    /// size the budget well above the largest single entry (and far above
+    /// the shard count).
+    #[must_use]
+    pub fn with_bytes_budget(mut self, total_bytes: u64, weigher: fn(&V) -> u64) -> Self {
+        let shards = self.shards.len() as u64;
+        let base = total_bytes / shards;
+        let extra = total_bytes % shards;
+        self.budgets = Some((0..shards).map(|i| base + u64::from(i < extra)).collect());
+        self.weigher = weigher;
+        self
     }
 
     fn shard_index(&self, key: &K) -> usize {
@@ -129,6 +314,21 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacities.iter().sum()
+    }
+
+    /// The total configured bytes budget, when one is set.
+    #[must_use]
+    pub fn bytes_budget(&self) -> Option<u64> {
+        self.budgets.as_ref().map(|b| b.iter().sum())
+    }
+
+    /// Total cost of resident entries, as priced by the weigher.
+    #[must_use]
+    pub fn bytes_in_use(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
     }
 
     /// The number of shards.
@@ -161,9 +361,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         self.shards[self.shard_index(key)]
             .lock()
             .expect("cache shard poisoned")
-            .map
-            .get(key)
-            .map(|e| e.value.clone())
+            .peek(key)
     }
 
     /// Looks up `key`, refreshing its recency.
@@ -184,11 +382,17 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     /// Inserts `key → value`, evicting within the shard if needed.
     pub fn insert(&self, key: K, value: V) {
         let index = self.shard_index(&key);
-        let evicted = self.shards[index]
+        let cost = (self.weigher)(&value);
+        let budget = self.budgets.as_ref().map(|b| b[index]);
+        let (evicted, rejected) = self.shards[index]
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value, self.capacities[index]);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+            .insert(key, value, cost, self.capacities[index], budget);
+        if rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
@@ -218,6 +422,41 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exhaustive structural self-check of every shard, used by tests: the
+    /// recency list must thread exactly the mapped nodes, and the byte
+    /// gauge must equal the sum of live costs.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    pub fn check_invariants(&self) {
+        for (shard, &capacity) in self.shards.iter().zip(&self.capacities) {
+            let shard = shard.lock().expect("cache shard poisoned");
+            assert!(shard.map.len() <= capacity, "shard over capacity");
+            let mut seen = 0usize;
+            let mut bytes = 0u64;
+            let mut prev = NIL;
+            let mut cursor = shard.head;
+            while cursor != NIL {
+                let node = shard.node(cursor);
+                assert_eq!(node.prev, prev, "broken prev link");
+                assert_eq!(
+                    shard.map.get(&node.key),
+                    Some(&cursor),
+                    "listed node missing from map"
+                );
+                seen += 1;
+                bytes += node.cost;
+                prev = cursor;
+                cursor = node.next;
+            }
+            assert_eq!(shard.tail, prev, "tail must end the list");
+            assert_eq!(seen, shard.map.len(), "list/map size mismatch");
+            assert_eq!(bytes, shard.bytes, "byte gauge drift");
+            assert_eq!(shard.free.len() + seen, shard.nodes.len(), "slab slot leak");
         }
     }
 }
@@ -237,6 +476,7 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.insertions, 1);
         assert_eq!(stats.evictions, 0);
+        cache.check_invariants();
     }
 
     #[test]
@@ -250,6 +490,7 @@ mod tests {
         assert_eq!(cache.get(&1), Some(10));
         assert_eq!(cache.get(&3), Some(30));
         assert_eq!(cache.stats().evictions, 1);
+        cache.check_invariants();
     }
 
     #[test]
@@ -260,9 +501,7 @@ mod tests {
             cache.insert(k, k);
         }
         assert!(cache.len() <= cache.capacity());
-        for (shard, &capacity) in cache.shards.iter().zip(&cache.capacities) {
-            assert!(shard.lock().unwrap().map.len() <= capacity);
-        }
+        cache.check_invariants();
     }
 
     #[test]
@@ -281,6 +520,7 @@ mod tests {
             small.insert(k, k);
         }
         assert!(small.len() <= 4);
+        small.check_invariants();
     }
 
     #[test]
@@ -306,5 +546,108 @@ mod tests {
         assert!(cache.is_empty());
         let r: Result<u32, &str> = cache.get_or_insert_with(&7, || Ok(70));
         assert_eq!(r, Ok(70));
+    }
+
+    #[test]
+    fn replacing_a_key_updates_value_and_recency_in_place() {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // replace: 2 is now LRU
+        assert_eq!(cache.len(), 2);
+        cache.insert(3, 30);
+        assert_eq!(cache.peek(&2), None, "2 was the LRU victim");
+        assert_eq!(cache.peek(&1), Some(11));
+        cache.check_invariants();
+    }
+
+    /// The value doubles as its byte cost.
+    fn identity_cost(v: &u64) -> u64 {
+        *v
+    }
+
+    #[test]
+    fn bytes_budget_evicts_down_to_the_limit() {
+        let cache: ShardedLruCache<u32, u64> =
+            ShardedLruCache::new(100, 1).with_bytes_budget(100, identity_cost);
+        assert_eq!(cache.bytes_budget(), Some(100));
+        cache.insert(1, 40);
+        cache.insert(2, 40);
+        assert_eq!(cache.bytes_in_use(), 80);
+        // 50 more bytes exceed the budget: the LRU entry (1) must go.
+        cache.insert(3, 50);
+        assert_eq!(cache.peek(&1), None);
+        assert_eq!(cache.bytes_in_use(), 90);
+        assert_eq!(cache.stats().evictions, 1);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn bytes_budget_can_evict_several_entries_for_one_insert() {
+        let cache: ShardedLruCache<u32, u64> =
+            ShardedLruCache::new(100, 1).with_bytes_budget(100, identity_cost);
+        for k in 0..10 {
+            cache.insert(k, 10);
+        }
+        assert_eq!(cache.len(), 10);
+        cache.insert(99, 95); // 95 + any resident's 10 > 100: all must go
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes_in_use(), 95);
+        assert_eq!(cache.stats().evictions, 10);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_cached() {
+        let cache: ShardedLruCache<u32, u64> =
+            ShardedLruCache::new(100, 1).with_bytes_budget(100, identity_cost);
+        cache.insert(1, 40);
+        cache.insert(2, 101); // costlier than the whole budget
+        assert_eq!(cache.peek(&2), None);
+        assert_eq!(cache.peek(&1), Some(40), "residents are not disturbed");
+        let stats = cache.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.insertions, 1);
+        // A rejected replacement must also drop the stale resident.
+        cache.insert(1, 200);
+        assert_eq!(cache.peek(&1), None, "stale value must not survive");
+        assert_eq!(cache.stats().rejected, 2);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn cost_replacement_adjusts_the_gauge() {
+        let cache: ShardedLruCache<u32, u64> =
+            ShardedLruCache::new(10, 1).with_bytes_budget(100, identity_cost);
+        cache.insert(1, 60);
+        cache.insert(1, 20);
+        assert_eq!(cache.bytes_in_use(), 20);
+        cache.insert(1, 90);
+        assert_eq!(cache.bytes_in_use(), 90);
+        assert_eq!(cache.len(), 1);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn budget_slices_partition_the_total() {
+        let cache: ShardedLruCache<u32, u64> =
+            ShardedLruCache::new(64, 16).with_bytes_budget(1000, identity_cost);
+        assert_eq!(cache.bytes_budget(), Some(1000));
+        for k in 0..500 {
+            cache.insert(k, 7);
+        }
+        assert!(cache.bytes_in_use() <= 1000);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn unbudgeted_cache_ignores_costs() {
+        let cache: ShardedLruCache<u32, u64> = ShardedLruCache::new(4, 1);
+        cache.insert(1, u64::MAX / 2);
+        cache.insert(2, u64::MAX / 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes_budget(), None);
+        assert_eq!(cache.bytes_in_use(), 0, "default weigher prices 0");
+        cache.check_invariants();
     }
 }

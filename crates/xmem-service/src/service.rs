@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xmem_core::{
     AnalyzedTrace, Analyzer, DeviceMatrix, DevicePlacement, Estimate, EstimateError, Estimator,
-    EstimatorConfig, MatrixCell, MatrixRow,
+    EstimatorConfig, MatrixCell, MatrixRow, UnboundedReplay,
 };
 use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
 use xmem_trace::Trace;
@@ -30,18 +30,36 @@ type SimKey = (JobKey, DeviceFingerprint);
 /// profiler trace and its analysis. Orchestration + simulation are cheap
 /// and device-dependent, so they re-run per query.
 ///
-/// The raw trace is retained alongside the analysis so
+/// The raw trace is retained alongside the analysis (unless
+/// [`ServiceConfig::with_trace_retention`] opts out) so
 /// [`EstimationService::stages`] callers can export or re-analyze a
 /// profiled job without re-profiling it; estimation itself only reads
 /// `analyzed`. Traces dominate an entry's footprint (hundreds of KB to
 /// MBs for large models) — size `ServiceConfig::cache_capacity` to the
-/// memory budget, not just the key population.
+/// memory budget, pair it with
+/// [`ServiceConfig::with_cache_bytes_budget`], or drop traces entirely
+/// for estimate-only deployments.
 #[derive(Debug)]
 pub struct ProfiledStages {
-    /// The raw CPU profiler trace.
-    pub trace: Trace,
+    /// The raw CPU profiler trace, or `None` when the service was
+    /// configured not to retain traces.
+    pub trace: Option<Trace>,
     /// The Analyzer's output over that trace.
     pub analyzed: AnalyzedTrace,
+}
+
+impl ProfiledStages {
+    /// Approximate resident bytes of this entry — what a bytes-budgeted
+    /// stage cache charges for it.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        self.trace.as_ref().map_or(0, Trace::approx_bytes) + self.analyzed.approx_bytes()
+    }
+}
+
+/// Weigher pricing stage-cache entries for the optional bytes budget.
+fn stages_weight(stages: &Arc<ProfiledStages>) -> u64 {
+    stages.approx_bytes()
 }
 
 /// Configuration of an [`EstimationService`].
@@ -65,6 +83,24 @@ pub struct ServiceConfig {
     /// ([`EstimationService::estimate_matrix`],
     /// [`EstimationService::best_device_for_job`]).
     pub registry: DeviceRegistry,
+    /// Optional bytes budget over the stage cache: entries are priced by
+    /// [`ProfiledStages::approx_bytes`] and evicted LRU-first until the
+    /// budget holds. `None` bounds the cache by entry count only.
+    pub cache_bytes_budget: Option<u64>,
+    /// Whether cached stages keep the raw profiler trace. Estimate-only
+    /// deployments can drop it — traces dominate entry cost and only
+    /// export/re-analysis paths read them.
+    pub retain_traces: bool,
+    /// Whether the pressure-aware replay fast path is enabled: roomy
+    /// devices derive their cells from one cached unbounded replay per
+    /// job instead of paying a full stateful replay each. Results are
+    /// bit-identical either way (differentially tested); disabling is for
+    /// benchmarking and defect isolation.
+    pub fast_path: bool,
+    /// Fleet cap on per-device simulation shards: past it, the
+    /// least-recently-used device shard is retired (counter history
+    /// preserved). Bounds memory for registries churned programmatically.
+    pub max_device_shards: usize,
 }
 
 impl ServiceConfig {
@@ -81,6 +117,10 @@ impl ServiceConfig {
             negative_ttl: Duration::from_secs(30),
             negative_capacity: 256,
             registry: DeviceRegistry::builtin(),
+            cache_bytes_budget: None,
+            retain_traces: true,
+            fast_path: true,
+            max_device_shards: 64,
         }
     }
 
@@ -109,6 +149,38 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_negative_ttl(mut self, ttl: Duration) -> Self {
         self.negative_ttl = ttl;
+        self
+    }
+
+    /// Caps the stage cache's resident bytes (see
+    /// [`cache_bytes_budget`](Self::cache_bytes_budget)).
+    #[must_use]
+    pub fn with_cache_bytes_budget(mut self, bytes: u64) -> Self {
+        self.cache_bytes_budget = Some(bytes);
+        self
+    }
+
+    /// Controls raw-trace retention in the stage cache (see
+    /// [`retain_traces`](Self::retain_traces)).
+    #[must_use]
+    pub fn with_trace_retention(mut self, retain: bool) -> Self {
+        self.retain_traces = retain;
+        self
+    }
+
+    /// Enables or disables the pressure-aware replay fast path (on by
+    /// default; see [`fast_path`](Self::fast_path)).
+    #[must_use]
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
+    }
+
+    /// Overrides the fleet cap on per-device simulation shards (see
+    /// [`max_device_shards`](Self::max_device_shards)).
+    #[must_use]
+    pub fn with_max_device_shards(mut self, max: usize) -> Self {
+        self.max_device_shards = max;
         self
     }
 }
@@ -157,6 +229,13 @@ pub struct EstimationService {
     /// down: concurrent identical `(analysis, device)` replays coalesce
     /// onto one simulation.
     sim_flights: SingleFlight<SimKey, Estimate>,
+    /// The pressure-aware fast path's seed cache: one device-independent
+    /// unbounded replay per job key, from which every roomy device's cell
+    /// is derived in O(1).
+    replays: ShardedLruCache<JobKey, Arc<UnboundedReplay>>,
+    /// In-flight dedup of unbounded replays (concurrent cells of one job
+    /// on different devices coalesce onto a single replay).
+    replay_flights: SingleFlight<JobKey, Arc<UnboundedReplay>>,
     /// Count of actual `profile_on_cpu` executions — the ground truth the
     /// single-flight and cache layers are judged against.
     profiles: AtomicU64,
@@ -167,9 +246,14 @@ impl EstimationService {
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         let estimator = Estimator::new(config.estimator.clone());
-        let cache = ShardedLruCache::new(config.cache_capacity, config.shards);
+        let mut cache = ShardedLruCache::new(config.cache_capacity, config.shards);
+        if let Some(budget) = config.cache_bytes_budget {
+            cache = cache.with_bytes_budget(budget, stages_weight);
+        }
         let negative = NegativeCache::new(config.negative_ttl, config.negative_capacity);
-        let sims = SimShards::new(config.cache_capacity, config.shards);
+        let sims = SimShards::new(config.cache_capacity, config.shards)
+            .with_max_devices(config.max_device_shards);
+        let replays = ShardedLruCache::new(config.cache_capacity, config.shards);
         EstimationService {
             config,
             estimator,
@@ -178,6 +262,8 @@ impl EstimationService {
             negative,
             sims,
             sim_flights: SingleFlight::new(),
+            replays,
+            replay_flights: SingleFlight::new(),
             profiles: AtomicU64::new(0),
         }
     }
@@ -313,7 +399,10 @@ impl EstimationService {
             let trace = profile_on_cpu(spec);
             match Analyzer::new().analyze(&trace) {
                 Ok(analyzed) => {
-                    let stages = Arc::new(ProfiledStages { trace, analyzed });
+                    let stages = Arc::new(ProfiledStages {
+                        trace: self.config.retain_traces.then_some(trace),
+                        analyzed,
+                    });
                     self.cache.insert(key.clone(), Arc::clone(&stages));
                     Ok(stages)
                 }
@@ -360,33 +449,129 @@ impl EstimationService {
     /// [`estimate_with`](Self::estimate_with)), so results are
     /// bit-identical to a sequential `Estimator` built the same way.
     ///
+    /// **Pressure-aware fast path** (unless
+    /// [`ServiceConfig::fast_path`] is off): the job replays *once* on an
+    /// unbounded simulator (cached per [`JobKey`]), and any device whose
+    /// usable capacity covers that replay's segment peak derives its cell
+    /// in O(1) — only capacity-pressured devices, where reclaim/OOM can
+    /// diverge, pay a full stateful replay. Either way the cell is
+    /// bit-identical (see [`SimStats::fast_path_hits`] /
+    /// [`SimStats::full_replays`](crate::SimStats::full_replays) for the
+    /// split).
+    ///
     /// Concurrent identical cells single-flight onto one simulation;
     /// repeats hit the device's shard.
     fn simulate_on(&self, key: &JobKey, stages: &ProfiledStages, device: GpuDevice) -> Estimate {
+        self.simulate_on_with(key, stages, device, true)
+    }
+
+    /// [`simulate_on`](Self::simulate_on) with control over *seeding* the
+    /// unbounded-replay cache. Single-device probe loops whose keys never
+    /// repeat (admission-control bisection: every probe is a distinct
+    /// batch) pass `seed = false` — paying an unbounded replay that only a
+    /// pressured bounded replay would follow costs ~2× the pre-fast-path
+    /// work, with no later cell to amortize it. A seed some *other* path
+    /// already cached is still used (peeked, never created).
+    fn simulate_on_with(
+        &self,
+        key: &JobKey,
+        stages: &ProfiledStages,
+        device: GpuDevice,
+        seed: bool,
+    ) -> Estimate {
         if let Some(hit) = self.sims.shard(&device).get(key) {
             return hit;
         }
         let sim_key = (key.clone(), DeviceFingerprint::of(&device));
         self.sim_flights.run(&sim_key, || {
-            // Re-fetch the shard inside the flight: a concurrent
-            // `register_device` may have invalidated the one the fast
-            // path saw, and inserting into a detached shard would lose
-            // the entry and its counters. (A reconfiguration landing
-            // between this fetch and the insert still only costs a
-            // recomputation — stale entries are never *served*, because
-            // lookups are fingerprint-keyed.)
-            let shard = self.sims.shard(&device);
-            // Same re-check as `stages`: a just-retired flight for this
-            // cell published before retiring.
-            if let Some(hit) = shard.peek(key) {
+            // Re-fetch the shard inside the flight — same re-check as
+            // `stages`: a just-retired flight for this cell published
+            // before retiring.
+            if let Some(hit) = self.sims.shard(&device).peek(key) {
                 return hit;
             }
+            let estimator = Estimator::new(EstimatorConfig::for_device(device));
+            let derived = self
+                .config
+                .fast_path
+                .then(|| {
+                    let replay = if seed {
+                        Some(self.unbounded_replay(key, stages, &estimator))
+                    } else {
+                        self.replays.peek(key)
+                    };
+                    replay.and_then(|replay| estimator.derive_from_replay(&replay))
+                })
+                .flatten();
             self.sims.count_run();
-            let estimate = Estimator::new(EstimatorConfig::for_device(device))
-                .estimate_analyzed(&stages.analyzed);
-            shard.insert(key.clone(), estimate.clone());
+            let estimate = match derived {
+                Some(estimate) => {
+                    self.sims.count_fast_path();
+                    estimate
+                }
+                None => {
+                    self.sims.count_full_replay();
+                    estimator.estimate_analyzed(&stages.analyzed)
+                }
+            };
+            // Fetch the shard *after* the (possibly multi-ms) replay: a
+            // concurrent `register_device` invalidation or fleet-cap
+            // eviction during the replay would detach an earlier handle,
+            // and inserting into a detached shard loses the entry and its
+            // counter deltas. A detachment landing in the tiny window
+            // between this fetch and the insert still only costs a
+            // recomputation — stale entries are never *served*, because
+            // lookups are fingerprint-keyed.
+            self.sims
+                .shard(&device)
+                .insert(key.clone(), estimate.clone());
             estimate
         })
+    }
+
+    /// The cached unbounded replay for `key`, computed (and
+    /// single-flighted) on first use. `estimator` only contributes its
+    /// orchestrator/allocator configuration, which is identical for every
+    /// named-device path ([`EstimatorConfig::for_device`]), so replays
+    /// are shared across devices.
+    fn unbounded_replay(
+        &self,
+        key: &JobKey,
+        stages: &ProfiledStages,
+        estimator: &Estimator,
+    ) -> Arc<UnboundedReplay> {
+        if let Some(hit) = self.replays.get(key) {
+            return hit;
+        }
+        self.replay_flights.run(key, || {
+            if let Some(hit) = self.replays.peek(key) {
+                return hit;
+            }
+            self.sims.count_unbounded();
+            let replay = Arc::new(estimator.replay_unbounded(&stages.analyzed));
+            self.replays.insert(key.clone(), Arc::clone(&replay));
+            replay
+        })
+    }
+
+    /// Estimates `spec` on an explicit device configuration through the
+    /// shared cache layers — the analysis cache, the unbounded-replay
+    /// cache, and `device`'s simulation shard — without requiring the
+    /// device to be registered by name. This is the entry point batch
+    /// consumers (evaluation campaigns, benchmark harnesses) use to get
+    /// the same "one analysis, one replay, N derivations" collapse the
+    /// named matrix paths enjoy. Results are bit-identical to a
+    /// sequential [`Estimator`] over [`EstimatorConfig::for_device`].
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for degenerate jobs.
+    pub fn estimate_for_device(
+        &self,
+        spec: &TrainJobSpec,
+        device: GpuDevice,
+    ) -> Result<Estimate, EstimateError> {
+        let stages = self.stages(spec)?;
+        Ok(self.simulate_on(&JobKey::of(spec), &stages, device))
     }
 
     /// Estimates `spec` on the registered device `device_name`, sharing
@@ -656,8 +841,10 @@ impl EstimationService {
         let points = self.worker_count(usize::MAX).min(MAX_BRACKET_POINTS);
         let grid = coarse_grid(lo, hi, points);
         let mut coarse = Vec::with_capacity(grid.len());
+        // Probe batches are distinct keys on one device: never worth
+        // seeding the unbounded-replay cache (see `simulate_on_with`).
         let probes = self.sweep_inner(base, &grid, |key, stages| {
-            self.simulate_on(key, stages, device)
+            self.simulate_on_with(key, stages, device, false)
         });
         for (batch, estimate) in probes {
             coarse.push((batch, !estimate?.oom_predicted));
@@ -683,7 +870,7 @@ impl EstimationService {
             let spec = with_batch(base, mid);
             let stages = self.stages(&spec)?;
             if !self
-                .simulate_on(&JobKey::of(&spec), &stages, device)
+                .simulate_on_with(&JobKey::of(&spec), &stages, device, false)
                 .oom_predicted
             {
                 lo = mid;
@@ -1124,6 +1311,108 @@ mod tests {
         // The answer agrees with direct estimates at the frontier.
         let at_max = service.estimate(&with_batch(&base, 16)).unwrap();
         assert!(!at_max.oom_predicted);
+    }
+
+    #[test]
+    fn roomy_fleet_serves_every_cell_from_one_unbounded_replay() {
+        let service = EstimationService::for_device(GpuDevice::rtx3060());
+        let jobs = [small_spec(4), small_spec(8)];
+        let devices = ["rtx3060", "rtx4060", "a100"];
+        let matrix = service.estimate_matrix(&jobs, &devices).unwrap();
+        assert!(matrix
+            .rows
+            .iter()
+            .all(|r| r.cells.iter().all(MatrixCell::fits)));
+        let sims = service.sim_stats();
+        assert_eq!(sims.sim_runs, (jobs.len() * devices.len()) as u64);
+        assert_eq!(
+            sims.full_replays, 0,
+            "an all-roomy fleet must not pay a single bounded replay"
+        );
+        assert_eq!(sims.fast_path_hits, sims.sim_runs);
+        assert_eq!(
+            sims.unbounded_replays,
+            jobs.len() as u64,
+            "one seed replay per job"
+        );
+    }
+
+    #[test]
+    fn disabled_fast_path_pays_full_replays_and_stays_identical() {
+        let jobs = [small_spec(4), small_spec(8)];
+        let devices = ["rtx3060", "rtx4060"];
+        let fast = EstimationService::for_device(GpuDevice::rtx3060());
+        let full = EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_fast_path(false),
+        );
+        let fast_matrix = fast.estimate_matrix(&jobs, &devices).unwrap();
+        let full_matrix = full.estimate_matrix(&jobs, &devices).unwrap();
+        assert_eq!(fast_matrix, full_matrix, "fast path must be bit-identical");
+        let stats = full.sim_stats();
+        assert_eq!(stats.fast_path_hits, 0);
+        assert_eq!(stats.unbounded_replays, 0);
+        assert_eq!(stats.full_replays, stats.sim_runs);
+        let stats = fast.sim_stats();
+        assert_eq!(stats.fast_path_hits, stats.sim_runs);
+        assert_eq!(stats.fast_path_hits + stats.full_replays, stats.sim_runs);
+    }
+
+    #[test]
+    fn admission_probes_use_but_never_seed_the_replay_cache() {
+        let device = GpuDevice::rtx3060();
+        let service = EstimationService::for_device(device);
+        let base = small_spec(1);
+        service
+            .max_batch_for_device(&base, device, 1, 16)
+            .expect("estimation succeeds");
+        let stats = service.sim_stats();
+        assert_eq!(
+            stats.unbounded_replays, 0,
+            "probe keys never repeat, so seeding would be pure overhead"
+        );
+        assert_eq!(stats.full_replays, stats.sim_runs);
+
+        // Matrix cells (a batch no probe touched) still seed as before.
+        service
+            .estimate_matrix(&[small_spec(24)], &["rtx4060"])
+            .expect("devices resolve");
+        assert_eq!(service.sim_stats().unbounded_replays, 1);
+    }
+
+    #[test]
+    fn trace_retention_opt_out_drops_traces_but_not_accuracy() {
+        let retaining = EstimationService::for_device(GpuDevice::rtx3060());
+        let dropping = EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_trace_retention(false),
+        );
+        let spec = small_spec(8);
+        let with_trace = retaining.stages(&spec).unwrap();
+        let without_trace = dropping.stages(&spec).unwrap();
+        assert!(with_trace.trace.is_some());
+        assert!(without_trace.trace.is_none());
+        assert!(
+            without_trace.approx_bytes() < with_trace.approx_bytes(),
+            "dropping the trace must shrink the entry's cache cost"
+        );
+        assert_eq!(
+            retaining.estimate(&spec).unwrap(),
+            dropping.estimate(&spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_bytes_budget_is_wired_through() {
+        // A 1-byte budget rejects every (large) stage entry: queries still
+        // succeed, but nothing is retained and repeats re-profile.
+        let service = EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_cache_bytes_budget(1),
+        );
+        let spec = small_spec(4);
+        let first = service.estimate(&spec).unwrap();
+        let second = service.estimate(&spec).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(service.profile_runs(), 2, "nothing could be cached");
+        assert!(service.cache_stats().rejected >= 2);
     }
 
     #[test]

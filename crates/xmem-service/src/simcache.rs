@@ -9,6 +9,20 @@
 //! [`Estimate`]. Sharding per device is what makes invalidation surgical:
 //! when a device's configuration changes, only that configuration's shard
 //! is dropped — every other device keeps its warm entries.
+//!
+//! Two growth bounds apply. Each shard's *entry* population is LRU-bounded
+//! by construction; the shard map itself is bounded by a **fleet cap**
+//! ([`SimShards::with_max_devices`]): registries churned programmatically
+//! (one fingerprint per reconfiguration) would otherwise grow the map
+//! without limit, so the least-recently-used device shard is retired once
+//! the cap is reached, its counter history folded into the monotonic
+//! [`stats`](SimShards::stats).
+//!
+//! The layer also carries the **pressure-aware replay counters**: how many
+//! cells were derived from a cached unbounded replay
+//! ([`SimStats::fast_path_hits`]) versus paid for with a full stateful
+//! replay ([`SimStats::full_replays`]), and how many unbounded replays
+//! were executed to seed the fast path.
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::key::JobKey;
@@ -68,75 +82,185 @@ pub struct SimStats {
     pub cache: CacheStats,
     /// Allocator simulations actually executed — the ground truth the
     /// matrix layer is judged against: a full M × D matrix costs exactly
-    /// M analyses and M × D simulations.
+    /// M analyses and M × D simulations. Every simulation is served
+    /// either by derivation (`fast_path_hits`) or by a full stateful
+    /// replay (`full_replays`); the two always sum to `sim_runs`.
     pub sim_runs: u64,
+    /// Cells derived in O(1) from a cached unbounded replay (the
+    /// pressure-aware fast path) — no event sequence was re-walked.
+    pub fast_path_hits: u64,
+    /// Cells that paid a full stateful replay: the device was
+    /// capacity-pressured (reclaim/OOM could diverge), the configuration
+    /// was fast-path-inexact, or the fast path was disabled.
+    pub full_replays: u64,
+    /// Unbounded replays executed to seed the fast path (at most one per
+    /// job key covered by the replay cache).
+    pub unbounded_replays: u64,
     /// Live device shards (distinct device configurations simulated so
     /// far).
     pub device_shards: usize,
     /// Cached estimates dropped because their device configuration was
     /// replaced ([`invalidate`](SimShards::invalidate)).
     pub invalidated_entries: u64,
+    /// Whole device shards retired by the fleet cap
+    /// ([`with_max_devices`](SimShards::with_max_devices)); their counter
+    /// history stays folded into `cache`.
+    pub evicted_shards: u64,
+}
+
+/// One live device shard plus its recency stamp for the fleet cap.
+#[derive(Debug)]
+struct ShardSlot {
+    cache: Arc<ShardedLruCache<JobKey, Estimate>>,
+    /// Last-use tick (from [`SimShards::clock`]); the minimum across
+    /// slots is the fleet-cap eviction victim.
+    last_use: AtomicU64,
 }
 
 /// The shard map: one simulation LRU per device fingerprint.
 ///
 /// Shards are created on first use and sized identically (capacity and
 /// lock-shard count are fixed at construction). Lookups take a read lock
-/// on the map — only shard *creation* and invalidation write-lock it.
+/// on the map — only shard *creation*, fleet-cap eviction and
+/// invalidation write-lock it.
 #[derive(Debug)]
 pub struct SimShards {
-    shards: RwLock<HashMap<DeviceFingerprint, Arc<ShardedLruCache<JobKey, Estimate>>>>,
+    shards: RwLock<HashMap<DeviceFingerprint, ShardSlot>>,
     /// Per-shard entry capacity.
     capacity: usize,
     /// Lock shards inside each per-device LRU.
     lock_shards: usize,
+    /// Maximum live device shards; the LRU shard is retired beyond it.
+    max_devices: usize,
+    /// Recency clock for the fleet cap.
+    clock: AtomicU64,
     runs: AtomicU64,
+    fast_path: AtomicU64,
+    full_replays: AtomicU64,
+    unbounded: AtomicU64,
     invalidated: AtomicU64,
-    /// Counter history of invalidated shards, folded in so
-    /// [`stats`](Self::stats) stays **monotonic**: dropping a shard must
-    /// not make previously reported hits/misses vanish (delta-based
-    /// monitoring would see negative rates).
+    evicted_shards: AtomicU64,
+    /// Counter history of retired shards (invalidated or fleet-evicted),
+    /// folded in so [`stats`](Self::stats) stays **monotonic**: dropping
+    /// a shard must not make previously reported hits/misses vanish
+    /// (delta-based monitoring would see negative rates).
     retired: RwLock<CacheStats>,
 }
 
 impl SimShards {
     /// An empty shard map whose per-device LRUs hold `capacity` entries
-    /// over `lock_shards` locks each.
+    /// over `lock_shards` locks each. The fleet size is unbounded until
+    /// [`with_max_devices`](Self::with_max_devices) caps it.
     #[must_use]
     pub fn new(capacity: usize, lock_shards: usize) -> Self {
         SimShards {
             shards: RwLock::new(HashMap::new()),
             capacity,
             lock_shards,
+            max_devices: usize::MAX,
+            clock: AtomicU64::new(0),
             runs: AtomicU64::new(0),
+            fast_path: AtomicU64::new(0),
+            full_replays: AtomicU64::new(0),
+            unbounded: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            evicted_shards: AtomicU64::new(0),
             retired: RwLock::new(CacheStats::default()),
         }
     }
 
-    /// The simulation LRU for `device`, created on first use.
+    /// Caps the number of live device shards at `max_devices` (clamped to
+    /// at least 1): creating a shard past the cap retires the
+    /// least-recently-used one, folding its counters into the monotonic
+    /// history.
+    ///
+    /// Retirement folds a *snapshot*: a counter bump landing on a
+    /// still-held [`Arc`] handle in the instants between the snapshot and
+    /// the handle being dropped is not re-folded. Writers therefore
+    /// re-fetch the shard right before inserting (see the service's
+    /// `simulate_on`); the service-level counters (`sim_runs`, fast-path
+    /// split) live on `SimShards` itself and are never affected.
+    #[must_use]
+    pub fn with_max_devices(mut self, max_devices: usize) -> Self {
+        self.max_devices = max_devices.max(1);
+        self
+    }
+
+    /// The configured fleet cap (`usize::MAX` when unbounded).
+    #[must_use]
+    pub fn max_devices(&self) -> usize {
+        self.max_devices
+    }
+
+    /// The simulation LRU for `device`, created on first use (retiring
+    /// the least-recently-used shard when the fleet cap is hit).
     #[must_use]
     pub fn shard(&self, device: &GpuDevice) -> Arc<ShardedLruCache<JobKey, Estimate>> {
         let fingerprint = DeviceFingerprint::of(device);
-        if let Some(shard) = self
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self
             .shards
             .read()
             .expect("sim shard map poisoned")
             .get(&fingerprint)
         {
-            return Arc::clone(shard);
+            slot.last_use.store(tick, Ordering::Relaxed);
+            return Arc::clone(&slot.cache);
         }
         let mut shards = self.shards.write().expect("sim shard map poisoned");
-        Arc::clone(
-            shards
-                .entry(fingerprint)
-                .or_insert_with(|| Arc::new(ShardedLruCache::new(self.capacity, self.lock_shards))),
-        )
+        if let Some(slot) = shards.get(&fingerprint) {
+            // Raced another creator between the read and write locks.
+            slot.last_use.store(tick, Ordering::Relaxed);
+            return Arc::clone(&slot.cache);
+        }
+        // Fleet cap: retire the least-recently-used shard. The map is
+        // bounded by the (small) cap, so this scan is cheap and only runs
+        // on shard *creation*, never on the per-query path.
+        while shards.len() >= self.max_devices {
+            let victim = shards
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_use.load(Ordering::Relaxed))
+                .map(|(fp, _)| fp.clone())
+                .expect("non-empty map above the cap");
+            if let Some(slot) = shards.remove(&victim) {
+                self.retire(&slot.cache);
+                self.evicted_shards.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = shards.entry(fingerprint).or_insert_with(|| ShardSlot {
+            cache: Arc::new(ShardedLruCache::new(self.capacity, self.lock_shards)),
+            last_use: AtomicU64::new(tick),
+        });
+        Arc::clone(&slot.cache)
     }
 
-    /// Records one executed allocator simulation.
+    /// Folds a dropped shard's counters into the monotonic history.
+    fn retire(&self, shard: &ShardedLruCache<JobKey, Estimate>) {
+        let history = shard.stats();
+        self.retired
+            .write()
+            .expect("retired stats poisoned")
+            .absorb(&history);
+    }
+
+    /// Records one executed allocator simulation (fast or full).
     pub fn count_run(&self) {
         self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell derived via the pressure-aware fast path.
+    pub fn count_fast_path(&self) {
+        self.fast_path.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell that paid a full stateful replay.
+    pub fn count_full_replay(&self) {
+        self.full_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one unbounded replay executed to seed the fast path.
+    pub fn count_unbounded(&self) {
+        self.unbounded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drops the shard for `fingerprint` (a replaced device
@@ -150,40 +274,34 @@ impl SimShards {
             .write()
             .expect("sim shard map poisoned")
             .remove(fingerprint);
-        let Some(shard) = removed else {
+        let Some(slot) = removed else {
             return 0;
         };
-        let history = shard.stats();
-        let mut retired = self.retired.write().expect("retired stats poisoned");
-        retired.hits += history.hits;
-        retired.misses += history.misses;
-        retired.insertions += history.insertions;
-        retired.evictions += history.evictions;
-        drop(retired);
-        let entries = shard.len();
+        self.retire(&slot.cache);
+        let entries = slot.cache.len();
         self.invalidated
             .fetch_add(entries as u64, Ordering::Relaxed);
         entries
     }
 
     /// A snapshot of the simulation counters. Monotonic: counters of
-    /// invalidated shards stay folded in.
+    /// retired shards stay folded in.
     #[must_use]
     pub fn stats(&self) -> SimStats {
         let shards = self.shards.read().expect("sim shard map poisoned");
         let mut cache = *self.retired.read().expect("retired stats poisoned");
-        for shard in shards.values() {
-            let s = shard.stats();
-            cache.hits += s.hits;
-            cache.misses += s.misses;
-            cache.insertions += s.insertions;
-            cache.evictions += s.evictions;
+        for slot in shards.values() {
+            cache.absorb(&slot.cache.stats());
         }
         SimStats {
             cache,
             sim_runs: self.runs.load(Ordering::Relaxed),
+            fast_path_hits: self.fast_path.load(Ordering::Relaxed),
+            full_replays: self.full_replays.load(Ordering::Relaxed),
+            unbounded_replays: self.unbounded.load(Ordering::Relaxed),
             device_shards: shards.len(),
             invalidated_entries: self.invalidated.load(Ordering::Relaxed),
+            evicted_shards: self.evicted_shards.load(Ordering::Relaxed),
         }
     }
 }
@@ -212,6 +330,16 @@ mod tests {
             oom_predicted: false,
             curve: Vec::new(),
             stats: AnalysisStats::default(),
+        }
+    }
+
+    /// A synthetic device with a distinct fingerprint per capacity.
+    fn device(capacity: u64) -> GpuDevice {
+        GpuDevice {
+            name: "sim-test",
+            capacity,
+            framework_bytes: 512 << 20,
+            init_bytes: 0,
         }
     }
 
@@ -275,10 +403,74 @@ mod tests {
         assert_eq!(sims.shard(&a).get(&key(1)), Some(estimate(1)));
         assert_eq!(sims.shard(&b).get(&key(2)), None);
         sims.count_run();
+        sims.count_fast_path();
         let stats = sims.stats();
         assert_eq!(stats.cache.insertions, 2);
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.cache.misses, 1);
         assert_eq!(stats.sim_runs, 1);
+        assert_eq!(stats.fast_path_hits, 1);
+        assert_eq!(stats.full_replays, 0);
+    }
+
+    #[test]
+    fn fleet_cap_retires_the_least_recently_used_shard() {
+        let sims = SimShards::new(8, 2).with_max_devices(2);
+        assert_eq!(sims.max_devices(), 2);
+        sims.shard(&device(1 << 30)).insert(key(1), estimate(1));
+        sims.shard(&device(2 << 30)).insert(key(1), estimate(2));
+        // Touch the first again: the second becomes the LRU victim.
+        assert_eq!(sims.shard(&device(1 << 30)).get(&key(1)), Some(estimate(1)));
+
+        sims.shard(&device(3 << 30)).insert(key(1), estimate(3));
+        let stats = sims.stats();
+        assert_eq!(stats.device_shards, 2, "the cap holds");
+        assert_eq!(stats.evicted_shards, 1);
+        // The survivor kept its entries; the victim's shard is cold when
+        // recreated.
+        assert_eq!(
+            sims.shard(&device(1 << 30)).peek(&key(1)),
+            Some(estimate(1))
+        );
+        assert_eq!(sims.shard(&device(2 << 30)).peek(&key(1)), None);
+    }
+
+    #[test]
+    fn fleet_cap_eviction_keeps_stats_monotonic() {
+        let sims = SimShards::new(8, 2).with_max_devices(1);
+        sims.shard(&device(1 << 30)).insert(key(1), estimate(1));
+        assert_eq!(sims.shard(&device(1 << 30)).get(&key(1)), Some(estimate(1)));
+        let before = sims.stats();
+
+        // A second fingerprint evicts the first whole shard.
+        sims.shard(&device(2 << 30)).insert(key(1), estimate(2));
+        let after = sims.stats();
+        assert_eq!(after.device_shards, 1);
+        assert_eq!(after.evicted_shards, 1);
+        assert!(after.cache.hits >= before.cache.hits);
+        assert!(
+            after.cache.insertions > before.cache.insertions,
+            "history plus the new shard's insert"
+        );
+        assert_eq!(
+            after.invalidated_entries, 0,
+            "fleet evictions are not configuration invalidations"
+        );
+    }
+
+    #[test]
+    fn fleet_churn_never_grows_past_the_cap() {
+        let sims = SimShards::new(4, 2).with_max_devices(3);
+        for round in 0..40u64 {
+            let shard = sims.shard(&device((round + 1) << 28));
+            shard.insert(key(1), estimate(round));
+        }
+        let stats = sims.stats();
+        assert_eq!(stats.device_shards, 3);
+        assert_eq!(stats.evicted_shards, 37);
+        assert_eq!(
+            stats.cache.insertions, 40,
+            "single-threaded churn folds every shard's history"
+        );
     }
 }

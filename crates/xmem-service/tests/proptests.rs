@@ -128,6 +128,151 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// O(1) LRU vs a scan-based reference model, operation for operation.
+// ---------------------------------------------------------------------------
+
+/// One cache operation drawn by the model-comparison proptest.
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Get(u16),
+    Peek(u16),
+    Insert(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    (0u8..3, 0u16..48).prop_map(|(kind, key)| match kind {
+        0 => CacheOp::Get(key),
+        1 => CacheOp::Peek(key),
+        _ => CacheOp::Insert(key),
+    })
+}
+
+/// Deterministic value/cost for a key, so cache and model always agree on
+/// what an insert carries.
+fn op_value(key: u16) -> u64 {
+    (u64::from(key) * 7919) % 97 + 1
+}
+
+/// The reference model: exactly the scan-based single-shard LRU the O(1)
+/// implementation replaced — recency ticks, `min_by_key` eviction sweeps,
+/// linear byte accounting — extended with the same bytes-budget and
+/// rejection rules.
+#[derive(Debug, Default)]
+struct ScanModel {
+    map: HashMap<u16, (u64, u64, u64)>, // key -> (value, cost, tick)
+    clock: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+impl ScanModel {
+    fn get(&mut self, key: u16) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|e| {
+            e.2 = clock;
+            e.0
+        })
+    }
+
+    fn peek(&self, key: u16) -> Option<u64> {
+        self.map.get(&key).map(|e| e.0)
+    }
+
+    fn bytes(&self) -> u64 {
+        self.map.values().map(|e| e.1).sum()
+    }
+
+    fn insert(&mut self, key: u16, value: u64, cost: u64, capacity: usize, budget: Option<u64>) {
+        self.clock += 1;
+        if budget.is_some_and(|b| cost > b) {
+            self.map.remove(&key);
+            self.rejected += 1;
+            return;
+        }
+        self.map.insert(key, (value, cost, self.clock));
+        while self.map.len() > capacity || budget.is_some_and(|b| self.bytes() > b) {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, _, tick))| tick)
+                .map(|(&k, _)| k)
+                .expect("non-empty while over limit");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every interleaving of get/peek/insert on a single-shard cache must
+    /// match the scan-based reference model operation for operation:
+    /// identical lookup results, identical resident key sets, identical
+    /// eviction/rejection counts, and the bytes budget honored at every
+    /// step. (Single shard so hashing does not spread keys: the model and
+    /// the cache then see the exact same per-shard workload.)
+    #[test]
+    fn o1_lru_matches_scan_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        capacity in 1usize..24,
+        // The vendored proptest has no `option` module: a bool picks
+        // between budgeted and unbudgeted runs.
+        budget in (any::<bool>(), 1u64..400).prop_map(|(on, b)| on.then_some(b)),
+    ) {
+        let mut cache: ShardedLruCache<u16, u64> = ShardedLruCache::new(capacity, 1);
+        if let Some(budget) = budget {
+            cache = cache.with_bytes_budget(budget, |v: &u64| *v);
+        }
+        let mut model = ScanModel::default();
+
+        for &op in &ops {
+            match op {
+                CacheOp::Get(key) => {
+                    prop_assert_eq!(cache.get(&key), model.get(key), "get({}) diverged", key);
+                }
+                CacheOp::Peek(key) => {
+                    prop_assert_eq!(cache.peek(&key), model.peek(key), "peek({}) diverged", key);
+                }
+                CacheOp::Insert(key) => {
+                    let value = op_value(key);
+                    cache.insert(key, value);
+                    // An unbudgeted cache installs no weigher, so entries
+                    // cost 0 there — mirror that.
+                    let cost = if budget.is_some() { value } else { 0 };
+                    model.insert(key, value, cost, capacity, budget);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.map.len(), "resident count diverged");
+            prop_assert_eq!(cache.bytes_in_use(), model.bytes(), "byte gauge diverged");
+            if let Some(budget) = budget {
+                prop_assert!(cache.bytes_in_use() <= budget, "budget exceeded");
+            }
+            cache.check_invariants();
+        }
+
+        // Same survivors, not just the same number of them.
+        for (&key, &(value, _, _)) in &model.map {
+            prop_assert_eq!(cache.peek(&key), Some(value), "model key {} missing", key);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions, model.evictions, "eviction counts diverged");
+        prop_assert_eq!(stats.rejected, model.rejected, "rejection counts diverged");
+        // Stats invariants: every lookup is a hit or a miss; every insert
+        // either lands or is rejected.
+        let (gets, inserts) = ops.iter().fold((0u64, 0u64), |(g, i), op| match op {
+            CacheOp::Get(_) => (g + 1, i),
+            CacheOp::Peek(_) => (g, i),
+            CacheOp::Insert(_) => (g, i + 1),
+        });
+        prop_assert_eq!(stats.hits + stats.misses, gets);
+        prop_assert_eq!(stats.insertions + stats.rejected, inserts);
+        prop_assert!(stats.evictions <= stats.insertions);
+    }
+}
+
 /// Registry-key names for randomly generated fleets (`GpuDevice::name`
 /// is `&'static str`, so the pool is static).
 const FLEET_NAMES: [&str; 4] = ["prop-dev-0", "prop-dev-1", "prop-dev-2", "prop-dev-3"];

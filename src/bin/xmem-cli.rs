@@ -272,6 +272,10 @@ fn matrix(flags: &HashMap<String, String>) -> Result<(), String> {
         sims.cache.hits,
         sims.cache.misses,
     );
+    println!(
+        "replay strategy: {} fast-path derivations, {} full replays, {} unbounded seed replays",
+        sims.fast_path_hits, sims.full_replays, sims.unbounded_replays,
+    );
     if failed > 0 {
         return Err(format!("{failed} matrix cells failed estimation"));
     }
