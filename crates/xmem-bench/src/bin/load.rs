@@ -1,0 +1,369 @@
+//! `load` — loopback load generator for the HTTP serving front end.
+//!
+//! Drives a server (an in-process one on an ephemeral port by default, or
+//! an external one via `--addr`) with N concurrent keep-alive connections
+//! cycling a scheduler-shaped request mix (estimates, a named-device
+//! estimate, a placement query, a health probe) and emits a
+//! machine-readable `BENCH_server.json` with throughput, latency
+//! percentiles, and error counts — so every PR has a measurable
+//! trajectory for the network layer, not just the estimator under it.
+//!
+//! Usage: `load [--addr HOST:PORT] [--connections N] [--requests N]
+//! [--quick] [--out PATH] [--shutdown]`
+//!
+//! * `--addr`        — target an already-running server (e.g. `xmem-cli
+//!   listen`); the default spawns an in-process server;
+//! * `--connections` — concurrent keep-alive connections (default 32,
+//!   quick 8);
+//! * `--requests`    — requests per connection (default 200, quick 32);
+//! * `--quick`       — CI-sized run;
+//! * `--shutdown`    — `POST /v1/shutdown` when done (drains an external
+//!   server; the in-process server is always drained);
+//! * `--out`         — output path (default `BENCH_server.json`).
+//!
+//! Backpressure `503`s are counted separately from real server errors:
+//! `server_errors_5xx` excludes them, so a zero-5xx CI gate composes with
+//! deliberate overload probes.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use xmem_runtime::GpuDevice;
+use xmem_server::{HttpClient, ServerConfig, ServerHandle};
+use xmem_service::{AsyncEstimationService, AsyncServiceConfig};
+
+/// The request mix one connection cycles through, spelled as
+/// `(method, path, body)` — a scheduler's steady-state traffic shape:
+/// mostly admission estimates (cache-hot), some placement, a health
+/// probe.
+const MIX: [(&str, &str, &str); 5] = [
+    (
+        "POST",
+        "/v1/estimate",
+        r#"{"model":"MobeNetV3Small","optimizer":"Adam","batch":8,"iterations":2}"#,
+    ),
+    (
+        "POST",
+        "/v1/estimate",
+        r#"{"job":{"model":"distilgpt2","optimizer":"AdamW","batch":4,"iterations":2},"device":"rtx4060"}"#,
+    ),
+    (
+        "POST",
+        "/v1/estimate",
+        r#"{"model":"MobeNetV3Small","optimizer":"Adam","batch":16,"iterations":2}"#,
+    ),
+    (
+        "POST",
+        "/v1/best-device",
+        r#"{"model":"MobeNetV3Small","optimizer":"Adam","batch":8,"iterations":2}"#,
+    ),
+    ("GET", "/healthz", ""),
+];
+
+#[derive(Debug, Serialize)]
+struct Latency {
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    mean_ns: u64,
+}
+
+#[derive(Debug, Default, Serialize)]
+struct StatusCounts {
+    ok_2xx: u64,
+    client_errors_4xx: u64,
+    /// Deliberate backpressure (`503` + `retry-after`) — not a server
+    /// failure.
+    backpressure_503: u64,
+    /// Real server-side failures: every 5xx except `503`.
+    server_errors_5xx: u64,
+    /// Socket-level failures (connect/read/write); each is followed by a
+    /// reconnect.
+    transport_errors: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: &'static str,
+    quick: bool,
+    generated_unix: u64,
+    target: String,
+    connections: usize,
+    requests_per_connection: usize,
+    total_requests: u64,
+    wall_ns: u64,
+    requests_per_sec: f64,
+    latency: Latency,
+    status: StatusCounts,
+    /// Whether the drained server reported a clean drain (in-process
+    /// target only).
+    drain_clean: Option<bool>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+/// Consecutive socket-level failures before a connection declares the
+/// target dead and aborts the whole run (via the shared stop flag).
+const MAX_CONSECUTIVE_TRANSPORT_ERRORS: u64 = 5;
+
+/// One connection's worth of load; returns (latencies ns, status counts).
+///
+/// `stop` aborts every connection early once any of them proves the run
+/// is pointless: a real server error (the run fails its zero-5xx assert
+/// anyway) or a dead target (consecutive transport failures).
+fn run_connection(
+    addr: &str,
+    requests: usize,
+    offset: usize,
+    stop: &AtomicBool,
+) -> (Vec<u64>, StatusCounts) {
+    let mut latencies = Vec::with_capacity(requests);
+    let mut status = StatusCounts::default();
+    let mut client = None;
+    let mut consecutive_transport = 0;
+    for i in 0..requests {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let (method, path, body) = MIX[(offset + i) % MIX.len()];
+        if client.is_none() {
+            match HttpClient::connect(addr) {
+                Ok(c) => client = Some(c),
+                Err(_) => {
+                    status.transport_errors += 1;
+                    consecutive_transport += 1;
+                    if consecutive_transport >= MAX_CONSECUTIVE_TRANSPORT_ERRORS {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+            }
+        }
+        let connection = client.as_mut().expect("connected above");
+        let started = Instant::now();
+        let outcome = if method == "GET" {
+            connection.get(path)
+        } else {
+            connection.post_json(path, body)
+        };
+        match outcome {
+            Ok(response) => {
+                latencies.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                consecutive_transport = 0;
+                match response.status {
+                    200..=299 => status.ok_2xx += 1,
+                    503 => status.backpressure_503 += 1,
+                    400..=499 => status.client_errors_4xx += 1,
+                    500..=599 => {
+                        status.server_errors_5xx += 1;
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+            Err(_) => {
+                status.transport_errors += 1;
+                consecutive_transport += 1;
+                if consecutive_transport >= MAX_CONSECUTIVE_TRANSPORT_ERRORS {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                client = None; // reconnect on the next request
+            }
+        }
+    }
+    (latencies, status)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_server.json");
+    let mut addr: Option<String> = None;
+    let mut connections: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--shutdown" => shutdown = true,
+            "--out" => out = args.next().expect("missing value for --out"),
+            "--addr" => addr = Some(args.next().expect("missing value for --addr")),
+            "--connections" => {
+                connections = Some(
+                    args.next()
+                        .expect("missing value for --connections")
+                        .parse()
+                        .expect("--connections must be a number"),
+                );
+            }
+            "--requests" => {
+                requests = Some(
+                    args.next()
+                        .expect("missing value for --requests")
+                        .parse()
+                        .expect("--requests must be a number"),
+                );
+            }
+            other => panic!(
+                "unknown flag `{other}` (load [--addr HOST:PORT] [--connections N] \
+                 [--requests N] [--quick] [--out PATH] [--shutdown])"
+            ),
+        }
+    }
+    let connections = connections.unwrap_or(if quick { 8 } else { 32 });
+    let requests = requests.unwrap_or(if quick { 32 } else { 200 });
+
+    // Target: an external server, or an in-process one on an ephemeral
+    // port (same code path as `xmem-cli listen`).
+    let in_process = if addr.is_none() {
+        let service = Arc::new(AsyncEstimationService::new(AsyncServiceConfig::for_device(
+            GpuDevice::rtx3060(),
+        )));
+        let server = ServerHandle::bind(
+            "127.0.0.1:0",
+            service,
+            ServerConfig::default().with_workers(connections + 4),
+        )
+        .expect("bind loopback server");
+        addr = Some(server.local_addr().to_string());
+        Some(server)
+    } else {
+        None
+    };
+    let addr = addr.expect("target address");
+    println!(
+        "load: {connections} connections x {requests} requests against {addr} ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    // Prewarm: run the whole mix once so the timed run measures the
+    // serving hot path (cache hits), not one-time profile runs.
+    {
+        let mut client = HttpClient::connect(addr.as_str()).expect("connect for prewarm");
+        for (method, path, body) in MIX {
+            let response = if method == "GET" {
+                client.get(path)
+            } else {
+                client.post_json(path, body)
+            };
+            let response = response.expect("prewarm request");
+            assert!(
+                response.status < 500,
+                "prewarm hit a server error: {} on {path}",
+                response.status
+            );
+        }
+    }
+
+    let barrier = Arc::new(Barrier::new(connections));
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, StatusCounts)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                let addr = addr.as_str();
+                let stop = &stop;
+                scope.spawn(move || {
+                    barrier.wait();
+                    run_connection(addr, requests, c, stop)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut status = StatusCounts::default();
+    for (connection_latencies, connection_status) in results {
+        latencies.extend(connection_latencies);
+        status.ok_2xx += connection_status.ok_2xx;
+        status.client_errors_4xx += connection_status.client_errors_4xx;
+        status.backpressure_503 += connection_status.backpressure_503;
+        status.server_errors_5xx += connection_status.server_errors_5xx;
+        status.transport_errors += connection_status.transport_errors;
+    }
+    latencies.sort_unstable();
+    let total_requests = latencies.len() as u64;
+    #[allow(clippy::cast_precision_loss)]
+    let requests_per_sec = if wall_ns == 0 {
+        0.0
+    } else {
+        total_requests as f64 / (wall_ns as f64 / 1e9)
+    };
+    let mean_ns = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+
+    if shutdown {
+        let mut client = HttpClient::connect(addr.as_str()).expect("connect for shutdown");
+        let response = client.post_json("/v1/shutdown", "{}").expect("shutdown");
+        assert_eq!(
+            response.status, 200,
+            "shutdown answered {}",
+            response.status
+        );
+    }
+    let drain_clean = in_process.map(|server| server.shutdown().clean);
+
+    let report = Report {
+        schema: "xmem-bench-server/v1",
+        quick,
+        generated_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        target: addr,
+        connections,
+        requests_per_connection: requests,
+        total_requests,
+        wall_ns,
+        requests_per_sec,
+        latency: Latency {
+            p50_ns: percentile(&latencies, 0.50),
+            p90_ns: percentile(&latencies, 0.90),
+            p99_ns: percentile(&latencies, 0.99),
+            max_ns: latencies.last().copied().unwrap_or(0),
+            mean_ns,
+        },
+        status,
+        drain_clean,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write report");
+    println!(
+        "{} requests in {:.2}s: {:.0} req/s, p50 {:.2}ms, p99 {:.2}ms | \
+         2xx {} | 4xx {} | 503 {} | 5xx {} | transport {}",
+        report.total_requests,
+        report.wall_ns as f64 / 1e9,
+        report.requests_per_sec,
+        report.latency.p50_ns as f64 / 1e6,
+        report.latency.p99_ns as f64 / 1e6,
+        report.status.ok_2xx,
+        report.status.client_errors_4xx,
+        report.status.backpressure_503,
+        report.status.server_errors_5xx,
+        report.status.transport_errors,
+    );
+    println!("wrote {out}");
+    assert!(
+        report.status.server_errors_5xx == 0,
+        "load run hit real server errors"
+    );
+}

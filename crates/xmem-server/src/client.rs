@@ -1,0 +1,241 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection —
+//! enough protocol for the load bench, the examples, and the integration
+//! tests to drive the server without external dependencies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first value of header `name` (ASCII case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Panics
+    /// Panics on non-UTF-8 bodies (this server only emits UTF-8).
+    #[must_use]
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("server bodies are UTF-8")
+    }
+}
+
+fn protocol_error(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// A blocking client holding one keep-alive connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    /// Bytes read past the previous response (response framing never
+    /// splits exactly on read boundaries).
+    leftover: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HttpClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| protocol_error("address resolved to nothing"))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            addr,
+            leftover: Vec::new(),
+        })
+    }
+
+    /// The connected peer address.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bounds every read on the connection (e.g. for tests that expect
+    /// the server to close instead of answering).
+    ///
+    /// # Errors
+    /// Propagates socket-option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends raw bytes on the connection — the adversarial tests' door
+    /// into sending deliberately broken HTTP.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Half-closes the connection (no more writes) — how the adversarial
+    /// tests truncate a request body mid-transmission.
+    ///
+    /// # Errors
+    /// Propagates socket failures.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads one response off the connection without having sent a
+    /// well-formed request (paired with [`send_raw`](Self::send_raw)).
+    ///
+    /// # Errors
+    /// Propagates read failures; `InvalidData` for non-HTTP bytes.
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        // Head: read until the terminator.
+        let head_end = loop {
+            if let Some(i) = self.leftover.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            let mut buf = [0u8; 8 * 1024];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a response head",
+                ));
+            }
+            self.leftover.extend_from_slice(&buf[..n]);
+        };
+        let head: Vec<u8> = self.leftover.drain(..head_end + 4).collect();
+        let head = std::str::from_utf8(&head[..head_end])
+            .map_err(|_| protocol_error("response head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .or_else(|| status_line.strip_prefix("HTTP/1.0 "))
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| protocol_error(format!("bad status line `{status_line}`")))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| protocol_error(format!("bad header `{line}`")))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| protocol_error("response without content-length"))?;
+        while self.leftover.len() < length {
+            let mut buf = [0u8; 8 * 1024];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.leftover.extend_from_slice(&buf[..n]);
+        }
+        let body: Vec<u8> = self.leftover.drain(..length).collect();
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Performs one request/response exchange on the keep-alive
+    /// connection.
+    ///
+    /// # Errors
+    /// Propagates socket and framing failures (e.g. the server closed the
+    /// connection — reconnect and retry if the request is idempotent).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, &[], b"")
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+        self.request(
+            "POST",
+            path,
+            &[("content-type", "application/json")],
+            json.as_bytes(),
+        )
+    }
+
+    /// `POST path` with a JSON body and a per-request deadline budget
+    /// (the `x-xmem-deadline-ms` header).
+    ///
+    /// # Errors
+    /// See [`request`](Self::request).
+    pub fn post_json_with_deadline(
+        &mut self,
+        path: &str,
+        json: &str,
+        deadline_ms: u64,
+    ) -> std::io::Result<ClientResponse> {
+        let deadline = deadline_ms.to_string();
+        self.request(
+            "POST",
+            path,
+            &[
+                ("content-type", "application/json"),
+                (crate::api::DEADLINE_HEADER, deadline.as_str()),
+            ],
+            json.as_bytes(),
+        )
+    }
+}

@@ -1,0 +1,72 @@
+//! Network serving front end: a dependency-free HTTP/1.1 server exposing
+//! the estimation service to schedulers over the wire.
+//!
+//! xMem's deployment shape is an estimator sitting *in front of* a GPU
+//! cluster, answering admission and placement questions before a job ever
+//! touches a device. PRs 1–4 built that engine — sharded caches, an async
+//! runtime, the device matrix, the replay fast path — and this crate is
+//! its ingress: a hand-rolled HTTP/1.1 server over `std::net` (the build
+//! environment has no crates.io, and the wire protocol is small enough to
+//! own), so any scheduler that can speak HTTP can ask.
+//!
+//! * [`wire`] — an incremental, strictly bounded request parser and a
+//!   deterministic response writer. Malformed or oversized input answers
+//!   `400`/`413`/`431`/`501`; it never panics a worker.
+//! * [`server`] — the acceptor + bounded connection-worker pool, routing
+//!   into the shared [`AsyncEstimationService`](xmem_service::AsyncEstimationService):
+//!   `POST /v1/estimate`, `/v1/matrix`, `/v1/sweep`, `/v1/plan`,
+//!   `/v1/best-device`, with per-request deadlines
+//!   (`x-xmem-deadline-ms` → `504`), queue backpressure
+//!   (`503` + `retry-after`), `GET /healthz`, `GET /metrics`
+//!   (Prometheus text), and graceful drain (`POST /v1/shutdown` or
+//!   [`ServerHandle::shutdown`]) that answers every in-flight request
+//!   before closing.
+//! * [`api`] — the JSON request/response bodies. Jobs use the same
+//!   grammar as the CLI and job files ([`xmem_service::jobspec`]);
+//!   responses are rendered through public functions, so a test can
+//!   assert a loopback response is **byte-identical** to rendering the
+//!   direct service call's result.
+//! * [`client`] — a minimal blocking keep-alive client, reused by the
+//!   load bench, the examples, and the integration tests.
+//! * [`metrics`] — wire counters and per-route latency histograms, plus
+//!   the Prometheus rendering of every counter the service already
+//!   tracks.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xmem_server::{HttpClient, ServerConfig, ServerHandle};
+//! use xmem_service::AsyncEstimationService;
+//! use xmem_runtime::GpuDevice;
+//!
+//! let service = Arc::new(AsyncEstimationService::for_device(GpuDevice::rtx3060()));
+//! let server = ServerHandle::bind("127.0.0.1:0", service, ServerConfig::default()).unwrap();
+//! let mut client = HttpClient::connect(server.local_addr()).unwrap();
+//! let health = client.get("/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//! let answer = client
+//!     .post_json(
+//!         "/v1/estimate",
+//!         r#"{"model": "MobeNetV3Small", "optimizer": "Adam", "batch": 8, "iterations": 2}"#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(answer.status, 200);
+//! assert!(answer.text().contains("peak_bytes"));
+//! let report = server.shutdown();
+//! assert!(report.clean);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientResponse, HttpClient};
+pub use metrics::{LatencyHistogram, Route, ServerMetrics};
+pub use server::{DrainReport, ServerConfig, ServerHandle};
+pub use wire::{Request, RequestParser, Response, WireError, WireLimits};

@@ -1,0 +1,479 @@
+//! The serving loop: a `std::net` acceptor thread feeding a bounded pool
+//! of connection workers, with keep-alive, per-request deadlines,
+//! backpressure, and graceful drain.
+//!
+//! # Threading model
+//!
+//! One acceptor thread accepts sockets and hands them to a bounded queue;
+//! `ServerConfig::workers` connection workers each own one connection at
+//! a time and run its keep-alive loop (parse → route → estimate → write).
+//! Estimation itself is submitted to the shared
+//! [`AsyncEstimationService`], so the expensive work rides the service's
+//! own worker pool and cache layers; connection workers mostly block on
+//! futures. When the accept queue is full the acceptor answers `503`
+//! directly and closes — load has a hard edge instead of an unbounded
+//! backlog.
+//!
+//! # Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] (or `POST /v1/shutdown` on the wire — the
+//! SIGTERM-equivalent for environments that deliver signals out of band)
+//! flips the drain flag: the acceptor stops accepting, and every worker
+//! finishes the request it is serving, answers it with
+//! `connection: close`, and exits; a mid-transmission request gets up to
+//! [`ServerConfig::drain_timeout`] to finish arriving. In-flight work is
+//! never abandoned — the drain deadline bounds *waiting for bytes*, not
+//! the completion of accepted requests. The one thing a drain does shed
+//! is pipelined requests queued *behind* the one being answered: the
+//! `connection: close` on that answer tells the client exactly which
+//! requests went unprocessed (standard HTTP semantics — safe to retry
+//! elsewhere).
+
+use crate::api;
+use crate::metrics::{Route, ServerMetrics};
+use crate::wire::{self, RequestParser, Response, WireLimits};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xmem_service::AsyncEstimationService;
+
+/// How often blocked reads wake up to re-check the drain flag and idle
+/// budget.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Configuration of an [`ServerHandle`]-managed HTTP server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection worker threads — the concurrent-connection ceiling.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connection queue; past it the acceptor
+    /// answers `503` at accept time.
+    pub queue_depth: usize,
+    /// Wire-level request limits.
+    pub limits: WireLimits,
+    /// Idle keep-alive connections are closed after this long.
+    pub keep_alive_timeout: Duration,
+    /// During drain, how long a worker waits for the rest of a
+    /// mid-transmission request before giving up on the connection.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    /// 64 connection workers, a 128-deep accept queue, default wire
+    /// limits, 30 s keep-alive idle budget, 5 s drain grace.
+    fn default() -> Self {
+        ServerConfig {
+            workers: 64,
+            queue_depth: 128,
+            limits: WireLimits::default(),
+            keep_alive_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Overrides the connection-worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the accept-queue depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Overrides the wire limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: WireLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Overrides the keep-alive idle budget.
+    #[must_use]
+    pub fn with_keep_alive_timeout(mut self, timeout: Duration) -> Self {
+        self.keep_alive_timeout = timeout;
+        self
+    }
+
+    /// Overrides the drain grace for mid-transmission requests.
+    #[must_use]
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+#[derive(Debug)]
+struct Shared {
+    service: Arc<AsyncEstimationService>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    addr: SocketAddr,
+    draining: AtomicBool,
+    /// Signals [`ServerHandle::wait`]ers when a drain is triggered.
+    drain_signal: (Mutex<bool>, Condvar),
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the drain flag (idempotently) and wakes the acceptor with a
+    /// loopback connection so a blocked `accept` observes it.
+    fn trigger_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.metrics.set_draining();
+        let (lock, condvar) = &self.drain_signal;
+        *lock.lock().expect("drain signal poisoned") = true;
+        condvar.notify_all();
+        // Wake the acceptor out of `accept`. Nothing to do on failure —
+        // the listener is gone, which is what we wanted anyway.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// Outcome of a completed drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every worker exited within the drain deadline. `false`
+    /// means stragglers were abandoned (still completing work, e.g. a
+    /// very long estimate) when the deadline expired.
+    pub clean: bool,
+    /// Requests the server answered over its lifetime.
+    pub requests_served: u64,
+}
+
+/// A running server: the acceptor + worker threads behind one bound
+/// address. Dropping the handle triggers a drain but does not wait for
+/// it; call [`shutdown`](Self::shutdown) for the bounded, observable
+/// version.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `service`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<AsyncEstimationService>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config: config.clone(),
+            metrics: ServerMetrics::new(),
+            addr,
+            draining: AtomicBool::new(false),
+            drain_signal: (Mutex::new(false), Condvar::new()),
+        });
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("xmem-http-{i}"))
+                    .spawn(move || worker_loop(&shared, &receiver))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xmem-http-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &sender))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// This server's wire metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// The served estimation service.
+    #[must_use]
+    pub fn service(&self) -> &Arc<AsyncEstimationService> {
+        &self.shared.service
+    }
+
+    /// Whether a drain has been triggered (locally or over the wire).
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Initiates a drain without waiting for it — the programmatic
+    /// SIGTERM-equivalent. Idempotent.
+    pub fn trigger_drain(&self) {
+        self.shared.trigger_drain();
+    }
+
+    /// Blocks until a drain is triggered — by
+    /// [`trigger_drain`](Self::trigger_drain)
+    /// (another thread holding a reference) or by `POST /v1/shutdown`
+    /// over the wire — then completes the drain and joins the server
+    /// threads. This is what `xmem-cli listen` parks on.
+    pub fn wait(mut self) -> DrainReport {
+        {
+            let (lock, condvar) = &self.shared.drain_signal;
+            let mut triggered = lock.lock().expect("drain signal poisoned");
+            while !*triggered {
+                triggered = condvar.wait(triggered).expect("drain signal poisoned");
+            }
+        }
+        self.join_threads()
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// complete and be answered, close all connections, join the server
+    /// threads. Waiting for stragglers is bounded by the drain timeout
+    /// plus the keep-alive poll interval; [`DrainReport::clean`] reports
+    /// whether everyone made it.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.trigger_drain();
+        self.join_threads()
+    }
+
+    fn join_threads(&mut self) -> DrainReport {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Workers exit on their own: every blocking operation they
+        // perform either has a timeout or is an in-flight estimate that
+        // completes. Bound the wait for stragglers rather than joining
+        // unconditionally.
+        let deadline = Instant::now() + self.shared.config.drain_timeout + POLL_INTERVAL * 4;
+        let mut clean = true;
+        while let Some(worker) = self.workers.pop() {
+            while !worker.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if worker.is_finished() {
+                let _ = worker.join();
+            } else {
+                // Still answering an in-flight request past the deadline:
+                // abandon the join (the thread finishes on its own).
+                clean = false;
+            }
+        }
+        DrainReport {
+            clean,
+            requests_served: self.shared.metrics.requests_total(),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.trigger_drain();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, sender: &SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.metrics.connection_opened();
+        match sender.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                // Hard edge: answer 503 inline and close.
+                shared.metrics.connection_rejected();
+                shared.metrics.record_status(503);
+                let response = api::busy_response().to_bytes(false);
+                let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = stream.write_all(&response);
+                shared.metrics.connection_closed();
+            }
+        }
+    }
+    // Dropping the sender lets idle workers drain the queue and exit.
+}
+
+fn worker_loop(shared: &Shared, receiver: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let next = receiver.lock().expect("connection queue poisoned").recv();
+        match next {
+            Ok(stream) => {
+                handle_connection(shared, stream);
+                shared.metrics.connection_closed();
+            }
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+/// Runs one connection's keep-alive loop to completion.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut parser = RequestParser::new(shared.config.limits.clone());
+    let mut buf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    // When we first observed the drain while mid-request: bounds how long
+    // we wait for the rest of that request.
+    let mut drain_observed: Option<Instant> = None;
+
+    loop {
+        // Serve every complete request already buffered (pipelining).
+        loop {
+            match parser.poll() {
+                Ok(Some(request)) => {
+                    last_activity = Instant::now();
+                    let keep_alive = serve_request(shared, &mut stream, &request);
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    shared.metrics.wire_error();
+                    let response = wire::error_response(&error);
+                    shared.metrics.record_status(response.status);
+                    write_response(shared, &mut stream, &response, false);
+                    return;
+                }
+            }
+        }
+        if shared.draining() {
+            let observed = *drain_observed.get_or_insert_with(Instant::now);
+            if parser.mid_request() {
+                if observed.elapsed() > shared.config.drain_timeout {
+                    // The rest of the request never arrived.
+                    return;
+                }
+            } else if observed.elapsed() > POLL_INTERVAL {
+                // Quiet connection during a drain: give a request the
+                // client sent before it learned of the drain one poll
+                // interval to surface from the socket buffer, then close.
+                return;
+            }
+        } else if last_activity.elapsed() > shared.config.keep_alive_timeout {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                shared.metrics.add_bytes_read(n as u64);
+                parser.feed(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes and answers one request; returns whether to keep the
+/// connection.
+fn serve_request(shared: &Shared, stream: &mut TcpStream, request: &wire::Request) -> bool {
+    let started = Instant::now();
+    let (route, response) = respond(shared, request);
+    shared
+        .metrics
+        .record_request(route, response.status, started.elapsed());
+    // A drain observed after this request was parsed still answers it —
+    // that is the "drain in-flight" contract — but closes afterwards.
+    let keep_alive = request.wants_keep_alive() && !shared.draining();
+    write_response(shared, stream, &response, keep_alive) && keep_alive
+}
+
+fn write_response(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> bool {
+    let bytes = response.to_bytes(keep_alive);
+    shared.metrics.add_bytes_written(bytes.len() as u64);
+    stream.write_all(&bytes).is_ok() && stream.flush().is_ok()
+}
+
+/// The route table.
+fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
+    let service = &shared.service;
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => {
+            let status = if shared.draining() { "draining" } else { "ok" };
+            (
+                Route::Healthz,
+                Response::json(200, format!("{{\"status\":\"{status}\"}}")),
+            )
+        }
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            Response::text(200, shared.metrics.render_prometheus(service.service())),
+        ),
+        ("POST", "/v1/estimate") => (Route::Estimate, api::handle_estimate(service, request)),
+        ("POST", "/v1/matrix") => (Route::Matrix, api::handle_matrix(service, request)),
+        ("POST", "/v1/sweep") => (Route::Sweep, api::handle_sweep(service, request)),
+        ("POST", "/v1/plan") => (Route::Plan, api::handle_plan(service, request)),
+        ("POST", "/v1/best-device") => {
+            (Route::BestDevice, api::handle_best_device(service, request))
+        }
+        ("POST", "/v1/shutdown") => {
+            shared.trigger_drain();
+            (
+                Route::Shutdown,
+                Response::json(200, "{\"status\":\"draining\"}".to_string()),
+            )
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/estimate" | "/v1/matrix" | "/v1/sweep" | "/v1/plan"
+            | "/v1/best-device" | "/v1/shutdown",
+        ) => (
+            Route::Unmatched,
+            Response::json(405, api::error_body("method_not_allowed", "wrong method")),
+        ),
+        (_, path) => (
+            Route::Unmatched,
+            Response::json(
+                404,
+                api::error_body("not_found", &format!("no route for `{path}`")),
+            ),
+        ),
+    }
+}

@@ -1,5 +1,6 @@
-//! Sharded, mutex-per-shard LRU cache with O(1) eviction and an optional
-//! bytes budget.
+//! Sharded, mutex-per-shard LRU cache with O(1) eviction, an optional
+//! bytes budget, and an optional segmented (probation/protected)
+//! admission policy.
 //!
 //! Keys are spread across `shards` independent maps by hash, so concurrent
 //! estimation threads contend only when they touch the same shard. Each
@@ -17,6 +18,20 @@
 //! limits hold. Entries costlier than their whole shard slice are not
 //! cached at all (counted in [`CacheStats::rejected`]) — callers still get
 //! their computed value, it just will not be retained.
+//!
+//! **Segmented admission**
+//! ([`ShardedLruCache::with_segmented_admission`]): plain LRU is
+//! scan-vulnerable — a one-shot batch-size sweep or admission-control
+//! probe storm inserts a run of never-again-touched keys that flush the
+//! genuinely hot entries. In segmented mode each shard runs the classic
+//! SLRU discipline: new entries land in a **probation** segment, a hit on
+//! a probation entry **promotes** it to the **protected** segment
+//! (counted in [`CacheStats::promoted`]), the protected segment is capped
+//! at a configured fraction of the shard (its LRU demotes back to
+//! probation's MRU when over), and eviction victims come from probation
+//! first. One-shot keys then die in probation without ever displacing a
+//! re-referenced entry. Both recency segments are threaded through the
+//! same slab, so every operation stays O(1).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -41,6 +56,9 @@ pub struct CacheStats {
     /// Entries refused because their cost alone exceeded the shard's
     /// bytes-budget slice (the value was still returned to the caller).
     pub rejected: u64,
+    /// Probation entries promoted to the protected segment on a hit
+    /// (always 0 unless segmented admission is configured).
+    pub promoted: u64,
 }
 
 impl CacheStats {
@@ -52,11 +70,18 @@ impl CacheStats {
         self.insertions += other.insertions;
         self.evictions += other.evictions;
         self.rejected += other.rejected;
+        self.promoted += other.promoted;
     }
 }
 
 /// Sentinel index terminating the intrusive list.
 const NIL: u32 = u32::MAX;
+
+/// Which recency list a node is threaded through. Plain (non-segmented)
+/// shards keep everything in `Probation`.
+const PROBATION: usize = 0;
+/// The re-referenced segment of a segmented shard.
+const PROTECTED: usize = 1;
 
 #[derive(Debug)]
 struct Node<K, V> {
@@ -66,18 +91,39 @@ struct Node<K, V> {
     cost: u64,
     prev: u32,
     next: u32,
+    /// Which recency list ([`PROBATION`] or [`PROTECTED`]) threads this
+    /// node.
+    segment: usize,
+}
+
+/// Head/tail indices of one intrusive recency list (head = MRU,
+/// tail = LRU).
+#[derive(Debug, Clone, Copy)]
+struct ListEnds {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for ListEnds {
+    fn default() -> Self {
+        ListEnds {
+            head: NIL,
+            tail: NIL,
+        }
+    }
 }
 
 /// One lock's worth of the cache: a key → slab-index map plus the
-/// intrusive recency list threaded through the slab (head = MRU,
-/// tail = LRU). All list surgery is O(1).
+/// intrusive recency lists threaded through the slab. All list surgery is
+/// O(1). Non-segmented shards use only the probation list.
 #[derive(Debug)]
 struct Shard<K, V> {
     map: HashMap<K, u32>,
     nodes: Vec<Option<Node<K, V>>>,
     free: Vec<u32>,
-    head: u32,
-    tail: u32,
+    lists: [ListEnds; 2],
+    /// Entries currently in the protected list.
+    protected_len: usize,
     /// Sum of live entry costs.
     bytes: u64,
 }
@@ -88,8 +134,8 @@ impl<K, V> Default for Shard<K, V> {
             map: HashMap::new(),
             nodes: Vec::new(),
             free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            lists: [ListEnds::default(); 2],
+            protected_len: 0,
             bytes: 0,
         }
     }
@@ -108,48 +154,73 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             .expect("vacant lru slot")
     }
 
-    /// Detaches `index` from the recency list (it stays in the slab/map).
+    /// Detaches `index` from its recency list (it stays in the slab/map).
     fn unlink(&mut self, index: u32) {
-        let (prev, next) = {
+        let (prev, next, segment) = {
             let n = self.node(index);
-            (n.prev, n.next)
+            (n.prev, n.next, n.segment)
         };
         if prev == NIL {
-            self.head = next;
+            self.lists[segment].head = next;
         } else {
             self.node_mut(prev).next = next;
         }
         if next == NIL {
-            self.tail = prev;
+            self.lists[segment].tail = prev;
         } else {
             self.node_mut(next).prev = prev;
         }
+        if segment == PROTECTED {
+            self.protected_len -= 1;
+        }
     }
 
-    /// Links `index` at the MRU end.
-    fn push_front(&mut self, index: u32) {
-        let old_head = self.head;
+    /// Links `index` at the MRU end of `segment`.
+    fn push_front(&mut self, index: u32, segment: usize) {
+        let old_head = self.lists[segment].head;
         {
             let n = self.node_mut(index);
             n.prev = NIL;
             n.next = old_head;
+            n.segment = segment;
         }
         if old_head != NIL {
             self.node_mut(old_head).prev = index;
         }
-        self.head = index;
-        if self.tail == NIL {
-            self.tail = index;
+        self.lists[segment].head = index;
+        if self.lists[segment].tail == NIL {
+            self.lists[segment].tail = index;
+        }
+        if segment == PROTECTED {
+            self.protected_len += 1;
         }
     }
 
-    fn touch(&mut self, key: &K) -> Option<V> {
-        let index = *self.map.get(key)?;
-        if self.head != index {
+    /// Refreshes `key`'s recency. In segmented mode (`protected_cap > 0`)
+    /// a probation hit promotes the entry into the protected segment,
+    /// demoting that segment's LRU back to probation's MRU when it
+    /// overflows. Returns the value and whether a promotion happened.
+    fn touch(&mut self, key: &K, protected_cap: usize) -> (Option<V>, bool) {
+        let Some(&index) = self.map.get(key) else {
+            return (None, false);
+        };
+        let segment = self.node(index).segment;
+        let mut promoted = false;
+        if protected_cap > 0 && segment == PROBATION {
             self.unlink(index);
-            self.push_front(index);
+            self.push_front(index, PROTECTED);
+            promoted = true;
+            // At most one entry over the cap: demote the protected LRU.
+            if self.protected_len > protected_cap {
+                let demoted = self.lists[PROTECTED].tail;
+                self.unlink(demoted);
+                self.push_front(demoted, PROBATION);
+            }
+        } else if self.lists[segment].head != index {
+            self.unlink(index);
+            self.push_front(index, segment);
         }
-        Some(self.node(index).value.clone())
+        (Some(self.node(index).value.clone()), promoted)
     }
 
     fn peek(&self, key: &K) -> Option<V> {
@@ -166,9 +237,15 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         self.bytes -= node.cost;
     }
 
-    /// Removes the LRU entry. Must not be called on an empty shard.
+    /// Removes the LRU entry — probation's tail when probation is
+    /// non-empty (one-shot keys die first), otherwise protected's. Must
+    /// not be called on an empty shard.
     fn evict_tail(&mut self) {
-        let victim = self.tail;
+        let victim = if self.lists[PROBATION].tail != NIL {
+            self.lists[PROBATION].tail
+        } else {
+            self.lists[PROTECTED].tail
+        };
         debug_assert_ne!(victim, NIL, "evict on empty shard");
         self.remove_index(victim);
     }
@@ -196,17 +273,20 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             }
         }
         if let Some(&index) = self.map.get(&key) {
-            // Replacement: refresh value, cost and recency in place.
+            // Replacement: refresh value, cost and recency in place. The
+            // entry keeps its segment — a write is not the re-reference
+            // that earns promotion.
             self.bytes -= self.node(index).cost;
             self.bytes += cost;
-            {
+            let segment = {
                 let n = self.node_mut(index);
                 n.value = value;
                 n.cost = cost;
-            }
-            if self.head != index {
+                n.segment
+            };
+            if self.lists[segment].head != index {
                 self.unlink(index);
-                self.push_front(index);
+                self.push_front(index, segment);
             }
         } else {
             let node = Node {
@@ -215,6 +295,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 cost,
                 prev: NIL,
                 next: NIL,
+                segment: PROBATION,
             };
             let index = match self.free.pop() {
                 Some(slot) => {
@@ -228,7 +309,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             };
             self.map.insert(key, index);
             self.bytes += cost;
-            self.push_front(index);
+            self.push_front(index, PROBATION);
         }
         let mut evicted = 0;
         while self.map.len() > capacity || budget.is_some_and(|b| self.bytes > b) {
@@ -249,6 +330,10 @@ pub struct ShardedLruCache<K, V> {
     /// Per-shard bytes-budget slices (summing to the configured total), or
     /// `None` for an entry-count-only cache.
     budgets: Option<Vec<u64>>,
+    /// Per-shard caps on the protected segment; 0 everywhere (the
+    /// default) disables segmented admission and the shard behaves as a
+    /// plain LRU.
+    protected_caps: Vec<usize>,
     /// Computes an entry's budget cost. The default weigher costs
     /// everything 0, so a budget only binds when a real weigher is set.
     weigher: fn(&V) -> u64,
@@ -257,6 +342,7 @@ pub struct ShardedLruCache<K, V> {
     insertions: AtomicU64,
     evictions: AtomicU64,
     rejected: AtomicU64,
+    promoted: AtomicU64,
 }
 
 fn zero_weight<V>(_: &V) -> u64 {
@@ -278,13 +364,43 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             capacities: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
             budgets: None,
+            protected_caps: vec![0; shards],
             weigher: zero_weight::<V>,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
         }
+    }
+
+    /// Enables segmented (probation/protected) admission: each shard
+    /// reserves `protected_frac` of its capacity slice for entries that
+    /// were hit at least once after insertion. New entries start in
+    /// probation, a hit promotes ([`CacheStats::promoted`]), the protected
+    /// segment's LRU demotes back to probation when the segment overflows,
+    /// and eviction victims come from probation first — so a scan of
+    /// one-shot keys (a batch-size sweep, an admission-probe storm) cannot
+    /// flush re-referenced entries.
+    ///
+    /// `protected_frac` is clamped to `[0.0, 1.0]`; a fraction that
+    /// rounds to a zero-entry protected segment for some shard leaves
+    /// that shard in plain LRU mode.
+    #[must_use]
+    pub fn with_segmented_admission(mut self, protected_frac: f64) -> Self {
+        let frac = protected_frac.clamp(0.0, 1.0);
+        self.protected_caps = self
+            .capacities
+            .iter()
+            .map(|&cap| {
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+                #[allow(clippy::cast_sign_loss)]
+                let protected = (cap as f64 * frac).round() as usize;
+                protected.min(cap)
+            })
+            .collect();
+        self
     }
 
     /// Adds a bytes budget: `weigher` prices every inserted value, and
@@ -364,17 +480,22 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             .peek(key)
     }
 
-    /// Looks up `key`, refreshing its recency.
+    /// Looks up `key`, refreshing its recency (and, in segmented mode,
+    /// promoting a probation entry to the protected segment).
     #[must_use]
     pub fn get(&self, key: &K) -> Option<V> {
-        let found = self.shards[self.shard_index(key)]
+        let index = self.shard_index(key);
+        let (found, promoted) = self.shards[index]
             .lock()
             .expect("cache shard poisoned")
-            .touch(key);
+            .touch(key, self.protected_caps[index]);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if promoted {
+            self.promoted.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
@@ -423,6 +544,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            promoted: self.promoted.load(Ordering::Relaxed),
         }
     }
 
@@ -433,27 +555,39 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     /// # Panics
     /// Panics on any violated invariant.
     pub fn check_invariants(&self) {
-        for (shard, &capacity) in self.shards.iter().zip(&self.capacities) {
+        for (i, (shard, &capacity)) in self.shards.iter().zip(&self.capacities).enumerate() {
             let shard = shard.lock().expect("cache shard poisoned");
             assert!(shard.map.len() <= capacity, "shard over capacity");
             let mut seen = 0usize;
             let mut bytes = 0u64;
-            let mut prev = NIL;
-            let mut cursor = shard.head;
-            while cursor != NIL {
-                let node = shard.node(cursor);
-                assert_eq!(node.prev, prev, "broken prev link");
-                assert_eq!(
-                    shard.map.get(&node.key),
-                    Some(&cursor),
-                    "listed node missing from map"
-                );
-                seen += 1;
-                bytes += node.cost;
-                prev = cursor;
-                cursor = node.next;
+            for segment in [PROBATION, PROTECTED] {
+                let mut segment_len = 0usize;
+                let mut prev = NIL;
+                let mut cursor = shard.lists[segment].head;
+                while cursor != NIL {
+                    let node = shard.node(cursor);
+                    assert_eq!(node.prev, prev, "broken prev link");
+                    assert_eq!(node.segment, segment, "node in the wrong list");
+                    assert_eq!(
+                        shard.map.get(&node.key),
+                        Some(&cursor),
+                        "listed node missing from map"
+                    );
+                    seen += 1;
+                    segment_len += 1;
+                    bytes += node.cost;
+                    prev = cursor;
+                    cursor = node.next;
+                }
+                assert_eq!(shard.lists[segment].tail, prev, "tail must end the list");
+                if segment == PROTECTED {
+                    assert_eq!(segment_len, shard.protected_len, "protected gauge drift");
+                    assert!(
+                        segment_len <= self.protected_caps[i],
+                        "protected segment over its cap"
+                    );
+                }
             }
-            assert_eq!(shard.tail, prev, "tail must end the list");
             assert_eq!(seen, shard.map.len(), "list/map size mismatch");
             assert_eq!(bytes, shard.bytes, "byte gauge drift");
             assert_eq!(shard.free.len() + seen, shard.nodes.len(), "slab slot leak");
@@ -637,6 +771,73 @@ mod tests {
             cache.insert(k, 7);
         }
         assert!(cache.bytes_in_use() <= 1000);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn segmented_admission_resists_a_one_shot_scan() {
+        // Capacity 4, half protected. Two hot keys are hit once each
+        // (promoted), then a scan of 8 one-shot keys rolls through: the
+        // hot keys must survive in the protected segment.
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(4, 1).with_segmented_admission(0.5);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.stats().promoted, 2);
+        for k in 100..108 {
+            cache.insert(k, k);
+            cache.check_invariants();
+        }
+        assert_eq!(cache.peek(&1), Some(10), "hot key flushed by scan");
+        assert_eq!(cache.peek(&2), Some(20), "hot key flushed by scan");
+        // The same scan against a plain LRU flushes both hot keys.
+        let plain: ShardedLruCache<u32, u32> = ShardedLruCache::new(4, 1);
+        plain.insert(1, 10);
+        plain.insert(2, 20);
+        assert_eq!(plain.get(&1), Some(10));
+        assert_eq!(plain.get(&2), Some(20));
+        for k in 100..108 {
+            plain.insert(k, k);
+        }
+        assert_eq!(plain.peek(&1), None);
+        assert_eq!(plain.peek(&2), None);
+        assert_eq!(plain.stats().promoted, 0, "plain mode never promotes");
+    }
+
+    #[test]
+    fn protected_overflow_demotes_its_lru_back_to_probation() {
+        // Protected cap 1: promoting a second key demotes the first back
+        // to probation (as its MRU), where an eviction can reach it.
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(4, 1).with_segmented_admission(0.25);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(10)); // 1 → protected
+        assert_eq!(cache.get(&2), Some(20)); // 2 → protected, 1 demoted
+        assert_eq!(cache.stats().promoted, 2);
+        cache.check_invariants();
+        // Fill with one-shot keys: 2 (protected) survives every eviction;
+        // demoted 1 is probation's MRU, so it outlives the older scan keys
+        // but eventually falls to the scan itself.
+        cache.insert(3, 30);
+        cache.insert(4, 40);
+        cache.insert(5, 50);
+        assert_eq!(cache.peek(&2), Some(20), "protected key evicted");
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn a_rehit_in_probation_promotes_again_after_demotion() {
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(4, 1).with_segmented_admission(0.25);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10)); // promote
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&2), Some(20)); // promote 2, demote 1
+        assert_eq!(cache.get(&1), Some(10)); // re-promote 1, demote 2
+        assert_eq!(cache.stats().promoted, 3);
         cache.check_invariants();
     }
 

@@ -54,6 +54,7 @@
 mod cache;
 mod executor;
 mod future;
+pub mod jobspec;
 mod key;
 mod negative;
 mod registry;

@@ -101,6 +101,13 @@ pub struct ServiceConfig {
     /// least-recently-used device shard is retired (counter history
     /// preserved). Bounds memory for registries churned programmatically.
     pub max_device_shards: usize,
+    /// Optional segmented (probation/protected) admission on the stage
+    /// cache: the fraction of each cache shard reserved for entries hit
+    /// at least once after insertion, so one-shot sweep/probe keys cannot
+    /// flush hot analyses (see
+    /// [`ShardedLruCache::with_segmented_admission`]). `None` (default)
+    /// keeps plain LRU admission.
+    pub segmented_protected_frac: Option<f64>,
 }
 
 impl ServiceConfig {
@@ -121,7 +128,17 @@ impl ServiceConfig {
             retain_traces: true,
             fast_path: true,
             max_device_shards: 64,
+            segmented_protected_frac: None,
         }
+    }
+
+    /// Enables segmented (probation/protected) admission on the stage
+    /// cache (see
+    /// [`segmented_protected_frac`](Self::segmented_protected_frac)).
+    #[must_use]
+    pub fn with_segmented_admission(mut self, protected_frac: f64) -> Self {
+        self.segmented_protected_frac = Some(protected_frac);
+        self
     }
 
     /// Overrides the device registry (the cluster's fleet description).
@@ -249,6 +266,9 @@ impl EstimationService {
         let mut cache = ShardedLruCache::new(config.cache_capacity, config.shards);
         if let Some(budget) = config.cache_bytes_budget {
             cache = cache.with_bytes_budget(budget, stages_weight);
+        }
+        if let Some(frac) = config.segmented_protected_frac {
+            cache = cache.with_segmented_admission(frac);
         }
         let negative = NegativeCache::new(config.negative_ttl, config.negative_capacity);
         let sims = SimShards::new(config.cache_capacity, config.shards)
@@ -1120,9 +1140,33 @@ impl AsyncEstimationService {
         base: &TrainJobSpec,
         batches: &[usize],
     ) -> Result<SweepFuture, SubmitError> {
+        self.sweep_inner(base, batches, None)
+    }
+
+    /// [`sweep_async`](Self::sweep_async) with a deadline on the whole
+    /// sweep: past it the future resolves to
+    /// [`EstimateError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn sweep_async_with_deadline(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        deadline: Instant,
+    ) -> Result<SweepFuture, SubmitError> {
+        self.sweep_inner(base, batches, Some(deadline))
+    }
+
+    fn sweep_inner(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        deadline: Option<Instant>,
+    ) -> Result<SweepFuture, SubmitError> {
         let base = base.clone();
         let batches = batches.to_vec();
-        self.dispatch(None, move |service| Ok(service.sweep(&base, &batches)))
+        self.dispatch(deadline, move |service| Ok(service.sweep(&base, &batches)))
     }
 
     /// Submits an admission-control query: the largest batch in
@@ -1142,9 +1186,40 @@ impl AsyncEstimationService {
         lo: usize,
         hi: usize,
     ) -> Result<PlanFuture, SubmitError> {
+        self.plan_inner(base, device, lo, hi, None)
+    }
+
+    /// [`max_batch_for_device_async`](Self::max_batch_for_device_async)
+    /// with a deadline: past it the future resolves to
+    /// [`EstimateError::DeadlineExceeded`].
+    ///
+    /// # Panics
+    /// Panics (before dispatch) unless `1 <= lo <= hi`.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn max_batch_for_device_async_with_deadline(
+        &self,
+        base: &TrainJobSpec,
+        device: GpuDevice,
+        lo: usize,
+        hi: usize,
+        deadline: Instant,
+    ) -> Result<PlanFuture, SubmitError> {
+        self.plan_inner(base, device, lo, hi, Some(deadline))
+    }
+
+    fn plan_inner(
+        &self,
+        base: &TrainJobSpec,
+        device: GpuDevice,
+        lo: usize,
+        hi: usize,
+        deadline: Option<Instant>,
+    ) -> Result<PlanFuture, SubmitError> {
         assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
         let base = base.clone();
-        self.dispatch(None, move |service| {
+        self.dispatch(deadline, move |service| {
             service.max_batch_for_device(&base, device, lo, hi)
         })
     }
@@ -1161,9 +1236,33 @@ impl AsyncEstimationService {
         spec: &TrainJobSpec,
         device_name: &str,
     ) -> Result<EstimateFuture, SubmitError> {
+        self.submit_on_inner(spec, device_name, None)
+    }
+
+    /// [`submit_on`](Self::submit_on) with a deadline: past it the future
+    /// resolves to [`EstimateError::DeadlineExceeded`], and an unclaimed
+    /// job never runs.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn submit_on_with_deadline(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: &str,
+        deadline: Instant,
+    ) -> Result<EstimateFuture, SubmitError> {
+        self.submit_on_inner(spec, device_name, Some(deadline))
+    }
+
+    fn submit_on_inner(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: &str,
+        deadline: Option<Instant>,
+    ) -> Result<EstimateFuture, SubmitError> {
         let spec = spec.clone();
         let device_name = device_name.to_string();
-        self.dispatch(None, move |service| {
+        self.dispatch(deadline, move |service| {
             service.estimate_on(&spec, &device_name)
         })
     }
@@ -1180,9 +1279,33 @@ impl AsyncEstimationService {
         specs: &[TrainJobSpec],
         devices: &[&str],
     ) -> Result<MatrixFuture, SubmitError> {
+        self.matrix_inner(specs, devices, None)
+    }
+
+    /// [`submit_matrix`](Self::submit_matrix) with a deadline on the whole
+    /// matrix: past it the future resolves to
+    /// [`EstimateError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn submit_matrix_with_deadline(
+        &self,
+        specs: &[TrainJobSpec],
+        devices: &[&str],
+        deadline: Instant,
+    ) -> Result<MatrixFuture, SubmitError> {
+        self.matrix_inner(specs, devices, Some(deadline))
+    }
+
+    fn matrix_inner(
+        &self,
+        specs: &[TrainJobSpec],
+        devices: &[&str],
+        deadline: Option<Instant>,
+    ) -> Result<MatrixFuture, SubmitError> {
         let specs = specs.to_vec();
         let devices: Vec<String> = devices.iter().map(|&d| d.to_string()).collect();
-        self.dispatch(None, move |service| {
+        self.dispatch(deadline, move |service| {
             let names: Vec<&str> = devices.iter().map(String::as_str).collect();
             service.estimate_matrix(&specs, &names)
         })
@@ -1197,8 +1320,30 @@ impl AsyncEstimationService {
         &self,
         spec: &TrainJobSpec,
     ) -> Result<PlacementFuture, SubmitError> {
+        self.placement_inner(spec, None)
+    }
+
+    /// [`best_device_for_job_async`](Self::best_device_for_job_async)
+    /// with a deadline: past it the future resolves to
+    /// [`EstimateError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn best_device_for_job_async_with_deadline(
+        &self,
+        spec: &TrainJobSpec,
+        deadline: Instant,
+    ) -> Result<PlacementFuture, SubmitError> {
+        self.placement_inner(spec, Some(deadline))
+    }
+
+    fn placement_inner(
+        &self,
+        spec: &TrainJobSpec,
+        deadline: Option<Instant>,
+    ) -> Result<PlacementFuture, SubmitError> {
         let spec = spec.clone();
-        self.dispatch(None, move |service| service.best_device_for_job(&spec))
+        self.dispatch(deadline, move |service| service.best_device_for_job(&spec))
     }
 
     /// Panics that escaped a raw pool job and were caught by the worker

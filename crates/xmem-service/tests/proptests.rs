@@ -273,6 +273,157 @@ proptest! {
     }
 }
 
+/// The segmented (SLRU) reference model: per-key `(value, cost, tick,
+/// protected)` with a global clock. A get promotes a probation entry to
+/// protected (demoting the oldest protected entry when the segment
+/// overflows, stamping it with a fresh tick — the demoted entry lands at
+/// probation's MRU in the real cache), and eviction victims are the
+/// oldest probation entry first, then the oldest protected one.
+#[derive(Debug, Default)]
+struct SegmentedModel {
+    map: HashMap<u16, (u64, u64, u64, bool)>, // key -> (value, cost, tick, protected)
+    clock: u64,
+    evictions: u64,
+    rejected: u64,
+    promoted: u64,
+    protected_cap: usize,
+}
+
+impl SegmentedModel {
+    fn protected_len(&self) -> usize {
+        self.map.values().filter(|e| e.3).count()
+    }
+
+    fn oldest(&self, protected: bool) -> Option<u16> {
+        self.map
+            .iter()
+            .filter(|(_, &(_, _, _, p))| p == protected)
+            .min_by_key(|(_, &(_, _, tick, _))| tick)
+            .map(|(&k, _)| k)
+    }
+
+    fn get(&mut self, key: u16) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        let cap = self.protected_cap;
+        let (value, promote) = {
+            let entry = self.map.get_mut(&key)?;
+            entry.2 = clock;
+            let promote = cap > 0 && !entry.3;
+            if promote {
+                entry.3 = true;
+            }
+            (entry.0, promote)
+        };
+        if promote {
+            self.promoted += 1;
+            if self.protected_len() > cap {
+                let demoted = self
+                    .oldest(true)
+                    .expect("a protected entry exists while over cap");
+                self.clock += 1;
+                let clock = self.clock;
+                let entry = self.map.get_mut(&demoted).expect("demotion victim exists");
+                entry.2 = clock;
+                entry.3 = false;
+            }
+        }
+        Some(value)
+    }
+
+    fn peek(&self, key: u16) -> Option<u64> {
+        self.map.get(&key).map(|e| e.0)
+    }
+
+    fn bytes(&self) -> u64 {
+        self.map.values().map(|e| e.1).sum()
+    }
+
+    fn insert(&mut self, key: u16, value: u64, cost: u64, capacity: usize, budget: Option<u64>) {
+        self.clock += 1;
+        if budget.is_some_and(|b| cost > b) {
+            self.map.remove(&key);
+            self.rejected += 1;
+            return;
+        }
+        // A replacement keeps its segment; a new key starts in probation.
+        let protected = self.map.get(&key).is_some_and(|e| e.3);
+        self.map.insert(key, (value, cost, self.clock, protected));
+        while self.map.len() > capacity || budget.is_some_and(|b| self.bytes() > b) {
+            let victim = self
+                .oldest(false)
+                .or_else(|| self.oldest(true))
+                .expect("non-empty while over limit");
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Segmented admission against the SLRU reference model, operation
+    /// for operation: identical lookups, survivors, eviction/rejection
+    /// **and promotion** counts, with the probation-first eviction order
+    /// and protected-overflow demotion matching exactly.
+    #[test]
+    fn segmented_lru_matches_slru_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        capacity in 1usize..24,
+        // Drawn in eighths so every protected/probation split is hit,
+        // including the degenerate 0 (plain LRU) and all-protected ends.
+        // (The vendored proptest has no RangeInclusive strategy.)
+        eighths in 0u32..9,
+        budget in (any::<bool>(), 1u64..400).prop_map(|(on, b)| on.then_some(b)),
+    ) {
+        let frac = f64::from(eighths) / 8.0;
+        let mut cache: ShardedLruCache<u16, u64> =
+            ShardedLruCache::new(capacity, 1).with_segmented_admission(frac);
+        if let Some(budget) = budget {
+            cache = cache.with_bytes_budget(budget, |v: &u64| *v);
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let protected_cap = ((capacity as f64 * frac).round() as usize).min(capacity);
+        let mut model = SegmentedModel {
+            protected_cap,
+            ..SegmentedModel::default()
+        };
+
+        for &op in &ops {
+            match op {
+                CacheOp::Get(key) => {
+                    prop_assert_eq!(cache.get(&key), model.get(key), "get({}) diverged", key);
+                }
+                CacheOp::Peek(key) => {
+                    prop_assert_eq!(cache.peek(&key), model.peek(key), "peek({}) diverged", key);
+                }
+                CacheOp::Insert(key) => {
+                    let value = op_value(key);
+                    cache.insert(key, value);
+                    let cost = if budget.is_some() { value } else { 0 };
+                    model.insert(key, value, cost, capacity, budget);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.map.len(), "resident count diverged");
+            prop_assert_eq!(cache.bytes_in_use(), model.bytes(), "byte gauge diverged");
+            cache.check_invariants();
+        }
+
+        for (&key, &(value, _, _, _)) in &model.map {
+            prop_assert_eq!(cache.peek(&key), Some(value), "model key {} missing", key);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions, model.evictions, "eviction counts diverged");
+        prop_assert_eq!(stats.rejected, model.rejected, "rejection counts diverged");
+        prop_assert_eq!(stats.promoted, model.promoted, "promotion counts diverged");
+        if protected_cap == 0 {
+            prop_assert_eq!(stats.promoted, 0, "plain mode must never promote");
+        }
+    }
+}
+
 /// Registry-key names for randomly generated fleets (`GpuDevice::name`
 /// is `&'static str`, so the pool is static).
 const FLEET_NAMES: [&str; 4] = ["prop-dev-0", "prop-dev-1", "prop-dev-2", "prop-dev-3"];

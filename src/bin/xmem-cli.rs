@@ -34,9 +34,12 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmem::core::{layer_report, render_layer_report, render_report, Analyzer, Orchestrator};
 use xmem::prelude::*;
+use xmem::server::{ServerConfig, ServerHandle};
+use xmem::service::jobspec::{parse_jobs_text, JobDraft};
 use xmem::service::AsyncServiceConfig;
 use xmem::trace::Trace;
 
@@ -59,6 +62,11 @@ fn usage() -> &'static str {
                        batch mode: one job per line\n\
                        (`<model> <optimizer> <batch> [seq=N] [iters=N] [pos1] [fp16]`,\n\
                        `#` comments), answered through the async service\n\
+       listen          --addr <host:port> [--device ...] [--registry <file.json>]\n\
+                       [--workers <n>] [--queue <n>] [--conns <n>] [--drain-ms <n>]\n\
+                       HTTP/1.1 server: POST /v1/estimate|matrix|sweep|plan|best-device\n\
+                       (JSON jobs, same grammar), GET /healthz, GET /metrics\n\
+                       (Prometheus); POST /v1/shutdown drains and exits\n\
        profile         (same job options) --out <trace.json>\n\
        estimate-trace  --trace <trace.json> [--device ...]\n\
        layers          (same job options) [--top <n>]\n\
@@ -119,43 +127,26 @@ fn job_of(flags: &HashMap<String, String>) -> Result<TrainJobSpec, String> {
     job_with_batch(flags, None)
 }
 
-/// Builds a job spec; `default_batch` backs commands (`sweep`, `plan`)
-/// where the batch size comes from the grid, not `--batch`.
+/// Builds a job spec through the shared grammar
+/// ([`xmem::service::jobspec`]); `default_batch` backs commands
+/// (`sweep`, `plan`) where the batch size comes from the grid, not
+/// `--batch`.
 fn job_with_batch(
     flags: &HashMap<String, String>,
     default_batch: Option<usize>,
 ) -> Result<TrainJobSpec, String> {
-    let model_name = flags.get("model").ok_or("--model is required")?;
-    let model = ModelId::by_name(model_name)
-        .ok_or_else(|| format!("unknown model `{model_name}` (see `xmem-cli models`)"))?;
-    let optimizer_name = flags.get("optimizer").ok_or("--optimizer is required")?;
-    let optimizer = OptimizerKind::parse(optimizer_name)
-        .ok_or_else(|| format!("unknown optimizer `{optimizer_name}`"))?;
-    let batch: usize = match (flags.get("batch"), default_batch) {
-        (Some(raw), _) => raw
-            .parse()
-            .map_err(|_| "--batch must be a number".to_string())?,
-        (None, Some(default)) => default,
-        (None, None) => return Err("--batch is required".to_string()),
-    };
-    let mut spec = TrainJobSpec::new(model, optimizer, batch);
-    if let Some(seq) = flags.get("seq") {
-        spec.seq = seq
-            .parse()
-            .map_err(|_| "--seq must be a number".to_string())?;
+    let mut draft = JobDraft::new();
+    for field in ["model", "optimizer", "batch", "seq", "iterations"] {
+        if let Some(value) = flags.get(field) {
+            draft.set(field, value)?;
+        }
     }
-    if let Some(iterations) = flags.get("iterations") {
-        spec.iterations = iterations
-            .parse()
-            .map_err(|_| "--iterations must be a number".to_string())?;
+    for flag in ["pos1", "fp16"] {
+        if flags.contains_key(flag) {
+            draft.set(flag, "true")?;
+        }
     }
-    if flags.contains_key("pos1") {
-        spec = spec.with_zero_grad(ZeroGradPos::IterStart);
-    }
-    if flags.contains_key("fp16") {
-        spec = spec.with_precision(xmem::runtime::Precision::F16);
-    }
-    Ok(spec)
+    draft.build(default_batch)
 }
 
 fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
@@ -166,33 +157,6 @@ fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
                 .map_err(|_| "--threads must be a number".to_string())
         })
         .unwrap_or(Ok(0))
-}
-
-/// Parses one `serve` job line —
-/// `<model> <optimizer> <batch> [seq=N] [iters=N] [pos1] [fp16]` — by
-/// translating the tokens into the same flag map the rest of the CLI
-/// uses, so `serve` job files and CLI flags share one job-spec grammar.
-fn parse_job_line(line: &str) -> Result<TrainJobSpec, String> {
-    let mut tokens = line.split_whitespace();
-    let mut flags = HashMap::new();
-    for positional in ["model", "optimizer", "batch"] {
-        let value = tokens
-            .next()
-            .ok_or_else(|| format!("missing {positional}"))?;
-        flags.insert(positional.to_string(), value.to_string());
-    }
-    for token in tokens {
-        if let Some(seq) = token.strip_prefix("seq=") {
-            flags.insert("seq".to_string(), seq.to_string());
-        } else if let Some(iters) = token.strip_prefix("iters=") {
-            flags.insert("iterations".to_string(), iters.to_string());
-        } else if token == "pos1" || token == "fp16" {
-            flags.insert(token.to_string(), "true".to_string());
-        } else {
-            return Err(format!("unknown job token `{token}`"));
-        }
-    }
-    job_of(&flags)
 }
 
 /// The `matrix` command: profile + analyze each listed model **once**,
@@ -299,15 +263,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         std::fs::read_to_string(source).map_err(|e| format!("read {source} failed: {e}"))?
     };
-    let mut specs = Vec::new();
-    for (number, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let spec = parse_job_line(line).map_err(|e| format!("line {}: {e}", number + 1))?;
-        specs.push(spec);
-    }
+    let specs = parse_jobs_text(&text)?;
     if specs.is_empty() {
         return Err("no jobs found".to_string());
     }
@@ -420,6 +376,56 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The `listen` command: serve the estimation service over HTTP/1.1
+/// until a graceful drain is requested (`POST /v1/shutdown` on the wire,
+/// or process termination).
+fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let registry = registry_of(flags)?;
+    let device = device_of(flags, &registry)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("--{key} must be a number")))
+            .unwrap_or(Ok(default))
+    };
+    let workers = parse_usize("workers", 0)?;
+    let queue_depth = parse_usize("queue", 1024)?;
+    let conns = parse_usize("conns", 64)?;
+    let drain_ms = parse_usize("drain-ms", 5000)?;
+
+    let service = Arc::new(AsyncEstimationService::new(
+        AsyncServiceConfig::for_device(device)
+            .with_workers(workers)
+            .with_queue_depth(queue_depth)
+            .with_registry(registry),
+    ));
+    let config = ServerConfig::default()
+        .with_workers(conns)
+        .with_drain_timeout(Duration::from_millis(drain_ms as u64));
+    let server = ServerHandle::bind(addr.as_str(), Arc::clone(&service), config)
+        .map_err(|e| format!("bind {addr} failed: {e}"))?;
+    println!("listening on http://{}", server.local_addr());
+    println!(
+        "routes: POST /v1/estimate /v1/matrix /v1/sweep /v1/plan /v1/best-device | \
+         GET /healthz /metrics | POST /v1/shutdown drains"
+    );
+    let report = server.wait();
+    let inner = service.service();
+    println!(
+        "drained ({}): {} requests served | cache: {} hits, {} misses | profile runs: {}",
+        if report.clean { "clean" } else { "stragglers" },
+        report.requests_served,
+        inner.cache_stats().hits,
+        inner.cache_stats().misses,
+        inner.profile_runs()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -508,6 +514,7 @@ fn run() -> Result<(), String> {
         }
         "matrix" => matrix(&flags),
         "serve" => serve(&flags),
+        "listen" => listen(&flags),
         "profile" => {
             let spec = job_of(&flags)?;
             let out = flags.get("out").ok_or("--out is required")?;

@@ -15,7 +15,9 @@
 //! * [`eval`] — metrics, two-round validation, ANOVA/Monte Carlo
 //!   campaigns;
 //! * [`service`] — the concurrent, cache-backed estimation service for
-//!   scheduler-scale traffic (parallel sweeps, admission control).
+//!   scheduler-scale traffic (parallel sweeps, admission control);
+//! * [`server`] — the dependency-free HTTP/1.1 serving front end
+//!   (`xmem-cli listen`) plus the matching blocking client.
 //!
 //! # Quick start
 //!
@@ -44,6 +46,7 @@ pub use xmem_graph as graph;
 pub use xmem_models as models;
 pub use xmem_optim as optim;
 pub use xmem_runtime as runtime;
+pub use xmem_server as server;
 pub use xmem_service as service;
 pub use xmem_trace as trace;
 

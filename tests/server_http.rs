@@ -1,0 +1,449 @@
+//! End-to-end tests of the HTTP serving front end over real loopback
+//! sockets: concurrent keep-alive clients must receive responses
+//! **byte-identical** to rendering direct service results, graceful
+//! shutdown must drain in-flight requests without dropping any, and
+//! adversarial wire input must produce clean error responses — never a
+//! dead worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xmem::prelude::*;
+use xmem::server::{api, HttpClient, ServerConfig, ServerHandle, WireLimits};
+use xmem::service::jobspec::job_to_value;
+use xmem::service::AsyncServiceConfig;
+
+fn start_server(config: ServerConfig) -> (ServerHandle, Arc<AsyncEstimationService>) {
+    let service = Arc::new(AsyncEstimationService::new(AsyncServiceConfig::for_device(
+        GpuDevice::rtx3060(),
+    )));
+    let server =
+        ServerHandle::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind loopback");
+    (server, service)
+}
+
+fn job_json(spec: &TrainJobSpec) -> String {
+    serde_json::to_string(&job_to_value(spec)).expect("job renders")
+}
+
+fn small_spec(batch: usize) -> TrainJobSpec {
+    TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, batch).with_iterations(2)
+}
+
+/// ≥32 concurrent keep-alive connections hammering the estimate,
+/// named-device and placement routes: every response body must be
+/// byte-identical to rendering the equivalent direct service call.
+#[test]
+fn concurrent_keep_alive_clients_get_bit_identical_answers() {
+    const CLIENTS: usize = 32;
+    const ROUNDS: usize = 6;
+    let (server, _service) = start_server(ServerConfig::default().with_workers(CLIENTS + 4));
+    let addr = server.local_addr();
+
+    // The expected bodies, computed through a *separate* service — the
+    // pipeline is deterministic, so an independent instance must agree
+    // byte-for-byte with what travels the wire.
+    let direct = EstimationService::for_device(GpuDevice::rtx3060());
+    let jobs = [small_spec(4), small_spec(8), small_spec(16)];
+    let mut expected: Vec<(String, String, String)> = Vec::new(); // (path, body, expected)
+    for job in &jobs {
+        expected.push((
+            "/v1/estimate".to_string(),
+            job_json(job),
+            api::estimate_body(&direct.estimate(job).expect("estimates")),
+        ));
+        expected.push((
+            "/v1/estimate".to_string(),
+            format!("{{\"job\":{},\"device\":\"rtx4060\"}}", job_json(job)),
+            api::estimate_body(&direct.estimate_on(job, "rtx4060").expect("estimates")),
+        ));
+        expected.push((
+            "/v1/best-device".to_string(),
+            job_json(job),
+            api::placement_body(direct.best_device_for_job(job).expect("places").as_ref()),
+        ));
+    }
+    let expected = Arc::new(expected);
+
+    let exchanges = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for client_index in 0..CLIENTS {
+            let expected = Arc::clone(&expected);
+            let exchanges = &exchanges;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for round in 0..ROUNDS {
+                    // Each client walks the case list from its own offset,
+                    // so at any instant the server sees a mix of routes.
+                    let (path, body, want) = &expected[(client_index + round) % expected.len()];
+                    let response = client.post_json(path, body).expect("keep-alive exchange");
+                    assert_eq!(response.status, 200, "{path}: {}", response.text());
+                    assert_eq!(
+                        response.text(),
+                        want,
+                        "{path} diverged from the direct path"
+                    );
+                    exchanges.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(exchanges.load(Ordering::Relaxed), CLIENTS * ROUNDS);
+    // Keep-alive held: every client used exactly one connection.
+    assert_eq!(server.metrics().requests_total(), (CLIENTS * ROUNDS) as u64);
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+/// A whole device matrix over the wire is byte-identical to rendering
+/// `estimate_matrix` directly.
+#[test]
+fn matrix_and_sweep_responses_match_direct_rendering() {
+    let (server, service) = start_server(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    let jobs = [small_spec(4), small_spec(8)];
+    let body = format!(
+        "{{\"jobs\":[{},{}],\"devices\":[\"rtx3060\",\"a100\"]}}",
+        job_json(&jobs[0]),
+        job_json(&jobs[1])
+    );
+    let response = client.post_json("/v1/matrix", &body).expect("matrix");
+    assert_eq!(response.status, 200);
+    let direct = service
+        .service()
+        .estimate_matrix(&jobs, &["rtx3060", "a100"])
+        .expect("direct matrix");
+    assert_eq!(response.text(), api::matrix_body(&direct));
+
+    let sweep_request = format!(
+        "{{\"job\":{},\"batches\":[1,2,4]}}",
+        job_json(&small_spec(1))
+    );
+    let response = client
+        .post_json("/v1/sweep", &sweep_request)
+        .expect("sweep");
+    assert_eq!(response.status, 200);
+    let direct_sweep = service.service().sweep(&small_spec(1), &[1, 2, 4]);
+    assert_eq!(response.text(), api::sweep_body(&direct_sweep));
+
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+/// Graceful shutdown with requests in flight: every request that was
+/// being served when the drain triggered is answered completely (status
+/// 200, full body, `connection: close`); nothing is dropped or
+/// truncated.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    const CLIENTS: usize = 8;
+    let (server, service) = start_server(ServerConfig::default().with_workers(CLIENTS + 2));
+    let addr = server.local_addr();
+    let trigger = Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+
+    let answered = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..CLIENTS {
+            let trigger = Arc::clone(&trigger);
+            let answered = &answered;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                // Distinct cold batches of a slow-profiling model: each
+                // request does tens of milliseconds of real work, so the
+                // drain demonstrably overlaps execution.
+                let slow = TrainJobSpec::new(ModelId::ResNet101, OptimizerKind::Adam, 24 + i)
+                    .with_iterations(2);
+                let body = job_json(&slow);
+                trigger.wait();
+                let response = client
+                    .post_json("/v1/estimate", &body)
+                    .expect("in-flight request must be answered, not dropped");
+                assert_eq!(response.status, 200, "{}", response.text());
+                assert!(response.text().contains("peak_bytes"), "truncated body");
+                assert_eq!(
+                    response.header("connection"),
+                    Some("close"),
+                    "a drained answer must announce the close"
+                );
+                answered.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        trigger.wait();
+        // Deterministic overlap: pull the plug as soon as the service is
+        // provably mid-profile (the counter increments when a profile
+        // run *starts*), while every answer is still tens of
+        // milliseconds away.
+        let patience = std::time::Instant::now();
+        while service.service().profile_runs() == 0 && patience.elapsed() < Duration::from_secs(10)
+        {
+            std::thread::yield_now();
+        }
+        assert!(service.service().profile_runs() > 0, "no request started");
+        server.trigger_drain();
+    });
+    assert_eq!(
+        answered.load(Ordering::Relaxed),
+        CLIENTS,
+        "dropped requests"
+    );
+    let report = server.shutdown();
+    assert!(report.clean, "drain must finish within its deadline");
+    assert_eq!(report.requests_served, CLIENTS as u64);
+
+    // The drained server is really gone: new connections are refused.
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+    assert!(
+        refused.is_err() || {
+            // Some platforms accept then immediately close; either way no
+            // service is behind the socket.
+            let mut probe = HttpClient::connect(addr).expect("probe connect");
+            probe
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            probe.get("/healthz").is_err()
+        },
+        "the listener must be closed after shutdown"
+    );
+}
+
+/// Adversarial wire input: every malformed, oversized or truncated
+/// request gets a clean error response (or a clean close) and the server
+/// keeps serving afterwards — no worker dies.
+#[test]
+fn adversarial_requests_get_clean_errors_and_no_worker_dies() {
+    let limits = WireLimits::default();
+    let (server, _service) = start_server(
+        ServerConfig::default()
+            .with_workers(4)
+            .with_limits(limits)
+            .with_keep_alive_timeout(Duration::from_secs(2)),
+    );
+    let addr = server.local_addr();
+
+    // Oversized single header → 431 and close.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client
+            .send_raw(
+                format!(
+                    "GET /healthz HTTP/1.1\r\nx-bloat: {}\r\n\r\n",
+                    "a".repeat(20_000)
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let response = client.read_response().expect("431 answer");
+        assert_eq!(response.status, 431);
+        assert!(response.text().contains("\"kind\":\"wire\""));
+    }
+    // Head that never terminates → 431 once the limit trips.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client.send_raw(b"GET / HTTP/1.1\r\n").expect("send");
+        client
+            .send_raw("x: y\r\n".repeat(4000).as_bytes())
+            .expect("send");
+        let response = client.read_response().expect("431 answer");
+        assert_eq!(response.status, 431);
+    }
+    // Huge declared Content-Length → 413 before any body arrives.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client
+            .send_raw(b"POST /v1/estimate HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n")
+            .expect("send");
+        let response = client.read_response().expect("413 answer");
+        assert_eq!(response.status, 413);
+    }
+    // Zero-length body on a JSON route → an app-level 400, and the
+    // connection survives (it was a well-formed request).
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let response = client.post_json("/v1/estimate", "").expect("400 answer");
+        assert_eq!(response.status, 400);
+        assert!(response.text().contains("bad_request"));
+        let again = client.get("/healthz").expect("connection survived the 400");
+        assert_eq!(again.status, 200);
+    }
+    // Truncated body: declare 64 bytes, send 3, half-close. The server
+    // must neither hang nor answer garbage; it just closes.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client
+            .send_raw(b"POST /v1/estimate HTTP/1.1\r\ncontent-length: 64\r\n\r\n{\"m")
+            .expect("send");
+        client.shutdown_write().expect("half-close");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let outcome = client.read_response();
+        assert!(outcome.is_err(), "no response can exist for half a request");
+    }
+    // A valid request pipelined with garbage: the valid one is answered,
+    // the garbage gets a 400, then the connection closes.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client
+            .send_raw(b"GET /healthz HTTP/1.1\r\n\r\n\x13\x37 GARBAGE\x00\r\n\r\n")
+            .expect("send");
+        let first = client.read_response().expect("healthz answer");
+        assert_eq!(first.status, 200);
+        let second = client.read_response().expect("400 answer");
+        assert_eq!(second.status, 400);
+    }
+    // Unknown routes and wrong methods are clean JSON errors.
+    {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let missing = client.get("/nope").expect("404 answer");
+        assert_eq!(missing.status, 404);
+        let wrong = client.get("/v1/estimate").expect("405 answer");
+        assert_eq!(wrong.status, 405);
+        // Unknown device is a stable JSON error body.
+        let unknown = client
+            .post_json(
+                "/v1/estimate",
+                &format!(
+                    "{{\"job\":{},\"device\":\"h9000\"}}",
+                    job_json(&small_spec(4))
+                ),
+            )
+            .expect("unknown-device answer");
+        assert_eq!(unknown.status, 404);
+        assert!(unknown.text().contains("unknown_device"));
+    }
+
+    // After all of that abuse: the wire error counter moved, and the
+    // server still answers real queries on fresh connections.
+    assert!(server.metrics().responses_with_status(431) >= 2);
+    assert!(server.metrics().responses_with_status(413) >= 1);
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let response = client
+        .post_json("/v1/estimate", &job_json(&small_spec(4)))
+        .expect("post-abuse estimate");
+    assert_eq!(response.status, 200);
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+/// Per-request deadlines surface as `504` with the stable error body,
+/// and backpressure as `503` + `retry-after`.
+#[test]
+fn deadlines_and_backpressure_map_to_504_and_503() {
+    // One async worker and a one-deep queue make overload deterministic.
+    let service = Arc::new(AsyncEstimationService::new(
+        AsyncServiceConfig::for_device(GpuDevice::rtx3060())
+            .with_workers(1)
+            .with_queue_depth(1),
+    ));
+    let server = ServerHandle::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig::default().with_workers(8),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Deadline: a cold profile takes far longer than 1 ms, so the timer
+    // settles the future first.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let cold = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 6).with_iterations(2);
+    let response = client
+        .post_json_with_deadline("/v1/estimate", &job_json(&cold), 1)
+        .expect("deadline answer");
+    assert_eq!(response.status, 504, "{}", response.text());
+    assert!(response.text().contains("deadline_exceeded"));
+    // A malformed deadline header is a 400, not a panic.
+    let bad = client
+        .request(
+            "POST",
+            "/v1/estimate",
+            &[("x-xmem-deadline-ms", "soon")],
+            job_json(&small_spec(4)).as_bytes(),
+        )
+        .expect("bad-deadline answer");
+    assert_eq!(bad.status, 400);
+
+    // Backpressure: saturate the single worker + single queue slot with
+    // slow cold estimates, then keep pushing until a 503 surfaces.
+    let saw_busy = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let slow =
+                        TrainJobSpec::new(ModelId::MobileNetV3Large, OptimizerKind::Adam, 40 + i)
+                            .with_iterations(2);
+                    let response = client
+                        .post_json("/v1/estimate", &job_json(&slow))
+                        .expect("overload answer");
+                    if response.status == 503 {
+                        assert_eq!(
+                            response.header("retry-after"),
+                            Some("1"),
+                            "503 must carry retry-after"
+                        );
+                        assert!(response.text().contains("busy"));
+                        true
+                    } else {
+                        assert_eq!(response.status, 200, "{}", response.text());
+                        false
+                    }
+                })
+            })
+            .collect();
+        // Join every thread (no short-circuit: each runs its own
+        // assertions), then ask whether any saw the 503.
+        let outcomes: Vec<bool> = handles
+            .into_iter()
+            .map(|h| h.join().expect("overload thread"))
+            .collect();
+        outcomes.into_iter().any(|busy| busy)
+    });
+    assert!(
+        saw_busy,
+        "6 concurrent cold estimates against a 1-worker/1-slot service must trip Busy"
+    );
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+/// `/healthz` and `/metrics` expose liveness and the full counter
+/// surface, including the service-layer counters.
+#[test]
+fn health_and_metrics_expose_the_counter_surface() {
+    let (server, _service) = start_server(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    let health = client.get("/healthz").expect("health");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "{\"status\":\"ok\"}");
+
+    let estimate = client
+        .post_json("/v1/estimate", &job_json(&small_spec(4)))
+        .expect("estimate");
+    assert_eq!(estimate.status, 200);
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    for needle in [
+        "xmem_server_connections_total 1",
+        "xmem_http_requests_total{route=\"estimate\"} 1",
+        "xmem_http_responses_total{code=\"200\"} 2",
+        "xmem_http_request_duration_seconds_bucket{route=\"estimate\",le=\"+Inf\"} 1",
+        "xmem_stage_cache_events_total{event=\"miss\"} 1",
+        "xmem_profile_runs_total 1",
+        "xmem_sim_runs_total",
+        "xmem_server_draining 0",
+    ] {
+        assert!(text.contains(needle), "metrics missing `{needle}`:\n{text}");
+    }
+
+    // Shutdown over the wire: the SIGTERM-equivalent for the CLI.
+    let bye = client.post_json("/v1/shutdown", "{}").expect("shutdown");
+    assert_eq!(bye.status, 200);
+    assert!(server.is_draining());
+    let report = server.wait();
+    assert!(report.clean);
+}

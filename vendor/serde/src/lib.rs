@@ -189,6 +189,21 @@ pub fn missing_or_err<T: Deserialize>(ty: &str, field: &str) -> Result<T, Error>
 // Std impls
 // ---------------------------------------------------------------------------
 
+// `Value` is its own intermediate representation (mirroring the real
+// `serde_json::Value`'s self-(de)serialization), so callers can parse a
+// document into the dynamic tree and inspect it without a typed schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
