@@ -3,9 +3,11 @@
 //! Times the hot paths the service layers optimize — single estimates
 //! (cold and warm), N×D matrix replay with the pressure-aware fast path
 //! on and off, contended simulation-cell cache hits, raw allocator replay
-//! throughput, and the O(1) LRU against a scan-based reference — and
-//! emits a machine-readable `BENCH_estimator.json` so every PR has a
-//! measurable trajectory.
+//! throughput, the O(1) LRU against a scan-based reference, and the
+//! crash-consistent persistence layer (snapshot write cost, warm-boot
+//! recovery, and the first estimate after a restart) — and emits a
+//! machine-readable `BENCH_estimator.json` so every PR has a measurable
+//! trajectory.
 //!
 //! Usage: `perf [--quick] [--out PATH]`
 //!
@@ -61,6 +63,10 @@ struct Derived {
     /// Scan-based reference LRU insert latency over the intrusive-list
     /// cache's: the measured win of O(1) eviction at this capacity.
     lru_o1_speedup_vs_scan: f64,
+    /// Cold first-estimate latency over the first estimate served after a
+    /// warm boot from a state dir: what crash-consistent persistence buys
+    /// a restarted server on its first request.
+    warm_restart_first_estimate_speedup: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -199,9 +205,11 @@ fn main() {
     let single =
         TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8).with_iterations(2);
     let service = EstimationService::for_device(GpuDevice::rtx3060());
-    benchmarks.push(bench("estimate_cold", "estimate", 1, || {
+    let cold = bench("estimate_cold", "estimate", 1, || {
         service.estimate(&single).expect("estimates");
-    }));
+    });
+    let cold_ns = cold.ns_per_op;
+    benchmarks.push(cold);
     benchmarks.push(bench("estimate_warm", "estimate", warm_reps, || {
         service.estimate(&single).expect("estimates");
     }));
@@ -324,6 +332,54 @@ fn main() {
     benchmarks.push(o1);
     benchmarks.push(scan);
 
+    // --- warm restart: snapshot cost and recovery payoff -------------------
+    // A state-dir service populated with the benchmark job mix: how much
+    // a snapshot write costs, how long a warm boot (snapshot + journal
+    // replay + boot compaction) takes, and what the first estimate after
+    // a restart costs when it is a recovered-cache hit instead of a
+    // profile run.
+    let warm_restart_first_estimate_speedup = {
+        let state_dir =
+            std::env::temp_dir().join(format!("xmem-perf-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let state_config =
+            || ServiceConfig::for_device(GpuDevice::rtx3060()).with_state_dir(&state_dir);
+
+        let persisted = EstimationService::new(state_config());
+        assert!(
+            persisted.persist_stats().enabled,
+            "benchmark state dir must be usable"
+        );
+        for job in jobs() {
+            persisted.estimate(&job).expect("estimates");
+        }
+        let snapshot_reps: u64 = if quick { 20 } else { 100 };
+        benchmarks.push(bench("snapshot_write", "snapshot", snapshot_reps, || {
+            persisted.snapshot_now().expect("snapshot writes");
+        }));
+        drop(persisted);
+
+        let boot_reps: u64 = if quick { 10 } else { 50 };
+        benchmarks.push(bench("warm_boot_recovery", "boot", boot_reps, || {
+            std::hint::black_box(EstimationService::new(state_config()));
+        }));
+
+        let rebooted = EstimationService::new(state_config());
+        let started = Instant::now();
+        rebooted.estimate(&single).expect("estimates");
+        let total_ns = started.elapsed().as_nanos() as u64;
+        let after_boot = finish("estimate_after_warm_boot", "estimate", 1, total_ns);
+        assert_eq!(
+            rebooted.profile_runs(),
+            0,
+            "the first estimate after a warm boot must be a recovered-cache hit"
+        );
+        let speedup = cold_ns / after_boot.ns_per_op.max(1.0);
+        benchmarks.push(after_boot);
+        let _ = std::fs::remove_dir_all(&state_dir);
+        speedup
+    };
+
     // --- report ------------------------------------------------------------
     let sims = fast_service.sim_stats();
     let counters = Counters {
@@ -347,13 +403,16 @@ fn main() {
         derived: Derived {
             matrix_fast_path_speedup,
             lru_o1_speedup_vs_scan,
+            warm_restart_first_estimate_speedup,
         },
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write benchmark report");
     println!(
-        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x",
-        report.derived.matrix_fast_path_speedup, report.derived.lru_o1_speedup_vs_scan
+        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x | warm restart {:.0}x",
+        report.derived.matrix_fast_path_speedup,
+        report.derived.lru_o1_speedup_vs_scan,
+        report.derived.warm_restart_first_estimate_speedup
     );
     println!("wrote {out}");
 }

@@ -58,7 +58,7 @@ pub struct AnalyzedBlock {
 
 /// Analyzer output: the temporally ordered block sequence plus the window
 /// index (which the Orchestrator reuses) and diagnostics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalyzedTrace {
     /// Blocks in allocation order.
     pub blocks: Vec<AnalyzedBlock>,

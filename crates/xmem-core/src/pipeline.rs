@@ -63,7 +63,7 @@ pub struct AnalysisStats {
 }
 
 /// The estimation result (paper: `M̂^peak` plus the optional usage curve).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Estimate {
     /// Estimated peak total device usage: job segments + framework
     /// overhead. Directly comparable with NVML-sampled ground truth.
@@ -93,7 +93,7 @@ pub struct Estimate {
 /// sequence. Serving layers cache one `UnboundedReplay` per job and pay a
 /// full stateful replay only for capacity-pressured devices, where
 /// reclaim/OOM genuinely diverge.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UnboundedReplay {
     /// Peak job segment bytes on the unbounded device (the job's true
     /// segment high-water mark, `M̂^peak` before overheads).

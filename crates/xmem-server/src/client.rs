@@ -27,13 +27,13 @@ impl ClientResponse {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The body as UTF-8 text.
-    ///
-    /// # Panics
-    /// Panics on non-UTF-8 bodies (this server only emits UTF-8).
+    /// The body as text. This server only emits UTF-8, but a misbehaving
+    /// peer must not be able to crash the client: invalid sequences are
+    /// decoded lossily (U+FFFD replacement characters) instead of
+    /// panicking. A well-formed body borrows without allocating.
     #[must_use]
-    pub fn text(&self) -> &str {
-        std::str::from_utf8(&self.body).expect("server bodies are UTF-8")
+    pub fn text(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
     }
 }
 
@@ -237,5 +237,36 @@ impl HttpClient {
             ],
             json.as_bytes(),
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A misbehaving peer sending non-UTF-8 bytes must not crash the
+    /// client: `text` decodes lossily instead of panicking.
+    #[test]
+    fn text_decodes_non_utf8_bodies_lossily() {
+        let response = ClientResponse {
+            status: 200,
+            headers: Vec::new(),
+            body: vec![b'o', b'k', 0xff, 0xfe, b'!'],
+        };
+        assert_eq!(response.text(), "ok\u{fffd}\u{fffd}!");
+    }
+
+    /// Well-formed bodies borrow without allocating.
+    #[test]
+    fn text_borrows_valid_utf8() {
+        let response = ClientResponse {
+            status: 200,
+            headers: Vec::new(),
+            body: b"plain".to_vec(),
+        };
+        assert!(matches!(
+            response.text(),
+            std::borrow::Cow::Borrowed("plain")
+        ));
     }
 }

@@ -472,6 +472,55 @@ impl ServerMetrics {
             "CPU profile executions",
             service.profile_runs(),
         );
+        let persist = service.persist_stats();
+        gauge(
+            &mut out,
+            "xmem_persist_enabled",
+            "Whether crash-consistent persistence is active (a state dir is configured)",
+            u64::from(persist.enabled),
+        );
+        counter(
+            &mut out,
+            "xmem_persist_snapshot_writes_total",
+            "Cache-state snapshots written (temp-file + rename completed)",
+            persist.snapshot_writes,
+        );
+        counter(
+            &mut out,
+            "xmem_persist_journal_records_total",
+            "Cache inserts appended to the state journal",
+            persist.journal_records,
+        );
+        counter(
+            &mut out,
+            "xmem_persist_recovered_entries_total",
+            "Cache entries recovered from the state dir at boot",
+            persist.recovered_entries,
+        );
+        counter(
+            &mut out,
+            "xmem_persist_recovery_truncated_total",
+            "Torn or corrupt state-file tails dropped during boot recovery",
+            persist.recovery_truncated,
+        );
+        counter(
+            &mut out,
+            "xmem_persist_recovery_skipped_total",
+            "Recovered sim cells skipped for unmatched device fingerprints",
+            persist.recovery_skipped,
+        );
+        gauge(
+            &mut out,
+            "xmem_persist_snapshot_bytes",
+            "Size of the current snapshot file",
+            persist.snapshot_bytes,
+        );
+        gauge(
+            &mut out,
+            "xmem_persist_journal_bytes",
+            "Size of the current journal file",
+            persist.journal_bytes,
+        );
         out
     }
 }

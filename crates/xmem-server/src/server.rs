@@ -138,7 +138,12 @@ impl Shared {
         }
         self.metrics.set_draining();
         let (lock, condvar) = &self.drain_signal;
-        *lock.lock().expect("drain signal poisoned") = true;
+        // Recover from poisoning: a worker that panicked while holding
+        // the signal must not wedge shutdown (the flag write is sound
+        // regardless of what the panicking holder left behind).
+        *lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         condvar.notify_all();
         // Wake the acceptor out of `accept`. Nothing to do on failure —
         // the listener is gone, which is what we wanted anyway.
@@ -253,9 +258,15 @@ impl ServerHandle {
     pub fn wait(mut self) -> DrainReport {
         {
             let (lock, condvar) = &self.shared.drain_signal;
-            let mut triggered = lock.lock().expect("drain signal poisoned");
+            // Poison recovery mirrors `trigger_drain`: drain must always
+            // complete even after a panic under this lock.
+            let mut triggered = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             while !*triggered {
-                triggered = condvar.wait(triggered).expect("drain signal poisoned");
+                triggered = condvar
+                    .wait(triggered)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
         self.join_threads()
@@ -332,7 +343,12 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, sender: &SyncSender<TcpS
 
 fn worker_loop(shared: &Shared, receiver: &Arc<Mutex<Receiver<TcpStream>>>) {
     loop {
-        let next = receiver.lock().expect("connection queue poisoned").recv();
+        // A sibling worker panicking mid-`recv` poisons the queue lock;
+        // the channel itself is still sound, so keep serving.
+        let next = receiver
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv();
         match next {
             Ok(stream) => {
                 handle_connection(shared, stream);
@@ -374,6 +390,17 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     write_response(shared, &mut stream, &response, false);
                     return;
                 }
+            }
+        }
+        // The buffered head announced `Expect: 100-continue` and its body
+        // is still in flight: answer the interim response before blocking
+        // in `read`, or an expectation-honouring client never sends the
+        // body and the exchange deadlocks until the idle timeout.
+        if parser.take_continue() {
+            let interim = b"HTTP/1.1 100 Continue\r\n\r\n";
+            shared.metrics.add_bytes_written(interim.len() as u64);
+            if stream.write_all(interim).is_err() || stream.flush().is_err() {
+                return;
             }
         }
         if shared.draining() {
@@ -475,5 +502,39 @@ fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
                 api::error_body("not_found", &format!("no route for `{path}`")),
             ),
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_service::AsyncServiceConfig;
+
+    fn bind_loopback() -> ServerHandle {
+        let service = Arc::new(AsyncEstimationService::new(AsyncServiceConfig::for_device(
+            xmem_runtime::GpuDevice::rtx3060(),
+        )));
+        ServerHandle::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback")
+    }
+
+    /// A panic while holding the drain-signal mutex must not wedge
+    /// shutdown: `trigger_drain` and `wait` both recover from the
+    /// poisoned lock and the drain completes.
+    #[test]
+    fn drain_completes_even_when_the_signal_mutex_is_poisoned() {
+        let server = bind_loopback();
+        let shared = Arc::clone(&server.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.drain_signal.0.lock().expect("first holder");
+            panic!("poison the drain signal");
+        });
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        assert!(
+            server.shared.drain_signal.0.is_poisoned(),
+            "the mutex must actually be poisoned for this test to mean anything"
+        );
+        server.trigger_drain();
+        let report = server.wait();
+        assert!(report.clean, "drain must complete despite the poison");
     }
 }

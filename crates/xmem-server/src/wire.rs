@@ -145,6 +145,13 @@ pub struct RequestParser {
     head_scanned: usize,
     /// Parsed head of the request whose body is still arriving.
     pending: Option<(Request, usize)>,
+    /// Set when a freshly parsed head carries `Expect: 100-continue` and
+    /// its body has not fully arrived — the connection handler must send
+    /// an interim `100 Continue` before blocking for more bytes, or
+    /// expectation-honouring clients stall until the idle timeout.
+    /// One-shot: cleared by [`take_continue`](Self::take_continue) and
+    /// when the request completes.
+    needs_continue: bool,
 }
 
 impl RequestParser {
@@ -156,6 +163,7 @@ impl RequestParser {
             buf: Vec::new(),
             head_scanned: 0,
             pending: None,
+            needs_continue: false,
         }
     }
 
@@ -187,6 +195,10 @@ impl RequestParser {
             let head: Vec<u8> = self.buf.drain(..head_len + 4).collect();
             let request = self.parse_head(&head[..head_len])?;
             let body_len = self.body_length(&request)?;
+            self.needs_continue = self.buf.len() < body_len
+                && request
+                    .header("expect")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"));
             self.pending = Some((request, body_len));
         }
         let (_, body_len) = self.pending.as_ref().expect("pending head");
@@ -194,8 +206,17 @@ impl RequestParser {
             return Ok(None);
         }
         let (mut request, body_len) = self.pending.take().expect("pending head");
+        self.needs_continue = false;
         request.body = self.buf.drain(..body_len).collect();
         Ok(Some(request))
+    }
+
+    /// Whether the pending request is owed an interim `100 Continue`,
+    /// clearing the flag (the caller sends the interim response exactly
+    /// once per request).
+    #[must_use]
+    pub fn take_continue(&mut self) -> bool {
+        std::mem::take(&mut self.needs_continue)
     }
 
     /// Offset of the `\r\n\r\n` head terminator, or `None` if it has not

@@ -480,6 +480,28 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             .peek(key)
     }
 
+    /// Clones every resident entry, least- to most-recently-used within
+    /// each shard (probation before protected, each walked LRU → MRU),
+    /// so re-inserting the sequence into an empty cache approximately
+    /// restores recency order: the hottest entries land last and become
+    /// the new MRUs. Used by the persistence snapshot.
+    #[must_use]
+    pub fn export(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for segment in [PROBATION, PROTECTED] {
+                let mut cursor = shard.lists[segment].tail;
+                while cursor != NIL {
+                    let node = shard.node(cursor);
+                    out.push((node.key.clone(), node.value.clone()));
+                    cursor = node.prev;
+                }
+            }
+        }
+        out
+    }
+
     /// Looks up `key`, refreshing its recency (and, in segmented mode,
     /// promoting a probation entry to the protected segment).
     #[must_use]

@@ -1,5 +1,6 @@
 //! Cache key for memoized estimation stages.
 
+use serde::{Deserialize, Serialize};
 use xmem_models::ModelId;
 use xmem_optim::OptimizerKind;
 use xmem_runtime::{Precision, TrainJobSpec, ZeroGradPos};
@@ -10,7 +11,7 @@ use xmem_runtime::{Precision, TrainJobSpec, ZeroGradPos};
 /// pure function of these fields — notably *not* of `TrainJobSpec::seed`,
 /// which only jitters the simulated-GPU ground truth. Two specs with equal
 /// keys share cached stages.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct JobKey {
     /// Model under training.
     pub model: ModelId,

@@ -57,6 +57,7 @@ mod future;
 pub mod jobspec;
 mod key;
 mod negative;
+mod persist;
 mod registry;
 mod service;
 mod simcache;
@@ -68,6 +69,9 @@ pub use executor::{block_on, join_all, Executor, JoinAll, SubmitError, WorkerPoo
 pub use future::{promise_pair, LateOutcome, PoolFuture, Promise};
 pub use key::JobKey;
 pub use negative::{NegativeCache, NegativeStats};
+pub use persist::{
+    PersistStats, Snapshotter, JOURNAL_FILE, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, STATE_FORMAT_VERSION,
+};
 pub use registry::{DeviceRegistry, RegistryParseError};
 pub use service::{
     AsyncEstimationService, AsyncServiceConfig, EstimateFuture, EstimationService, MatrixFuture,

@@ -8,10 +8,12 @@ use crate::executor::{SubmitError, WorkerPool};
 use crate::future::{promise_pair, PoolFuture};
 use crate::key::JobKey;
 use crate::negative::{NegativeCache, NegativeStats};
+use crate::persist::{PersistStats, PersistedDevice, Persister, StateRecord};
 use crate::registry::DeviceRegistry;
 use crate::simcache::{DeviceFingerprint, SimShards, SimStats};
 use crate::singleflight::{FlightStats, SingleFlight};
 use crate::timer::DeadlineTimer;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -108,6 +110,12 @@ pub struct ServiceConfig {
     /// [`ShardedLruCache::with_segmented_admission`]). `None` (default)
     /// keeps plain LRU admission.
     pub segmented_protected_frac: Option<f64>,
+    /// Optional state directory for crash-consistent persistence: cache
+    /// inserts are journaled, snapshots compact the journal, and boot
+    /// replays the on-disk state so restarts are warm (see the
+    /// `persist` module docs for the on-disk format and recovery
+    /// semantics). `None` (default) keeps the service purely in-memory.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -129,6 +137,7 @@ impl ServiceConfig {
             fast_path: true,
             max_device_shards: 64,
             segmented_protected_frac: None,
+            state_dir: None,
         }
     }
 
@@ -200,6 +209,16 @@ impl ServiceConfig {
         self.max_device_shards = max;
         self
     }
+
+    /// Enables crash-consistent persistence rooted at `dir` (see
+    /// [`state_dir`](Self::state_dir)): the directory is created on
+    /// service construction, existing state is recovered, and cache
+    /// inserts are journaled from then on.
+    #[must_use]
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
 }
 
 /// A shared, thread-safe estimation front end for scheduler-scale traffic.
@@ -256,6 +275,9 @@ pub struct EstimationService {
     /// Count of actual `profile_on_cpu` executions — the ground truth the
     /// single-flight and cache layers are judged against.
     profiles: AtomicU64,
+    /// Crash-consistent persistence engine, present when
+    /// [`ServiceConfig::state_dir`] is set and the directory was usable.
+    persist: Option<Persister>,
 }
 
 impl EstimationService {
@@ -274,7 +296,7 @@ impl EstimationService {
         let sims = SimShards::new(config.cache_capacity, config.shards)
             .with_max_devices(config.max_device_shards);
         let replays = ShardedLruCache::new(config.cache_capacity, config.shards);
-        EstimationService {
+        let mut service = EstimationService {
             config,
             estimator,
             cache,
@@ -285,7 +307,151 @@ impl EstimationService {
             replays,
             replay_flights: SingleFlight::new(),
             profiles: AtomicU64::new(0),
+            persist: None,
+        };
+        if let Some(dir) = service.config.state_dir.clone() {
+            match Persister::open(&dir) {
+                Ok((persister, loaded)) => {
+                    let (recovered, skipped) = service.import_records(loaded.records);
+                    persister.add_recovered(recovered);
+                    persister.add_skipped(skipped);
+                    service.persist = Some(persister);
+                    // Boot compaction: fold the replayed journal into a
+                    // fresh snapshot so repeated crash/restart cycles
+                    // cannot grow the journal without bound.
+                    if let Err(e) = service.snapshot_now() {
+                        eprintln!(
+                            "xmem-service: boot snapshot in {} failed: {e}",
+                            dir.display()
+                        );
+                    }
+                }
+                Err(e) => {
+                    // A hard I/O failure on the directory itself: serve
+                    // cold rather than refuse to start.
+                    eprintln!(
+                        "xmem-service: state dir {} unusable ({e}); persistence disabled",
+                        dir.display()
+                    );
+                }
+            }
         }
+        service
+    }
+
+    /// Re-applies recovered records to the in-memory caches (without
+    /// re-journaling them), returning `(imported, skipped)`. Sim cells
+    /// are re-attached by matching their persisted device fingerprint
+    /// field-for-field against the boot-time registry; cells for devices
+    /// no longer registered are skipped.
+    fn import_records(&self, records: Vec<StateRecord>) -> (u64, u64) {
+        let mut devices: Vec<GpuDevice> = self
+            .config
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|(_, device)| device)
+            .collect();
+        // The service's own target device simulates too (estimate /
+        // estimate_for_device paths) even when unregistered.
+        devices.push(self.config.estimator.device);
+        let mut imported = 0u64;
+        let mut skipped = 0u64;
+        for record in records {
+            match record {
+                StateRecord::Stage { job, analyzed } => {
+                    self.cache.insert(
+                        job,
+                        Arc::new(ProfiledStages {
+                            trace: None,
+                            analyzed,
+                        }),
+                    );
+                    imported += 1;
+                }
+                StateRecord::Replay { job, replay } => {
+                    self.replays.insert(job, Arc::new(replay));
+                    imported += 1;
+                }
+                StateRecord::Sim {
+                    device,
+                    job,
+                    estimate,
+                } => {
+                    let matched = devices.iter().find(|d| {
+                        let fp = DeviceFingerprint::of(d);
+                        fp.name == device.name
+                            && fp.capacity == device.capacity
+                            && fp.framework_bytes == device.framework_bytes
+                            && fp.init_bytes == device.init_bytes
+                    });
+                    if let Some(d) = matched {
+                        self.sims.shard(d).insert(job, estimate);
+                        imported += 1;
+                    } else {
+                        skipped += 1;
+                    }
+                }
+            }
+        }
+        (imported, skipped)
+    }
+
+    /// Every resident cache entry as persistence records, in snapshot
+    /// order: stage entries, unbounded replays, then sim cells (each
+    /// layer LRU-first, so replaying the sequence restores recency).
+    fn export_records(&self) -> Vec<StateRecord> {
+        let mut records = Vec::new();
+        for (job, stages) in self.cache.export() {
+            records.push(StateRecord::Stage {
+                job,
+                analyzed: stages.analyzed.clone(),
+            });
+        }
+        for (job, replay) in self.replays.export() {
+            records.push(StateRecord::Replay {
+                job,
+                replay: (*replay).clone(),
+            });
+        }
+        for (fingerprint, cells) in self.sims.export() {
+            let device = PersistedDevice {
+                name: fingerprint.name.to_owned(),
+                capacity: fingerprint.capacity,
+                framework_bytes: fingerprint.framework_bytes,
+                init_bytes: fingerprint.init_bytes,
+            };
+            for (job, estimate) in cells {
+                records.push(StateRecord::Sim {
+                    device: device.clone(),
+                    job,
+                    estimate,
+                });
+            }
+        }
+        records
+    }
+
+    /// Writes a snapshot of the current cache state and truncates the
+    /// journal. Returns `Ok(false)` when persistence is not enabled.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from the snapshot write.
+    pub fn snapshot_now(&self) -> std::io::Result<bool> {
+        let Some(persister) = &self.persist else {
+            return Ok(false);
+        };
+        persister.snapshot(&self.export_records())?;
+        Ok(true)
+    }
+
+    /// Persistence counters and gauges; all-zero (with `enabled: false`)
+    /// when no state directory is configured.
+    #[must_use]
+    pub fn persist_stats(&self) -> PersistStats {
+        self.persist
+            .as_ref()
+            .map_or_else(PersistStats::default, Persister::stats)
     }
 
     /// Convenience constructor with service defaults for a device.
@@ -424,6 +590,12 @@ impl EstimationService {
                         analyzed,
                     });
                     self.cache.insert(key.clone(), Arc::clone(&stages));
+                    if let Some(persister) = &self.persist {
+                        persister.append(&StateRecord::Stage {
+                            job: key.clone(),
+                            analyzed: stages.analyzed.clone(),
+                        });
+                    }
                     Ok(stages)
                 }
                 Err(error) => {
@@ -545,6 +717,19 @@ impl EstimationService {
             self.sims
                 .shard(&device)
                 .insert(key.clone(), estimate.clone());
+            if let Some(persister) = &self.persist {
+                let fingerprint = &sim_key.1;
+                persister.append(&StateRecord::Sim {
+                    device: PersistedDevice {
+                        name: fingerprint.name.to_owned(),
+                        capacity: fingerprint.capacity,
+                        framework_bytes: fingerprint.framework_bytes,
+                        init_bytes: fingerprint.init_bytes,
+                    },
+                    job: key.clone(),
+                    estimate: estimate.clone(),
+                });
+            }
             estimate
         })
     }
@@ -570,6 +755,12 @@ impl EstimationService {
             self.sims.count_unbounded();
             let replay = Arc::new(estimator.replay_unbounded(&stages.analyzed));
             self.replays.insert(key.clone(), Arc::clone(&replay));
+            if let Some(persister) = &self.persist {
+                persister.append(&StateRecord::Replay {
+                    job: key.clone(),
+                    replay: (*replay).clone(),
+                });
+            }
             replay
         })
     }
@@ -971,6 +1162,14 @@ impl AsyncServiceConfig {
     #[must_use]
     pub fn with_registry(mut self, registry: DeviceRegistry) -> Self {
         self.service = self.service.with_registry(registry);
+        self
+    }
+
+    /// Enables crash-consistent persistence on the underlying service
+    /// (see [`ServiceConfig::with_state_dir`]).
+    #[must_use]
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.service = self.service.with_state_dir(dir);
         self
     }
 }

@@ -284,6 +284,18 @@ impl SimShards {
         entries
     }
 
+    /// Clones every resident estimate grouped by device fingerprint,
+    /// entries in each shard's LRU → MRU order (see
+    /// [`ShardedLruCache::export`]). Used by the persistence snapshot.
+    #[must_use]
+    pub fn export(&self) -> Vec<(DeviceFingerprint, Vec<(JobKey, Estimate)>)> {
+        let shards = self.shards.read().expect("sim shard map poisoned");
+        shards
+            .iter()
+            .map(|(fingerprint, slot)| (fingerprint.clone(), slot.cache.export()))
+            .collect()
+    }
+
     /// A snapshot of the simulation counters. Monotonic: counters of
     /// retired shards stay folded in.
     #[must_use]

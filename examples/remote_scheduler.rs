@@ -66,7 +66,7 @@ fn main() {
             "the wire must add transport, not interpretation"
         );
 
-        let parsed: Value = serde_json::from_str(response.text()).expect("placement JSON");
+        let parsed: Value = serde_json::from_str(&response.text()).expect("placement JSON");
         let device = parsed
             .as_object()
             .and_then(|o| serde::obj_get(o, "placement"))

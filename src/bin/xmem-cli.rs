@@ -64,9 +64,13 @@ fn usage() -> &'static str {
                        `#` comments), answered through the async service\n\
        listen          --addr <host:port> [--device ...] [--registry <file.json>]\n\
                        [--workers <n>] [--queue <n>] [--conns <n>] [--drain-ms <n>]\n\
+                       [--state-dir <dir>] [--snapshot-ms <n>]\n\
                        HTTP/1.1 server: POST /v1/estimate|matrix|sweep|plan|best-device\n\
                        (JSON jobs, same grammar), GET /healthz, GET /metrics\n\
-                       (Prometheus); POST /v1/shutdown drains and exits\n\
+                       (Prometheus); POST /v1/shutdown drains and exits;\n\
+                       --state-dir persists cache state (snapshot + journal)\n\
+                       across restarts: a warm boot re-serves prior jobs\n\
+                       without re-profiling\n\
        profile         (same job options) --out <trace.json>\n\
        estimate-trace  --trace <trace.json> [--device ...]\n\
        layers          (same job options) [--top <n>]\n\
@@ -396,12 +400,37 @@ fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
     let queue_depth = parse_usize("queue", 1024)?;
     let conns = parse_usize("conns", 64)?;
     let drain_ms = parse_usize("drain-ms", 5000)?;
+    let snapshot_ms = parse_usize("snapshot-ms", 2000)?;
 
-    let service = Arc::new(AsyncEstimationService::new(
-        AsyncServiceConfig::for_device(device)
-            .with_workers(workers)
-            .with_queue_depth(queue_depth)
-            .with_registry(registry),
+    let mut service_config = ServiceConfig::for_device(device).with_registry(registry);
+    if let Some(dir) = flags.get("state-dir") {
+        service_config = service_config.with_state_dir(dir);
+    }
+    let inner = Arc::new(EstimationService::new(service_config));
+    let persist = inner.persist_stats();
+    if flags.contains_key("state-dir") && !persist.enabled {
+        return Err(
+            "--state-dir is unusable (see the message above); refusing to \
+                    listen without the durability that was asked for"
+                .to_string(),
+        );
+    }
+    if persist.enabled {
+        println!(
+            "state recovered: {} entries ({} skipped, {} torn tails)",
+            persist.recovered_entries, persist.recovery_skipped, persist.recovery_truncated
+        );
+    }
+    let snapshotter = persist.enabled.then(|| {
+        xmem::service::Snapshotter::spawn(
+            Arc::clone(&inner),
+            Duration::from_millis(snapshot_ms as u64),
+        )
+    });
+    let service = Arc::new(AsyncEstimationService::from_service(
+        Arc::clone(&inner),
+        workers,
+        queue_depth,
     ));
     let config = ServerConfig::default()
         .with_workers(conns)
@@ -414,7 +443,22 @@ fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
          GET /healthz /metrics | POST /v1/shutdown drains"
     );
     let report = server.wait();
-    let inner = service.service();
+    if let Some(snapshotter) = snapshotter {
+        snapshotter.stop();
+        // The drain already stopped the ingress, so this snapshot is the
+        // complete final state: a restart with the same --state-dir warm-
+        // boots every cached entry.
+        match inner.snapshot_now() {
+            Ok(_) => {
+                let stats = inner.persist_stats();
+                println!(
+                    "final snapshot written: {} bytes, {} snapshot writes this run",
+                    stats.snapshot_bytes, stats.snapshot_writes
+                );
+            }
+            Err(e) => eprintln!("final snapshot failed: {e}"),
+        }
+    }
     println!(
         "drained ({}): {} requests served | cache: {} hits, {} misses | profile runs: {}",
         if report.clean { "clean" } else { "stragglers" },

@@ -1,0 +1,337 @@
+//! Crash/power-loss simulation matrix for the persistence layer.
+//!
+//! Each test populates a state directory through a live service, then
+//! simulates a kill at one of the persistence write sites — mid-journal
+//! append (the journal tail is truncated at every byte offset of its
+//! last records), mid-snapshot (a partial temp file next to the previous
+//! snapshot), between the temp-file write and the rename (a complete but
+//! un-renamed temp file), and between the rename and the journal
+//! truncate (a stale journal duplicating snapshot contents) — and
+//! asserts that recovery lands on a checksum-valid consistent prefix:
+//! boot never errors, recovered entries serve bit-identical estimates,
+//! and the warm boot performs **zero** profile runs for recovered jobs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xmem::prelude::*;
+use xmem::service::{ServiceConfig, JOURNAL_FILE, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE};
+
+/// A unique, self-cleaning state directory per test.
+struct StateDir(PathBuf);
+
+impl StateDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("xmem-crash-{label}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        StateDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for StateDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config(dir: &Path) -> ServiceConfig {
+    ServiceConfig::for_device(GpuDevice::rtx3060()).with_state_dir(dir)
+}
+
+fn spec(batch: usize) -> TrainJobSpec {
+    TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, batch).with_iterations(2)
+}
+
+/// Populates a fresh service on `dir` and returns the expected
+/// estimates. Uses both the primary-device path (`estimate`) and a
+/// named-device path (`estimate_on`) so all three record kinds — stage,
+/// replay, sim cell — hit the journal.
+fn populate(dir: &Path, batches: &[usize]) -> Vec<Estimate> {
+    let service = EstimationService::new(config(dir));
+    assert!(service.persist_stats().enabled, "persistence must engage");
+    batches
+        .iter()
+        .map(|&b| {
+            let job = spec(b);
+            let on_device = service.estimate_on(&job, "rtx4060").expect("estimates");
+            let primary = service.estimate(&job).expect("estimates");
+            assert!(on_device.peak_bytes > 0);
+            primary
+        })
+        .collect()
+}
+
+/// Warm-boots from `dir` and asserts the recovered state serves
+/// `expected` bit-identically with zero profile runs.
+fn assert_warm_boot(dir: &Path, batches: &[usize], expected: &[Estimate]) {
+    let service = EstimationService::new(config(dir));
+    let stats = service.persist_stats();
+    assert!(stats.recovered_entries > 0, "nothing recovered: {stats:?}");
+    for (&b, want) in batches.iter().zip(expected) {
+        let got = service.estimate(&spec(b)).expect("warm estimate");
+        assert_eq!(&got, want, "batch {b} diverged after warm boot");
+    }
+    assert_eq!(
+        service.profile_runs(),
+        0,
+        "warm boot must not re-profile recovered jobs"
+    );
+}
+
+/// The baseline contract: populate, restart, serve bit-identically with
+/// zero profile runs — first via the boot snapshot (compaction ran), and
+/// again after a second restart (snapshot-only recovery).
+#[test]
+fn warm_boot_serves_bit_identical_estimates_with_zero_profile_runs() {
+    let dir = StateDir::new("warm");
+    let batches = [4usize, 8, 16];
+    let expected = populate(dir.path(), &batches);
+    assert_warm_boot(dir.path(), &batches, &expected);
+    // Once more: the second boot recovered from the first boot's
+    // compaction snapshot; its own compaction must round-trip too.
+    assert_warm_boot(dir.path(), &batches, &expected);
+}
+
+/// Journal-only recovery: kill before any snapshot ever completes (the
+/// snapshot file is removed, as if the process died before the first
+/// compaction). The journal alone must warm the boot.
+#[test]
+fn journal_alone_recovers_when_no_snapshot_was_ever_written() {
+    let dir = StateDir::new("journal-only");
+    let batches = [4usize, 8];
+    let expected = populate(dir.path(), &batches);
+    fs::remove_file(dir.path().join(SNAPSHOT_FILE)).expect("drop the snapshot");
+    assert_warm_boot(dir.path(), &batches, &expected);
+}
+
+/// Kill mid-journal-append: the journal is truncated at a matrix of
+/// offsets covering every structural position inside every frame —
+/// inside the length field, inside the checksum, at the payload's first
+/// and last byte, mid-payload, and exactly on each frame boundary.
+/// Recovery must never error, must land on the longest checksum-valid
+/// prefix (flagging torn cuts, not clean ones), and jobs whose records
+/// survived in full serve bit-identically.
+#[test]
+fn every_journal_truncation_point_recovers_to_a_valid_prefix() {
+    let dir = StateDir::new("torn-journal");
+    let batches = [4usize];
+    let expected = populate(dir.path(), &batches);
+    let journal = fs::read(dir.path().join(JOURNAL_FILE)).expect("journal exists");
+    assert!(!journal.is_empty(), "populate must have journaled inserts");
+
+    // Frame boundaries, from the length fields.
+    let mut boundaries = vec![0usize];
+    let mut off = 0usize;
+    while off + 12 <= journal.len() {
+        let len = u32::from_le_bytes(journal[off..off + 4].try_into().expect("4 bytes")) as usize;
+        off += 12 + len;
+        boundaries.push(off);
+    }
+    assert!(boundaries.len() > 2, "expected several journal frames");
+    assert_eq!(*boundaries.last().expect("nonempty"), journal.len());
+
+    // Kill points per frame: torn length, torn checksum, payload start,
+    // mid-payload, one byte short, and the clean boundary itself.
+    let mut cuts = Vec::new();
+    for pair in boundaries.windows(2) {
+        let (start, end) = (pair[0], pair[1]);
+        cuts.extend([
+            start + 2,
+            start + 8,
+            start + 13,
+            (start + end) / 2,
+            end - 1,
+            end,
+        ]);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    for cut in cuts {
+        let scratch = StateDir::new(&format!("torn-journal-cut{cut}"));
+        fs::create_dir_all(scratch.path()).expect("scratch dir");
+        fs::write(scratch.path().join(JOURNAL_FILE), &journal[..cut]).expect("torn journal");
+
+        let service = EstimationService::new(config(scratch.path()));
+        let stats = service.persist_stats();
+        let clean_boundary = boundaries.contains(&cut);
+        assert_eq!(
+            stats.recovery_truncated > 0,
+            !clean_boundary,
+            "cut {cut}: torn-tail detection disagrees with the cut class: {stats:?}"
+        );
+        for (&b, want) in batches.iter().zip(&expected) {
+            let before = service.profile_runs();
+            let got = service
+                .estimate(&spec(b))
+                .expect("estimate after torn boot");
+            if service.profile_runs() == before {
+                // Served from recovered state: must be bit-identical.
+                assert_eq!(&got, want, "cut {cut}: recovered entry diverged");
+            }
+        }
+        // The boot compaction must have produced a checksum-valid
+        // snapshot from the recovered prefix: a second boot re-reads it
+        // without tripping the truncation counter.
+        let reboot = EstimationService::new(config(scratch.path()));
+        assert_eq!(
+            reboot.persist_stats().recovery_truncated,
+            0,
+            "cut {cut}: compacted snapshot must be checksum-valid"
+        );
+    }
+}
+
+/// A flipped byte mid-journal fails that record's checksum and ends
+/// replay at the previous record — a consistent prefix, not an error.
+#[test]
+fn corrupt_journal_record_ends_replay_at_the_valid_prefix() {
+    let dir = StateDir::new("bitflip");
+    let batches = [4usize, 8];
+    let _expected = populate(dir.path(), &batches);
+    fs::remove_file(dir.path().join(SNAPSHOT_FILE)).expect("drop the snapshot");
+    let mut journal = fs::read(dir.path().join(JOURNAL_FILE)).expect("journal");
+    let mid = journal.len() / 2;
+    journal[mid] ^= 0xff;
+    fs::write(dir.path().join(JOURNAL_FILE), &journal).expect("corrupt journal");
+
+    let service = EstimationService::new(config(dir.path()));
+    let stats = service.persist_stats();
+    assert!(
+        stats.recovery_truncated > 0,
+        "the corrupt record must be detected: {stats:?}"
+    );
+    // The service still boots and still serves (re-profiling what the
+    // corruption cost it).
+    let estimate = service
+        .estimate(&spec(4))
+        .expect("post-corruption estimate");
+    assert!(estimate.peak_bytes > 0);
+}
+
+/// Kill mid-snapshot: a partial temp file sits next to the previous
+/// (complete) snapshot. The temp file must be ignored, the old snapshot
+/// and journal must recover, and the next snapshot must overwrite the
+/// leftover temp file.
+#[test]
+fn partial_snapshot_temp_file_is_ignored() {
+    let dir = StateDir::new("mid-snapshot");
+    let batches = [4usize];
+    let expected = populate(dir.path(), &batches);
+    // Simulate dying halfway through writing the temp file.
+    let snapshot = fs::read(dir.path().join(SNAPSHOT_FILE)).expect("snapshot");
+    fs::write(
+        dir.path().join(SNAPSHOT_TMP_FILE),
+        &snapshot[..snapshot.len() / 2],
+    )
+    .expect("partial temp");
+    assert_warm_boot(dir.path(), &batches, &expected);
+    // The boot compaction rewrote the snapshot through the same temp
+    // path; the leftover partial file is gone.
+    assert!(
+        !dir.path().join(SNAPSHOT_TMP_FILE).exists(),
+        "compaction must clear the stale temp file"
+    );
+}
+
+/// Kill between the temp-file write and the rename: a *complete* temp
+/// file next to the previous snapshot. Same contract — the un-renamed
+/// file is simply not state.
+#[test]
+fn complete_but_unrenamed_snapshot_temp_file_is_ignored() {
+    let dir = StateDir::new("pre-rename");
+    let batches = [4usize];
+    let expected = populate(dir.path(), &batches);
+    let snapshot = fs::read(dir.path().join(SNAPSHOT_FILE)).expect("snapshot");
+    fs::write(dir.path().join(SNAPSHOT_TMP_FILE), &snapshot).expect("complete temp");
+    assert_warm_boot(dir.path(), &batches, &expected);
+}
+
+/// Kill between the snapshot rename and the journal truncate: the
+/// journal still holds records the snapshot already contains. Replay is
+/// idempotent (values are deterministic), so the double-apply changes
+/// nothing.
+#[test]
+fn stale_journal_after_snapshot_rename_replays_idempotently() {
+    let dir = StateDir::new("rename-vs-truncate");
+    let batches = [4usize, 8];
+    let expected = populate(dir.path(), &batches);
+    // An intermediate boot compacts: the snapshot now carries the state
+    // and the journal is empty.
+    drop(EstimationService::new(config(dir.path())));
+    // Reconstruct the pre-truncate state: append the snapshot's record
+    // frames (sans header) onto the journal, duplicating every entry.
+    let snapshot = fs::read(dir.path().join(SNAPSHOT_FILE)).expect("snapshot");
+    // Skip the header frame: [4-byte len][8-byte sum][payload].
+    let header_len = u32::from_le_bytes(snapshot[..4].try_into().expect("4 bytes")) as usize + 12;
+    assert!(
+        snapshot.len() > header_len,
+        "compacted snapshot must carry data frames"
+    );
+    let mut journal = fs::read(dir.path().join(JOURNAL_FILE)).expect("journal");
+    journal.extend_from_slice(&snapshot[header_len..]);
+    fs::write(dir.path().join(JOURNAL_FILE), &journal).expect("stale journal");
+    assert_warm_boot(dir.path(), &batches, &expected);
+}
+
+/// A corrupt snapshot *header* discards the snapshot wholesale but the
+/// journal still replays — recovery degrades, never errors.
+#[test]
+fn corrupt_snapshot_header_falls_back_to_the_journal() {
+    let dir = StateDir::new("bad-header");
+    let batches = [4usize];
+    let expected = populate(dir.path(), &batches);
+    // After `populate` the journal holds every insert (the boot
+    // compaction preceded them); damaging the snapshot's header frame
+    // must discard the snapshot but leave the journal replayable.
+    let mut corrupted = fs::read(dir.path().join(SNAPSHOT_FILE)).expect("snapshot");
+    corrupted[14] ^= 0xff; // inside the header payload
+    fs::write(dir.path().join(SNAPSHOT_FILE), &corrupted).expect("corrupt snapshot");
+
+    let service = EstimationService::new(config(dir.path()));
+    let stats = service.persist_stats();
+    assert!(
+        stats.recovery_truncated > 0,
+        "header damage detected: {stats:?}"
+    );
+    assert!(
+        stats.recovered_entries > 0,
+        "journal still recovered: {stats:?}"
+    );
+    for (&b, want) in batches.iter().zip(&expected) {
+        let got = service.estimate(&spec(b)).expect("estimate");
+        assert_eq!(&got, want, "journal-recovered entry diverged");
+    }
+    assert_eq!(service.profile_runs(), 0);
+}
+
+/// Sim cells whose device fingerprint matches no registered device are
+/// skipped (counted), not resurrected against the wrong hardware.
+#[test]
+fn sim_cells_for_unregistered_devices_are_skipped() {
+    let dir = StateDir::new("unmatched-device");
+    let batches = [4usize];
+    let _ = populate(dir.path(), &batches);
+    // Reboot with a registry that no longer knows any named device: the
+    // rtx4060 sim cells (written via `estimate_on`) match neither the
+    // empty registry nor the rtx3060 primary, so they are orphaned.
+    let service = EstimationService::new(
+        ServiceConfig::for_device(GpuDevice::rtx3060())
+            .with_registry(xmem::service::DeviceRegistry::empty())
+            .with_state_dir(dir.path()),
+    );
+    let stats = service.persist_stats();
+    assert!(
+        stats.recovery_skipped > 0,
+        "orphaned sim cells must be counted: {stats:?}"
+    );
+    // Stage + replay records are device-independent and still recover.
+    assert!(stats.recovered_entries > 0, "{stats:?}");
+    assert_eq!(service.profile_runs(), 0);
+    let _ = service.estimate(&spec(4)).expect("warm estimate");
+    // The analysis was recovered, so serving still pays no profile run.
+    assert_eq!(service.profile_runs(), 0);
+}

@@ -80,7 +80,7 @@ fn concurrent_keep_alive_clients_get_bit_identical_answers() {
                     assert_eq!(response.status, 200, "{path}: {}", response.text());
                     assert_eq!(
                         response.text(),
-                        want,
+                        want.as_str(),
                         "{path} diverged from the direct path"
                     );
                     exchanges.fetch_add(1, Ordering::Relaxed);
@@ -445,5 +445,94 @@ fn health_and_metrics_expose_the_counter_surface() {
     assert_eq!(bye.status, 200);
     assert!(server.is_draining());
     let report = server.wait();
+    assert!(report.clean);
+}
+
+/// An expectation-honouring client sends the head with
+/// `Expect: 100-continue` and then *waits* for the interim response
+/// before transmitting the body. Without the interim write the exchange
+/// deadlocks until the idle timeout (the bug this pins): the server sat
+/// in `read` waiting for a body the client was never going to send.
+#[test]
+fn expect_100_continue_is_answered_before_the_body() {
+    use std::io::{Read, Write};
+
+    let (server, _service) = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Reads one `\r\n\r\n`-terminated head off the stream.
+    fn read_head(stream: &mut std::net::TcpStream) -> String {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            let n = stream.read(&mut byte).expect("read head byte");
+            assert!(n > 0, "connection closed mid-head: {head:?}");
+            head.push(byte[0]);
+        }
+        String::from_utf8(head).expect("head is UTF-8")
+    }
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    let body = job_json(&small_spec(4));
+    let head = format!(
+        "POST /v1/estimate HTTP/1.1\r\ncontent-length: {}\r\nExpect: 100-Continue\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.flush().expect("flush head");
+
+    // The interim response must arrive while the body is withheld.
+    let interim = read_head(&mut stream);
+    assert!(
+        interim.starts_with("HTTP/1.1 100 Continue"),
+        "expected an interim 100, got: {interim}"
+    );
+
+    // Now honour our side of the contract; the final response follows.
+    stream.write_all(body.as_bytes()).expect("send body");
+    stream.flush().expect("flush body");
+    let final_head = read_head(&mut stream);
+    assert!(
+        final_head.starts_with("HTTP/1.1 200"),
+        "expected the real answer after the body, got: {final_head}"
+    );
+
+    // Drain the final body so the keep-alive connection is reusable.
+    let length: usize = final_head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .and_then(|v| v.parse().ok())
+        .expect("content-length on the final response");
+    let mut rest = vec![0u8; length];
+    stream.read_exact(&mut rest).expect("final body");
+
+    // The flag is one-shot: a follow-up request without `Expect` on the
+    // same connection gets no spurious interim response.
+    let follow_up = format!(
+        "POST /v1/estimate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream
+        .write_all(follow_up.as_bytes())
+        .expect("send follow-up");
+    stream.flush().expect("flush follow-up");
+    let answer = read_head(&mut stream);
+    assert!(
+        answer.starts_with("HTTP/1.1 200"),
+        "follow-up must be answered directly, got: {answer}"
+    );
+    drop(stream);
+
+    let report = server.shutdown();
     assert!(report.clean);
 }
