@@ -3,11 +3,12 @@
 //! Times the hot paths the service layers optimize — single estimates
 //! (cold and warm), N×D matrix replay with the pressure-aware fast path
 //! on and off, contended simulation-cell cache hits, raw allocator replay
-//! throughput, the O(1) LRU against a scan-based reference, and the
+//! throughput, the O(1) LRU against a scan-based reference, the
 //! crash-consistent persistence layer (snapshot write cost, warm-boot
-//! recovery, and the first estimate after a restart) — and emits a
-//! machine-readable `BENCH_estimator.json` so every PR has a measurable
-//! trajectory.
+//! recovery, and the first estimate after a restart), and a cold
+//! batch-size sweep with the incremental parameterized replay on and off
+//! — and emits a machine-readable `BENCH_estimator.json` so every PR has
+//! a measurable trajectory.
 //!
 //! Usage: `perf [--quick] [--out PATH]`
 //!
@@ -51,6 +52,12 @@ struct Counters {
     unbounded_replays: u64,
     sim_cache_hits: u64,
     analysis_cache_hits: u64,
+    /// Counters of the dedicated incremental-sweep service (its sweep is
+    /// timed cold, so these prove the 3-anchor contract exactly).
+    sweep_profile_runs: u64,
+    sweep_param_replays: u64,
+    sweep_incremental_cells: u64,
+    sweep_full_replays: u64,
 }
 
 /// Headline ratios derived from paired benchmarks.
@@ -67,6 +74,10 @@ struct Derived {
     /// warm boot from a state dir: what crash-consistent persistence buys
     /// a restarted server on its first request.
     warm_restart_first_estimate_speedup: f64,
+    /// Full per-batch sweep time over the incremental (parameterized
+    /// replay) sweep time, both cold: the win of profiling 3 anchors and
+    /// deriving every other batch point instead of profiling all of them.
+    sweep_incremental_speedup: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -380,6 +391,73 @@ fn main() {
         speedup
     };
 
+    // --- incremental sweep vs full per-batch sweep -------------------------
+    // Two fresh services, each timed cold over the same dense batch grid:
+    // one with the parameterized-replay sweep disabled (every batch point
+    // profiles + analyzes from scratch), one with it on (3 anchor profiles
+    // fit an affine per-event model, every other cell is derived). Cells
+    // must be bit-identical; only the work to produce them differs.
+    let (sweep_incremental_speedup, sweep_counters) = {
+        let batches: Vec<usize> = (1..=if quick { 12 } else { 48 }).collect();
+        let base =
+            TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 1).with_iterations(2);
+
+        let full_sweep = EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_incremental_sweep(false),
+        );
+        let started = Instant::now();
+        let full_cells = full_sweep.sweep(&base, &batches);
+        let full = finish(
+            "sweep_full",
+            "cell",
+            batches.len() as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+
+        let inc_sweep = EstimationService::for_device(GpuDevice::rtx3060());
+        let started = Instant::now();
+        let inc_cells = inc_sweep.sweep(&base, &batches);
+        let inc = finish(
+            "sweep_incremental",
+            "cell",
+            batches.len() as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+
+        for ((fb, f), (ib, i)) in full_cells.iter().zip(&inc_cells) {
+            assert_eq!(fb, ib);
+            let (f, i) = (f.as_ref().expect("sweeps"), i.as_ref().expect("sweeps"));
+            assert_eq!(f, i, "incremental sweep cells must be bit-identical");
+        }
+        let sims = inc_sweep.sim_stats();
+        assert_eq!(
+            inc_sweep.profile_runs(),
+            3,
+            "incremental sweep profiles 3 anchors"
+        );
+        assert_eq!(
+            sims.param_replays, 1,
+            "one parameterized fit per sweep family"
+        );
+        assert_eq!(sims.incremental_cells, batches.len() as u64);
+        assert_eq!(
+            sims.full_replays, 0,
+            "no cell may fall back to a full replay"
+        );
+        let speedup = full.ns_per_op / inc.ns_per_op.max(1.0);
+        benchmarks.push(full);
+        benchmarks.push(inc);
+        (
+            speedup,
+            (
+                inc_sweep.profile_runs(),
+                sims.param_replays,
+                sims.incremental_cells,
+                sims.full_replays,
+            ),
+        )
+    };
+
     // --- report ------------------------------------------------------------
     let sims = fast_service.sim_stats();
     let counters = Counters {
@@ -390,6 +468,10 @@ fn main() {
         unbounded_replays: sims.unbounded_replays,
         sim_cache_hits: sims.cache.hits,
         analysis_cache_hits: fast_service.cache_stats().hits,
+        sweep_profile_runs: sweep_counters.0,
+        sweep_param_replays: sweep_counters.1,
+        sweep_incremental_cells: sweep_counters.2,
+        sweep_full_replays: sweep_counters.3,
     };
     let report = Report {
         schema: "xmem-bench-perf/v1",
@@ -404,15 +486,17 @@ fn main() {
             matrix_fast_path_speedup,
             lru_o1_speedup_vs_scan,
             warm_restart_first_estimate_speedup,
+            sweep_incremental_speedup,
         },
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write benchmark report");
     println!(
-        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x | warm restart {:.0}x",
+        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x | warm restart {:.0}x | incremental sweep {:.2}x",
         report.derived.matrix_fast_path_speedup,
         report.derived.lru_o1_speedup_vs_scan,
-        report.derived.warm_restart_first_estimate_speedup
+        report.derived.warm_restart_first_estimate_speedup,
+        report.derived.sweep_incremental_speedup
     );
     println!("wrote {out}");
 }

@@ -49,6 +49,7 @@ mod layerwise;
 mod lifecycle;
 mod matrix;
 mod orchestrator;
+mod param;
 mod pipeline;
 mod report;
 mod simulator;
@@ -60,6 +61,7 @@ pub use layerwise::{layer_report, render_layer_report, LayerMemory};
 pub use lifecycle::{reconstruct_lifecycles, LifecycleStats, MemoryBlock};
 pub use matrix::{DeviceMatrix, DevicePlacement, MatrixCell, MatrixRow};
 pub use orchestrator::{OrchestratedEvent, OrchestratedSequence, Orchestrator};
+pub use param::{EventBuffer, ParamRejection, ParamReplay};
 pub use pipeline::{AnalysisStats, Estimate, Estimator, EstimatorConfig, UnboundedReplay};
 pub use report::render_report;
 pub use simulator::{SimulationResult, Simulator};

@@ -2,6 +2,7 @@
 
 use crate::analyzer::{AnalyzedTrace, Analyzer, BlockCategory};
 use crate::orchestrator::{OrchestratedSequence, Orchestrator};
+use crate::param::{EventBuffer, ParamRejection, ParamReplay};
 use crate::simulator::Simulator;
 use crate::EstimateError;
 use serde::{Deserialize, Serialize};
@@ -258,6 +259,90 @@ impl Estimator {
         })
     }
 
+    /// Whether this configuration admits the **incremental sweep** path:
+    /// replaying a [materialized](ParamReplay::materialize) event buffer
+    /// must be provably identical to the full per-batch pipeline.
+    /// Proactive garbage collection and timeline recording both read the
+    /// clock in ways a parameterized stream's nominal timestamps cannot
+    /// honor, so either rules the path out. (Unlike
+    /// [`fast_path_capacity`](Self::fast_path_capacity), page alignment
+    /// is irrelevant here: the materialized buffer is replayed through
+    /// the real bounded simulator, not derived arithmetically.)
+    #[must_use]
+    pub fn incremental_exact(&self) -> bool {
+        self.config.allocator.gc_threshold.is_none() && !self.config.record_timeline
+    }
+
+    /// Fits a [`ParamReplay`] from profiled anchors under this
+    /// estimator's orchestrator (see [`ParamReplay::fit`]).
+    ///
+    /// # Errors
+    /// Returns the fit's [`ParamRejection`] when the delta model cannot
+    /// be proven exact — callers fall back to full per-batch replays.
+    pub fn fit_param_replay(
+        &self,
+        anchors: &[(usize, &AnalyzedTrace)],
+    ) -> Result<ParamReplay, ParamRejection> {
+        ParamReplay::fit(&self.config.orchestrator, anchors)
+    }
+
+    /// Estimates from a pre-orchestrated event buffer (the incremental
+    /// sweep's bounded leg): replays it against this device exactly like
+    /// [`estimate_analyzed`](Self::estimate_analyzed) replays a fresh
+    /// orchestration, with `stats` standing in for the analysis-stage
+    /// diagnostics. Callers must hold the
+    /// [`incremental_exact`](Self::incremental_exact) gate, so no usage
+    /// curve is recorded.
+    #[must_use]
+    pub fn estimate_buffer(&self, buffer: &EventBuffer, stats: AnalysisStats) -> Estimate {
+        let device = &self.config.device;
+        let sim = Simulator {
+            allocator: self.config.allocator.clone(),
+            capacity: Some(device.capacity - device.init_bytes),
+            framework_bytes: device.framework_bytes,
+            record_timeline: false,
+        }
+        .replay_buffer(buffer);
+
+        let job_peak = sim.peak_reserved;
+        let peak_total = job_peak + device.framework_bytes + self.config.context_allowance;
+        Estimate {
+            peak_bytes: peak_total,
+            job_peak_bytes: job_peak,
+            tensor_peak_bytes: sim.peak_allocated,
+            oom_predicted: sim.oom || peak_total > device.capacity - device.init_bytes,
+            curve: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Replays a pre-orchestrated event buffer against an unbounded
+    /// device — the buffer-sourced twin of
+    /// [`replay_unbounded`](Self::replay_unbounded), letting sweeps feed
+    /// one materialized buffer to
+    /// [`derive_from_replay`](Self::derive_from_replay) for every roomy
+    /// device in a fleet.
+    #[must_use]
+    pub fn replay_buffer_unbounded(
+        &self,
+        buffer: &EventBuffer,
+        stats: AnalysisStats,
+    ) -> UnboundedReplay {
+        let sim = Simulator {
+            allocator: self.config.allocator.clone(),
+            capacity: None,
+            framework_bytes: 0,
+            record_timeline: false,
+        }
+        .replay_buffer(buffer);
+        UnboundedReplay {
+            peak_reserved: sim.peak_reserved,
+            peak_allocated: sim.peak_allocated,
+            events: buffer.len(),
+            stats,
+        }
+    }
+
     /// Profiles the job on the CPU backend, then estimates — the
     /// end-to-end a-priori workflow of the paper's Fig. 4 — unchanged by
     /// the fast path, which serving layers opt into explicitly.
@@ -274,7 +359,10 @@ impl Estimator {
 /// The per-category diagnostics both the full replay and the derived fast
 /// path attach to an [`Estimate`]; everything here is a pure function of
 /// the analysis and the orchestrated sequence — never of the device.
-fn analysis_stats(analyzed: &AnalyzedTrace, sequence: &OrchestratedSequence) -> AnalysisStats {
+pub(crate) fn analysis_stats(
+    analyzed: &AnalyzedTrace,
+    sequence: &OrchestratedSequence,
+) -> AnalysisStats {
     let mut categories: Vec<(String, usize, u64)> = Vec::new();
     for cat in [
         BlockCategory::Parameter,

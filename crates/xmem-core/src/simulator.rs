@@ -4,7 +4,7 @@
 //! budget for.
 
 use crate::orchestrator::OrchestratedSequence;
-use std::collections::HashMap;
+use crate::param::EventBuffer;
 use xmem_alloc::{
     AllocatorConfig, AllocatorSnapshot, CachingAllocator, DeviceAllocator, MemoryCounters,
     OomError, TimelinePoint,
@@ -80,8 +80,20 @@ impl Simulator {
     /// memory through the simulated two-level allocator, each free marks
     /// the block reusable (possibly coalescing). Replay stops at the first
     /// OOM, exactly like the job it models.
+    ///
+    /// Internally the sequence is densified into an [`EventBuffer`] and
+    /// fed through [`Simulator::replay_buffer`], so every full replay
+    /// takes the same structure-of-arrays path as the incremental sweep.
     #[must_use]
     pub fn replay(&self, sequence: &OrchestratedSequence) -> SimulationResult {
+        self.replay_buffer(&EventBuffer::from_sequence(sequence))
+    }
+
+    /// Replays a densified event buffer. Identical semantics to
+    /// [`Simulator::replay`]; the dense block ids let live addresses sit
+    /// in a flat table instead of a hash map.
+    #[must_use]
+    pub fn replay_buffer(&self, buffer: &EventBuffer) -> SimulationResult {
         let device = match self.capacity {
             Some(cap) => {
                 DeviceAllocator::new(cap, DeviceAllocator::DEFAULT_PAGE, self.framework_bytes)
@@ -91,21 +103,20 @@ impl Simulator {
         let mut alloc = CachingAllocator::new(self.allocator.clone(), device);
         alloc.record_timeline(self.record_timeline);
 
-        let mut addr_of: HashMap<usize, u64> = HashMap::new();
+        let mut addr_of: Vec<Option<u64>> = vec![None; buffer.num_blocks];
         let mut oom_detail = None;
-        for e in &sequence.events {
-            alloc.advance_clock(e.ts_us);
-            if e.is_alloc {
-                match alloc.alloc(e.bytes as usize) {
-                    Ok(addr) => {
-                        addr_of.insert(e.block, addr);
-                    }
+        for event in 0..buffer.len() {
+            alloc.advance_clock(buffer.ts_us[event]);
+            let block = buffer.block[event] as usize;
+            if buffer.is_alloc[event] {
+                match alloc.alloc(buffer.bytes[event] as usize) {
+                    Ok(addr) => addr_of[block] = Some(addr),
                     Err(err) => {
                         oom_detail = Some(err);
                         break;
                     }
                 }
-            } else if let Some(addr) = addr_of.remove(&e.block) {
+            } else if let Some(addr) = addr_of[block].take() {
                 alloc.free(addr);
             }
         }

@@ -16,7 +16,7 @@ use serde::Value;
 use std::time::{Duration, Instant};
 use xmem_core::{DeviceMatrix, DevicePlacement, Estimate, EstimateError};
 use xmem_runtime::TrainJobSpec;
-use xmem_service::jobspec::{job_from_value, usize_field};
+use xmem_service::jobspec::{self, job_from_value, usize_field};
 use xmem_service::{AsyncEstimationService, SubmitError};
 
 /// Renders a stable JSON error body.
@@ -265,11 +265,17 @@ fn body_json(request: &Request) -> Result<Value, Response> {
 /// lives under a `"job"` key (the wrapped form used when other fields
 /// ride along).
 fn job_of(body: &Value) -> Result<TrainJobSpec, Response> {
+    job_of_with_batch(body, None)
+}
+
+/// [`job_of`] for grid-driven routes (`/v1/sweep`, `/v1/plan`), where the
+/// batch size comes from the grid and may be omitted from the job object.
+fn job_of_with_batch(body: &Value, default_batch: Option<usize>) -> Result<TrainJobSpec, Response> {
     let entries = body
         .as_object()
         .ok_or_else(|| bad_request("body must be a JSON object"))?;
     let job_value = serde::obj_get(entries, "job").unwrap_or(body);
-    job_from_value(job_value).map_err(|e| bad_request(&e))
+    jobspec::job_from_value_with_batch(job_value, default_batch).map_err(|e| bad_request(&e))
 }
 
 /// A string field of the body object.
@@ -380,11 +386,9 @@ pub fn handle_sweep(service: &AsyncEstimationService, request: &Request) -> Resp
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
     };
-    let spec = match job_of(&body) {
-        Ok(spec) => spec,
-        Err(e) => return e,
+    let Some(entries) = body.as_object() else {
+        return bad_request("body must be a JSON object");
     };
-    let entries = body.as_object().expect("job_of proved body is an object");
     let batches: Vec<usize> = match serde::obj_get(entries, "batches").and_then(Value::as_array) {
         Some(items) if !items.is_empty() => {
             let mut batches = Vec::with_capacity(items.len());
@@ -397,6 +401,12 @@ pub fn handle_sweep(service: &AsyncEstimationService, request: &Request) -> Resp
             batches
         }
         _ => return bad_request("`batches` must be a non-empty array of batch sizes"),
+    };
+    // The grid supplies the batch sizes, so the job object may omit
+    // `batch` — the first grid point backs the draft.
+    let spec = match job_of_with_batch(&body, batches.first().copied()) {
+        Ok(spec) => spec,
+        Err(e) => return e,
     };
     let submitted = match deadline {
         Some(deadline) => service.sweep_async_with_deadline(&spec, &batches, deadline),
@@ -420,11 +430,9 @@ pub fn handle_plan(service: &AsyncEstimationService, request: &Request) -> Respo
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
     };
-    let spec = match job_of(&body) {
-        Ok(spec) => spec,
-        Err(e) => return e,
+    let Some(entries) = body.as_object() else {
+        return bad_request("body must be a JSON object");
     };
-    let entries = body.as_object().expect("job_of proved body is an object");
     let device_name = match string_field(&body, "device") {
         Ok(Some(name)) => name,
         Ok(None) => return bad_request("`device` is required"),
@@ -440,6 +448,12 @@ pub fn handle_plan(service: &AsyncEstimationService, request: &Request) -> Respo
     if lo < 1 || lo > hi {
         return bad_request(&format!("invalid batch range [{lo}, {hi}]"));
     }
+    // The search range supplies batch sizes, so the job object may omit
+    // `batch` — the range floor backs the draft.
+    let spec = match job_of_with_batch(&body, Some(lo)) {
+        Ok(spec) => spec,
+        Err(e) => return e,
+    };
     let submitted = match deadline {
         Some(deadline) => {
             service.max_batch_for_device_async_with_deadline(&spec, device, lo, hi, deadline)

@@ -450,6 +450,18 @@ impl ServerMetrics {
         );
         counter(
             &mut out,
+            "xmem_sim_incremental_cells_total",
+            "Cells materialized from a parameterized sweep replay",
+            sims.incremental_cells,
+        );
+        counter(
+            &mut out,
+            "xmem_sim_param_replays_total",
+            "Parameterized-replay fits performed",
+            sims.param_replays,
+        );
+        counter(
+            &mut out,
             "xmem_sim_unbounded_replays_total",
             "Unbounded seed replays executed",
             sims.unbounded_replays,

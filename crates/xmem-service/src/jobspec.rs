@@ -170,6 +170,20 @@ pub fn parse_jobs_text(text: &str) -> Result<Vec<TrainJobSpec>, String> {
 /// # Errors
 /// Non-object values, unknown keys, and every [`JobDraft::build`] failure.
 pub fn job_from_value(value: &Value) -> Result<TrainJobSpec, String> {
+    job_from_value_with_batch(value, None)
+}
+
+/// [`job_from_value`] for grid-driven callers (`sweep`, `plan`), where the
+/// batch size comes from the grid: `default_batch` backs an omitted
+/// `batch` field instead of failing with `` `batch` is required``.
+///
+/// # Errors
+/// The same failures as [`job_from_value`], minus a missing `batch` when
+/// `default_batch` is given.
+pub fn job_from_value_with_batch(
+    value: &Value,
+    default_batch: Option<usize>,
+) -> Result<TrainJobSpec, String> {
     let entries = value.as_object().ok_or("job must be a JSON object")?;
     let mut draft = JobDraft::new();
     for (key, field_value) in entries {
@@ -185,7 +199,7 @@ pub fn job_from_value(value: &Value) -> Result<TrainJobSpec, String> {
             (key, _) => return Err(format!("field `{key}` has an unsupported JSON type")),
         }
     }
-    draft.build(None)
+    draft.build(default_batch)
 }
 
 /// Renders a spec into the JSON object [`job_from_value`] parses — the

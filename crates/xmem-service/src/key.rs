@@ -45,9 +45,55 @@ impl JobKey {
     }
 }
 
+/// Batch-invariant identity of a **job family** — a [`JobKey`] with the
+/// batch dimension removed.
+///
+/// The incremental sweep caches one parameterized replay per family: any
+/// sweep over the same model/optimizer/shape at different batch sizes
+/// reuses the same fit (within its proven batch range).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SweepKey {
+    /// Model under training.
+    pub model: ModelId,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Profiled iterations.
+    pub iterations: u32,
+    /// `zero_grad` placement.
+    pub zero_grad: ZeroGradPos,
+    /// Sequence length (0 = model default).
+    pub seq: usize,
+    /// Numeric precision.
+    pub precision: Precision,
+}
+
+impl SweepKey {
+    /// The family key of `spec` (its batch size is ignored).
+    #[must_use]
+    pub fn of(spec: &TrainJobSpec) -> Self {
+        SweepKey {
+            model: spec.model,
+            optimizer: spec.optimizer,
+            iterations: spec.iterations,
+            zero_grad: spec.zero_grad_pos,
+            seq: spec.seq,
+            precision: spec.precision,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_does_not_affect_the_sweep_key() {
+        let a = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 8);
+        let b = TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 32);
+        assert_eq!(SweepKey::of(&a), SweepKey::of(&b));
+        let other_pos = a.clone().with_zero_grad(ZeroGradPos::IterStart);
+        assert_ne!(SweepKey::of(&a), SweepKey::of(&other_pos));
+    }
 
     #[test]
     fn seed_does_not_affect_the_key() {

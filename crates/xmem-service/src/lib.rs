@@ -67,7 +67,7 @@ mod timer;
 pub use cache::{CacheStats, ShardedLruCache};
 pub use executor::{block_on, join_all, Executor, JoinAll, SubmitError, WorkerPool};
 pub use future::{promise_pair, LateOutcome, PoolFuture, Promise};
-pub use key::JobKey;
+pub use key::{JobKey, SweepKey};
 pub use negative::{NegativeCache, NegativeStats};
 pub use persist::{
     PersistStats, Snapshotter, JOURNAL_FILE, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, STATE_FORMAT_VERSION,

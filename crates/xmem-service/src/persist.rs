@@ -32,9 +32,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
-use xmem_core::{AnalyzedTrace, Estimate, UnboundedReplay};
+use xmem_core::{AnalyzedTrace, Estimate, ParamReplay, UnboundedReplay};
 
-use crate::key::JobKey;
+use crate::key::{JobKey, SweepKey};
 use crate::service::EstimationService;
 
 /// On-disk format version; bumped on any incompatible layout change.
@@ -103,6 +103,14 @@ pub(crate) enum StateRecord {
         device: PersistedDevice,
         job: JobKey,
         estimate: Estimate,
+    },
+    /// A parameterized-replay (incremental sweep) fit for one job
+    /// family. Exported after every other record kind so binaries that
+    /// predate the variant still recover the full Stage/Replay/Sim
+    /// prefix.
+    Param {
+        family: SweepKey,
+        replay: ParamReplay,
     },
 }
 

@@ -6,7 +6,7 @@
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::executor::{SubmitError, WorkerPool};
 use crate::future::{promise_pair, PoolFuture};
-use crate::key::JobKey;
+use crate::key::{JobKey, SweepKey};
 use crate::negative::{NegativeCache, NegativeStats};
 use crate::persist::{PersistStats, PersistedDevice, Persister, StateRecord};
 use crate::registry::DeviceRegistry;
@@ -19,7 +19,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xmem_core::{
     AnalyzedTrace, Analyzer, DeviceMatrix, DevicePlacement, Estimate, EstimateError, Estimator,
-    EstimatorConfig, MatrixCell, MatrixRow, UnboundedReplay,
+    EstimatorConfig, MatrixCell, MatrixRow, Orchestrator, ParamReplay, UnboundedReplay,
 };
 use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
 use xmem_trace::Trace;
@@ -63,6 +63,26 @@ impl ProfiledStages {
 fn stages_weight(stages: &Arc<ProfiledStages>) -> u64 {
     stages.approx_bytes()
 }
+
+/// The cached outcome of one parameterized-replay fit attempt over a
+/// batch range: either the proven-exact fit or a remembered rejection
+/// (so ineligible families do not re-pay three anchor profiles on every
+/// sweep).
+#[derive(Debug)]
+struct ParamOutcome {
+    batch_lo: usize,
+    batch_hi: usize,
+    fit: Option<Arc<ParamReplay>>,
+}
+
+/// Distinct batch points a sweep must span before the incremental path
+/// pays the three-anchor fit. Below it the fit cannot win (three anchors
+/// profile anyway) and the legacy per-batch path runs.
+const MIN_INCREMENTAL_POINTS: usize = 4;
+
+/// Job families whose fit (or rejection) stays cached; a fit is a few
+/// hundred KiB, so a small LRU covers realistic scheduler workloads.
+const PARAM_CACHE_CAPACITY: usize = 32;
 
 /// Configuration of an [`EstimationService`].
 #[derive(Debug, Clone)]
@@ -116,6 +136,15 @@ pub struct ServiceConfig {
     /// `persist` module docs for the on-disk format and recovery
     /// semantics). `None` (default) keeps the service purely in-memory.
     pub state_dir: Option<PathBuf>,
+    /// Whether the incremental sweep path is enabled: a qualifying
+    /// batch sweep fits **one** parameterized replay from three profiled
+    /// anchor batches and materializes every other cell from it instead
+    /// of profiling per batch. The fit is proven exact before use
+    /// (non-affine segments, ablated orchestrators, gc, and timeline
+    /// recording all fall back to full per-batch replays), so results
+    /// are bit-identical either way; disabling is for benchmarking and
+    /// defect isolation.
+    pub incremental_sweep: bool,
 }
 
 impl ServiceConfig {
@@ -138,6 +167,7 @@ impl ServiceConfig {
             max_device_shards: 64,
             segmented_protected_frac: None,
             state_dir: None,
+            incremental_sweep: true,
         }
     }
 
@@ -219,6 +249,14 @@ impl ServiceConfig {
         self.state_dir = Some(dir.into());
         self
     }
+
+    /// Enables or disables the incremental sweep path (on by default;
+    /// see [`incremental_sweep`](Self::incremental_sweep)).
+    #[must_use]
+    pub fn with_incremental_sweep(mut self, enabled: bool) -> Self {
+        self.incremental_sweep = enabled;
+        self
+    }
 }
 
 /// A shared, thread-safe estimation front end for scheduler-scale traffic.
@@ -272,6 +310,12 @@ pub struct EstimationService {
     /// In-flight dedup of unbounded replays (concurrent cells of one job
     /// on different devices coalesce onto a single replay).
     replay_flights: SingleFlight<JobKey, Arc<UnboundedReplay>>,
+    /// The incremental sweep's fit cache: one parameterized replay (or a
+    /// remembered rejection) per batch-invariant job family.
+    params: ShardedLruCache<SweepKey, Arc<ParamOutcome>>,
+    /// In-flight dedup of parameterized-replay fits (concurrent sweeps
+    /// over one family coalesce onto one three-anchor fit).
+    param_flights: SingleFlight<SweepKey, Option<Arc<ParamOutcome>>>,
     /// Count of actual `profile_on_cpu` executions — the ground truth the
     /// single-flight and cache layers are judged against.
     profiles: AtomicU64,
@@ -306,6 +350,8 @@ impl EstimationService {
             sim_flights: SingleFlight::new(),
             replays,
             replay_flights: SingleFlight::new(),
+            params: ShardedLruCache::new(PARAM_CACHE_CAPACITY, 4),
+            param_flights: SingleFlight::new(),
             profiles: AtomicU64::new(0),
             persist: None,
         };
@@ -392,14 +438,28 @@ impl EstimationService {
                         skipped += 1;
                     }
                 }
+                StateRecord::Param { family, replay } => {
+                    let (batch_lo, batch_hi) = replay.batch_range();
+                    self.params.insert(
+                        family,
+                        Arc::new(ParamOutcome {
+                            batch_lo,
+                            batch_hi,
+                            fit: Some(Arc::new(replay)),
+                        }),
+                    );
+                    imported += 1;
+                }
             }
         }
         (imported, skipped)
     }
 
     /// Every resident cache entry as persistence records, in snapshot
-    /// order: stage entries, unbounded replays, then sim cells (each
-    /// layer LRU-first, so replaying the sequence restores recency).
+    /// order: stage entries, unbounded replays, sim cells, then
+    /// parameterized-replay fits (each layer LRU-first, so replaying the
+    /// sequence restores recency). `Param` records come last so binaries
+    /// that predate them still recover the whole preceding prefix.
     fn export_records(&self) -> Vec<StateRecord> {
         let mut records = Vec::new();
         for (job, stages) in self.cache.export() {
@@ -426,6 +486,17 @@ impl EstimationService {
                     device: device.clone(),
                     job,
                     estimate,
+                });
+            }
+        }
+        for (family, outcome) in self.params.export() {
+            // Remembered rejections are not persisted: they are cheap to
+            // rediscover and a rejection for one range says nothing
+            // about the ranges a restarted service will sweep.
+            if let Some(fit) = &outcome.fit {
+                records.push(StateRecord::Param {
+                    family,
+                    replay: (**fit).clone(),
                 });
             }
         }
@@ -717,21 +788,25 @@ impl EstimationService {
             self.sims
                 .shard(&device)
                 .insert(key.clone(), estimate.clone());
-            if let Some(persister) = &self.persist {
-                let fingerprint = &sim_key.1;
-                persister.append(&StateRecord::Sim {
-                    device: PersistedDevice {
-                        name: fingerprint.name.to_owned(),
-                        capacity: fingerprint.capacity,
-                        framework_bytes: fingerprint.framework_bytes,
-                        init_bytes: fingerprint.init_bytes,
-                    },
-                    job: key.clone(),
-                    estimate: estimate.clone(),
-                });
-            }
+            self.journal_sim(&sim_key.1, key, &estimate);
             estimate
         })
+    }
+
+    /// Journals one sim-shard insert when persistence is enabled.
+    fn journal_sim(&self, fingerprint: &DeviceFingerprint, key: &JobKey, estimate: &Estimate) {
+        if let Some(persister) = &self.persist {
+            persister.append(&StateRecord::Sim {
+                device: PersistedDevice {
+                    name: fingerprint.name.to_owned(),
+                    capacity: fingerprint.capacity,
+                    framework_bytes: fingerprint.framework_bytes,
+                    init_bytes: fingerprint.init_bytes,
+                },
+                job: key.clone(),
+                estimate: estimate.clone(),
+            });
+        }
     }
 
     /// The cached unbounded replay for `key`, computed (and
@@ -763,6 +838,190 @@ impl EstimationService {
             }
             replay
         })
+    }
+
+    /// Whether `estimator`'s configuration admits the provably-exact
+    /// incremental sweep path. Beyond the core gate
+    /// ([`Estimator::incremental_exact`]: gc off, no timeline), the
+    /// orchestrator must be the default one — the fit cache is shared
+    /// with the named-device paths, which always orchestrate under
+    /// [`EstimatorConfig::for_device`] defaults.
+    fn incremental_eligible(&self, estimator: &Estimator) -> bool {
+        self.config.incremental_sweep
+            && estimator.incremental_exact()
+            && estimator.config().orchestrator == Orchestrator::default()
+    }
+
+    /// The parameterized replay proven over `[lo, hi]` for `base`'s job
+    /// family, fitting (and caching) it on first use. `None` means the
+    /// family is ineligible: the fit was rejected (the delta model could
+    /// not be proven exact) or an anchor failed to profile — callers
+    /// fall back to the full per-batch path, where errors surface
+    /// per-cell.
+    fn param_for(&self, base: &TrainJobSpec, lo: usize, hi: usize) -> Option<Arc<ParamReplay>> {
+        let family = SweepKey::of(base);
+        let covering =
+            |outcome: &Arc<ParamOutcome>| outcome.batch_lo <= lo && hi <= outcome.batch_hi;
+        if let Some(hit) = self.params.get(&family) {
+            if covering(&hit) {
+                return hit.fit.clone();
+            }
+        }
+        let outcome = self.param_flights.run(&family, || {
+            if let Some(hit) = self.params.peek(&family) {
+                if covering(&hit) {
+                    return Some(hit);
+                }
+            }
+            // Three anchors pin the affine size model: the endpoints fit
+            // it, the midpoint validates it (plus full structural
+            // identity across all three). Anchor profiles go through the
+            // normal stage cache, so they are shared, journaled, and
+            // counted like any other profile run — and they fan out
+            // across the worker threads, so the fit costs one wall-clock
+            // profile (the largest anchor), not three.
+            let mid = lo + (hi - lo) / 2;
+            let anchors: Vec<(usize, Arc<ProfiledStages>)> = self
+                .parallel_fill(3, |i| {
+                    let batch = [lo, mid, hi][i];
+                    self.stages(&with_batch(base, batch))
+                        .ok()
+                        .map(|stages| (batch, stages))
+                })
+                .into_iter()
+                .collect::<Option<Vec<_>>>()?;
+            let refs: Vec<(usize, &AnalyzedTrace)> = anchors
+                .iter()
+                .map(|(batch, stages)| (*batch, &stages.analyzed))
+                .collect();
+            let fit = self.estimator.fit_param_replay(&refs).ok().map(Arc::new);
+            if fit.is_some() {
+                self.sims.count_param_replay();
+            }
+            let outcome = Arc::new(ParamOutcome {
+                batch_lo: lo,
+                batch_hi: hi,
+                fit,
+            });
+            self.params.insert(family.clone(), Arc::clone(&outcome));
+            if let (Some(fit), Some(persister)) = (&outcome.fit, &self.persist) {
+                persister.append(&StateRecord::Param {
+                    family: family.clone(),
+                    replay: (**fit).clone(),
+                });
+            }
+            Some(outcome)
+        });
+        outcome.and_then(|outcome| outcome.fit.clone())
+    }
+
+    /// The fit for a sweep over `batches`, when the sweep qualifies for
+    /// the incremental path: enough distinct points to beat the
+    /// three-anchor cost, valid batches, and an eligible `estimator`.
+    fn sweep_param(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        estimator: &Estimator,
+    ) -> Option<Arc<ParamReplay>> {
+        if !self.incremental_eligible(estimator) {
+            return None;
+        }
+        let mut distinct: Vec<usize> = batches.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < MIN_INCREMENTAL_POINTS || distinct[0] == 0 {
+            return None;
+        }
+        self.param_for(base, distinct[0], *distinct.last().expect("non-empty"))
+    }
+
+    /// One incremental sweep cell under the service's own estimator:
+    /// materialize the fitted buffer at `batch` and replay it bounded.
+    fn incremental_estimate(&self, param: &ParamReplay, batch: usize) -> Estimate {
+        self.sims.count_run();
+        self.sims.count_incremental();
+        self.estimator
+            .estimate_buffer(&param.materialize(batch), param.stats_for(batch))
+    }
+
+    /// Every device's cell for `base` at `batch`, served from the
+    /// parameterized replay: shard hits first; one buffer
+    /// materialization then backs every remaining device — roomy
+    /// devices derive in O(1) from a single unbounded buffer replay,
+    /// pressured ones replay the buffer against their bounded simulator.
+    /// Cells land in the sim shards and the journal exactly like the
+    /// full matrix path's.
+    fn incremental_cells(
+        &self,
+        base: &TrainJobSpec,
+        batch: usize,
+        param: &ParamReplay,
+        devices: &[GpuDevice],
+    ) -> Vec<Estimate> {
+        let spec = with_batch(base, batch);
+        let key = JobKey::of(&spec);
+        let mut cells: Vec<Option<Estimate>> = devices
+            .iter()
+            .map(|device| self.sims.shard(device).get(&key))
+            .collect();
+        if cells.iter().all(Option::is_some) {
+            return cells.into_iter().flatten().collect();
+        }
+        let buffer = param.materialize(batch);
+        let stats = param.stats_for(batch);
+        // One unbounded buffer replay backs the whole row's derivations
+        // (it is not a replay-cache seed: probe batches rarely repeat,
+        // and the buffer is cheaper to rebuild than to retain).
+        let replay = self.config.fast_path.then(|| {
+            Estimator::new(EstimatorConfig::for_device(devices[0]))
+                .replay_buffer_unbounded(&buffer, stats.clone())
+        });
+        for (slot, device) in cells.iter_mut().zip(devices) {
+            if slot.is_some() {
+                continue;
+            }
+            let estimator = Estimator::new(EstimatorConfig::for_device(*device));
+            self.sims.count_run();
+            self.sims.count_incremental();
+            let estimate = replay
+                .as_ref()
+                .and_then(|replay| estimator.derive_from_replay(replay))
+                .unwrap_or_else(|| estimator.estimate_buffer(&buffer, stats.clone()));
+            self.sims
+                .shard(device)
+                .insert(key.clone(), estimate.clone());
+            self.journal_sim(&DeviceFingerprint::of(device), &key, &estimate);
+            *slot = Some(estimate);
+        }
+        cells.into_iter().flatten().collect()
+    }
+
+    /// One incremental admission probe on a single device. Probe batches
+    /// never repeat within a bisection, so the unbounded derivation leg
+    /// is skipped — one bounded buffer replay is the cheapest exact
+    /// answer on any device, roomy or pressured.
+    fn incremental_cell_on(
+        &self,
+        base: &TrainJobSpec,
+        batch: usize,
+        param: &ParamReplay,
+        device: GpuDevice,
+    ) -> Estimate {
+        let spec = with_batch(base, batch);
+        let key = JobKey::of(&spec);
+        if let Some(hit) = self.sims.shard(&device).get(&key) {
+            return hit;
+        }
+        self.sims.count_run();
+        self.sims.count_incremental();
+        let estimate = Estimator::new(EstimatorConfig::for_device(device))
+            .estimate_buffer(&param.materialize(batch), param.stats_for(batch));
+        self.sims
+            .shard(&device)
+            .insert(key.clone(), estimate.clone());
+        self.journal_sim(&DeviceFingerprint::of(&device), &key, &estimate);
+        estimate
     }
 
     /// Estimates `spec` on an explicit device configuration through the
@@ -900,8 +1159,16 @@ impl EstimationService {
 
     /// Batch-size sweep across a device fleet: one matrix whose rows are
     /// `base` at each batch in `batches` (in `batches` order) and whose
-    /// columns are the named devices. Each distinct batch profiles once;
-    /// its analysis replays against all devices.
+    /// columns are the named devices.
+    ///
+    /// A qualifying sweep (see [`sweep`](Self::sweep)) profiles three
+    /// anchor batches, fits one parameterized replay, and materializes
+    /// every row from it — one unbounded buffer replay per row then
+    /// derives each roomy device's cell in O(1), so the whole matrix
+    /// costs 3 profiles + B replays instead of B profiles + B × D
+    /// replays. Otherwise each distinct batch profiles once and its
+    /// analysis replays against all devices. Cells are bit-identical
+    /// either way and land in the same per-device shards.
     ///
     /// # Errors
     /// [`EstimateError::UnknownDevice`] naming the first unknown device.
@@ -911,6 +1178,36 @@ impl EstimationService {
         batches: &[usize],
         devices: &[&str],
     ) -> Result<DeviceMatrix, EstimateError> {
+        // Named-device cells always simulate under the paper-default
+        // `EstimatorConfig::for_device`, which is incremental-eligible by
+        // construction; gate on the service knob and the sweep shape.
+        let probe = Estimator::new(EstimatorConfig::for_device(self.config.estimator.device));
+        if let Some(param) = self.sweep_param(base, batches, &probe) {
+            let resolved = self.registry().resolve(devices)?;
+            let rows_cells = self.parallel_fill(batches.len(), |i| {
+                self.incremental_cells(base, batches[i], &param, &resolved)
+            });
+            let device_names: Vec<String> = devices.iter().map(|&d| d.to_string()).collect();
+            let rows = batches
+                .iter()
+                .zip(rows_cells)
+                .map(|(&batch, cells)| MatrixRow {
+                    spec: with_batch(base, batch),
+                    cells: device_names
+                        .iter()
+                        .zip(cells)
+                        .map(|(name, estimate)| MatrixCell {
+                            device: name.clone(),
+                            estimate: Ok(estimate),
+                        })
+                        .collect(),
+                })
+                .collect();
+            return Ok(DeviceMatrix {
+                devices: device_names,
+                rows,
+            });
+        }
         let specs: Vec<TrainJobSpec> = batches.iter().map(|&b| with_batch(base, b)).collect();
         self.estimate_matrix(&specs, devices)
     }
@@ -995,14 +1292,28 @@ impl EstimationService {
     }
 
     /// Estimates `base` at every batch size in `batches`, fanning the grid
-    /// out across worker threads. Per-model work (profile + analysis of
-    /// each distinct batch) is shared through the cache, so concurrent and
-    /// repeated sweeps reuse it. Results are in `batches` order.
+    /// out across worker threads. Results are in `batches` order.
+    ///
+    /// A qualifying sweep (≥ 4 distinct batches, eligible configuration —
+    /// see [`ServiceConfig::incremental_sweep`]) takes the **incremental
+    /// path**: three anchor batches profile and pin one parameterized
+    /// replay, and every cell — anchors included — is materialized from
+    /// it in ~O(events) with no further profiling. The fit is proven
+    /// exact before use, so cells are bit-identical to the per-batch
+    /// path, which everything else falls back to: per-model work
+    /// (profile + analysis of each distinct batch) is then shared
+    /// through the cache, so concurrent and repeated sweeps reuse it.
     pub fn sweep(
         &self,
         base: &TrainJobSpec,
         batches: &[usize],
     ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
+        if let Some(param) = self.sweep_param(base, batches, &self.estimator) {
+            let estimates = self.parallel_fill(batches.len(), |i| {
+                Ok(self.incremental_estimate(&param, batches[i]))
+            });
+            return batches.iter().copied().zip(estimates).collect();
+        }
         self.sweep_inner(base, batches, |_, stages| {
             self.estimator.estimate_analyzed(&stages.analyzed)
         })
@@ -1044,6 +1355,20 @@ impl EstimationService {
     ) -> Result<Option<usize>, EstimateError> {
         assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
 
+        // A wide-enough eligible range rides one parameterized replay:
+        // every probe — bracket and bisection alike — materializes from
+        // it, so the whole admission query costs three anchor profiles.
+        // Probes simulate under `EstimatorConfig::for_device(device)`
+        // either way, so the bisection walks identical estimates and
+        // lands on the identical answer.
+        let param = if hi - lo + 1 >= MIN_INCREMENTAL_POINTS
+            && self.incremental_eligible(&Estimator::new(EstimatorConfig::for_device(device)))
+        {
+            self.param_for(base, lo, hi)
+        } else {
+            None
+        };
+
         // Coarse bracket: a parallel sweep over an evenly spaced grid
         // warms the cache and narrows the frontier. The grid is capped —
         // on many-core hosts an uncapped grid would degenerate into an
@@ -1054,9 +1379,17 @@ impl EstimationService {
         let mut coarse = Vec::with_capacity(grid.len());
         // Probe batches are distinct keys on one device: never worth
         // seeding the unbounded-replay cache (see `simulate_on_with`).
-        let probes = self.sweep_inner(base, &grid, |key, stages| {
-            self.simulate_on_with(key, stages, device, false)
-        });
+        let probes = match &param {
+            Some(param) => self.parallel_fill(grid.len(), |i| {
+                (
+                    grid[i],
+                    Ok(self.incremental_cell_on(base, grid[i], param, device)),
+                )
+            }),
+            None => self.sweep_inner(base, &grid, |key, stages| {
+                self.simulate_on_with(key, stages, device, false)
+            }),
+        };
         for (batch, estimate) in probes {
             coarse.push((batch, !estimate?.oom_predicted));
         }
@@ -1078,12 +1411,15 @@ impl EstimationService {
         // Bisect the remaining bracket; probes land in the shared caches.
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
-            let spec = with_batch(base, mid);
-            let stages = self.stages(&spec)?;
-            if !self
-                .simulate_on_with(&JobKey::of(&spec), &stages, device, false)
-                .oom_predicted
-            {
+            let estimate = match &param {
+                Some(param) => self.incremental_cell_on(base, mid, param, device),
+                None => {
+                    let spec = with_batch(base, mid);
+                    let stages = self.stages(&spec)?;
+                    self.simulate_on_with(&JobKey::of(&spec), &stages, device, false)
+                }
+            };
+            if !estimate.oom_predicted {
                 lo = mid;
             } else {
                 hi = mid - 1;
@@ -1618,8 +1954,10 @@ mod tests {
         let service = EstimationService::for_device(GpuDevice::rtx3060());
         let batches = [1, 2, 4, 8];
         let first = service.sweep(&small_spec(1), &batches);
+        // The incremental path profiles only its three anchors.
         let insertions_after_first = service.cache_stats().insertions;
-        assert_eq!(insertions_after_first, batches.len() as u64);
+        assert_eq!(insertions_after_first, 3);
+        assert_eq!(service.sim_stats().param_replays, 1);
 
         let second = service.sweep(&small_spec(1), &batches);
         let stats = service.cache_stats();
@@ -1627,10 +1965,78 @@ mod tests {
             stats.insertions, insertions_after_first,
             "a repeated sweep re-profiles nothing"
         );
+        assert_eq!(
+            service.sim_stats().param_replays,
+            1,
+            "a repeated sweep reuses the cached fit"
+        );
         for ((b1, e1), (b2, e2)) in first.iter().zip(&second) {
             assert_eq!(b1, b2);
             assert_eq!(e1.as_ref().unwrap(), e2.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn short_sweeps_stay_on_the_per_batch_path() {
+        let service = EstimationService::for_device(GpuDevice::rtx3060());
+        let batches = [1, 2, 4];
+        service.sweep(&small_spec(1), &batches);
+        let stats = service.sim_stats();
+        assert_eq!(
+            stats.param_replays, 0,
+            "three points cannot beat three anchors"
+        );
+        assert_eq!(stats.incremental_cells, 0);
+        assert_eq!(service.profile_runs(), batches.len() as u64);
+    }
+
+    #[test]
+    fn incremental_sweep_counts_cells_and_keeps_the_invariant() {
+        let service = EstimationService::for_device(GpuDevice::rtx3060());
+        let batches = [1, 2, 4, 8, 12, 16];
+        let swept = service.sweep(&small_spec(1), &batches);
+        assert!(swept.iter().all(|(_, e)| e.is_ok()));
+        let stats = service.sim_stats();
+        assert_eq!(stats.param_replays, 1, "one fit per family");
+        assert_eq!(stats.incremental_cells, batches.len() as u64);
+        assert_eq!(
+            stats.fast_path_hits + stats.full_replays + stats.incremental_cells,
+            stats.sim_runs
+        );
+        assert_eq!(service.profile_runs(), 3, "anchors only");
+    }
+
+    #[test]
+    fn disabled_incremental_sweep_is_bit_identical() {
+        let incremental = EstimationService::for_device(GpuDevice::rtx3060());
+        let legacy = EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060()).with_incremental_sweep(false),
+        );
+        let batches = [1, 2, 4, 8, 12];
+        let a = incremental.sweep(&small_spec(1), &batches);
+        let b = legacy.sweep(&small_spec(1), &batches);
+        for ((b1, e1), (b2, e2)) in a.iter().zip(&b) {
+            assert_eq!(b1, b2);
+            assert_eq!(e1.as_ref().unwrap(), e2.as_ref().unwrap());
+        }
+        assert_eq!(legacy.sim_stats().param_replays, 0);
+        assert_eq!(legacy.profile_runs(), batches.len() as u64);
+    }
+
+    #[test]
+    fn ineligible_configs_fall_back_to_full_sweeps() {
+        // Timeline recording reads the clock: the delta model cannot be
+        // proven exact, so the gate must refuse the incremental path.
+        let mut config = ServiceConfig::for_device(GpuDevice::rtx3060());
+        config.estimator.record_timeline = true;
+        let service = EstimationService::new(config);
+        let batches = [1, 2, 4, 8];
+        let swept = service.sweep(&small_spec(1), &batches);
+        assert!(swept.iter().all(|(_, e)| e.is_ok()));
+        let stats = service.sim_stats();
+        assert_eq!(stats.param_replays, 0);
+        assert_eq!(stats.incremental_cells, 0);
+        assert_eq!(service.profile_runs(), batches.len() as u64);
     }
 
     #[test]
@@ -1714,13 +2120,31 @@ mod tests {
             stats.unbounded_replays, 0,
             "probe keys never repeat, so seeding would be pure overhead"
         );
-        assert_eq!(stats.full_replays, stats.sim_runs);
+        // The whole admission query rides one parameterized replay:
+        // every probe is an incremental cell, none pays a full replay.
+        assert_eq!(stats.param_replays, 1);
+        assert_eq!(stats.incremental_cells, stats.sim_runs);
+        assert_eq!(stats.full_replays, 0);
+        assert_eq!(service.profile_runs(), 3, "three anchors");
 
         // Matrix cells (a batch no probe touched) still seed as before.
         service
             .estimate_matrix(&[small_spec(24)], &["rtx4060"])
             .expect("devices resolve");
         assert_eq!(service.sim_stats().unbounded_replays, 1);
+    }
+
+    #[test]
+    fn narrow_admission_ranges_keep_the_legacy_probe_path() {
+        let device = GpuDevice::rtx3060();
+        let service = EstimationService::for_device(device);
+        let max = service
+            .max_batch_for_device(&small_spec(1), device, 2, 4)
+            .expect("estimation succeeds");
+        assert_eq!(max, Some(4));
+        let stats = service.sim_stats();
+        assert_eq!(stats.param_replays, 0, "range too narrow for a fit");
+        assert_eq!(stats.full_replays, stats.sim_runs);
     }
 
     #[test]

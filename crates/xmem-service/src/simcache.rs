@@ -82,9 +82,10 @@ pub struct SimStats {
     pub cache: CacheStats,
     /// Allocator simulations actually executed — the ground truth the
     /// matrix layer is judged against: a full M × D matrix costs exactly
-    /// M analyses and M × D simulations. Every simulation is served
-    /// either by derivation (`fast_path_hits`) or by a full stateful
-    /// replay (`full_replays`); the two always sum to `sim_runs`.
+    /// M analyses and M × D simulations. Every simulation is served by
+    /// derivation (`fast_path_hits`), by a full stateful replay
+    /// (`full_replays`), or by the incremental sweep
+    /// (`incremental_cells`); the three always sum to `sim_runs`.
     pub sim_runs: u64,
     /// Cells derived in O(1) from a cached unbounded replay (the
     /// pressure-aware fast path) — no event sequence was re-walked.
@@ -93,6 +94,15 @@ pub struct SimStats {
     /// capacity-pressured (reclaim/OOM could diverge), the configuration
     /// was fast-path-inexact, or the fast path was disabled.
     pub full_replays: u64,
+    /// Cells served by the incremental sweep path: materialized from a
+    /// cached parameterized replay instead of a per-batch profile +
+    /// orchestration, then derived in O(1) or replayed as a dense event
+    /// buffer.
+    pub incremental_cells: u64,
+    /// Parameterized-replay fits performed (one per job family × batch
+    /// range; each costs the three anchor profiles counted by
+    /// `profile_runs`).
+    pub param_replays: u64,
     /// Unbounded replays executed to seed the fast path (at most one per
     /// job key covered by the replay cache).
     pub unbounded_replays: u64,
@@ -137,6 +147,8 @@ pub struct SimShards {
     runs: AtomicU64,
     fast_path: AtomicU64,
     full_replays: AtomicU64,
+    incremental: AtomicU64,
+    param_fits: AtomicU64,
     unbounded: AtomicU64,
     invalidated: AtomicU64,
     evicted_shards: AtomicU64,
@@ -162,6 +174,8 @@ impl SimShards {
             runs: AtomicU64::new(0),
             fast_path: AtomicU64::new(0),
             full_replays: AtomicU64::new(0),
+            incremental: AtomicU64::new(0),
+            param_fits: AtomicU64::new(0),
             unbounded: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             evicted_shards: AtomicU64::new(0),
@@ -258,6 +272,16 @@ impl SimShards {
         self.full_replays.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one cell served by the incremental sweep path.
+    pub fn count_incremental(&self) {
+        self.incremental.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one parameterized-replay fit.
+    pub fn count_param_replay(&self) {
+        self.param_fits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one unbounded replay executed to seed the fast path.
     pub fn count_unbounded(&self) {
         self.unbounded.fetch_add(1, Ordering::Relaxed);
@@ -310,6 +334,8 @@ impl SimShards {
             sim_runs: self.runs.load(Ordering::Relaxed),
             fast_path_hits: self.fast_path.load(Ordering::Relaxed),
             full_replays: self.full_replays.load(Ordering::Relaxed),
+            incremental_cells: self.incremental.load(Ordering::Relaxed),
+            param_replays: self.param_fits.load(Ordering::Relaxed),
             unbounded_replays: self.unbounded.load(Ordering::Relaxed),
             device_shards: shards.len(),
             invalidated_entries: self.invalidated.load(Ordering::Relaxed),

@@ -76,7 +76,9 @@ fn usage() -> &'static str {
        layers          (same job options) [--top <n>]\n\
        models          list the model zoo\n\
      devices default to the built-in registry (rtx3060, rtx4060, a100);\n\
-     --registry merges a JSON fleet file over it\n"
+     --registry merges a JSON fleet file over it;\n\
+     docs/JOBSPEC.md specifies the shared job grammar (flags, job lines,\n\
+     HTTP JSON) with every field, default, and error message\n"
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {

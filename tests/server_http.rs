@@ -131,6 +131,50 @@ fn matrix_and_sweep_responses_match_direct_rendering() {
     assert!(report.clean);
 }
 
+/// Grid-driven routes (`/v1/sweep`, `/v1/plan`) supply their own batch
+/// sizes, so the job object may omit `batch` — the grammar shared with
+/// the CLI (docs/JOBSPEC.md). The answers must match jobs spelled with
+/// an explicit batch.
+#[test]
+fn grid_routes_accept_jobs_without_a_batch_field() {
+    let (server, service) = start_server(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    let batchless = r#"{"model":"MobeNetV3Small","optimizer":"Adam","iterations":2}"#;
+
+    let sweep_request = format!("{{\"job\":{batchless},\"batches\":[1,2,4]}}");
+    let response = client
+        .post_json("/v1/sweep", &sweep_request)
+        .expect("sweep");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let direct_sweep = service.service().sweep(&small_spec(1), &[1, 2, 4]);
+    assert_eq!(response.text(), api::sweep_body(&direct_sweep));
+
+    let plan_request = format!("{{\"job\":{batchless},\"device\":\"rtx3060\",\"max\":64}}");
+    let response = client.post_json("/v1/plan", &plan_request).expect("plan");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let device = service
+        .service()
+        .registry()
+        .get("rtx3060")
+        .expect("registered device");
+    let direct_plan = service
+        .service()
+        .max_batch_for_device(&small_spec(1), device, 1, 64)
+        .expect("direct plan");
+    assert_eq!(response.text(), api::plan_body(direct_plan));
+
+    // Singleton routes still insist on an explicit batch.
+    let response = client
+        .post_json("/v1/estimate", batchless)
+        .expect("estimate");
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("`batch` is required"));
+
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
 /// Graceful shutdown with requests in flight: every request that was
 /// being served when the drain triggered is answered completely (status
 /// 200, full body, `connection: close`); nothing is dropped or

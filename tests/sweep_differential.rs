@@ -1,0 +1,262 @@
+//! The incremental-sweep differential suite: every cell an incremental
+//! (parameterized-replay) sweep produces must be **bit-identical** to the
+//! sequential per-batch `Estimator` and to a service with the incremental
+//! path forced off — across roomy devices (cells derived from one
+//! unbounded buffer replay), pressured devices (cells replayed bounded
+//! from the materialized buffer), and deterministic pseudo-random fleets
+//! with page-unaligned capacities. The counters must prove the contract
+//! exactly: a B-point sweep performs **one** parameterized fit from three
+//! anchor profiles, every cell counts as `incremental_cells`, and
+//! `fast_path_hits + full_replays + incremental_cells == sim_runs`.
+
+use xmem::prelude::*;
+use xmem::service::ServiceConfig;
+
+/// The swept batch grid: dense enough to clear the incremental
+/// eligibility floor, with interior points the anchors never profile.
+const BATCHES: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+fn base_job() -> TrainJobSpec {
+    TrainJobSpec::new(ModelId::MobileNetV3Small, OptimizerKind::Adam, 1).with_iterations(2)
+}
+
+fn job_at(base: &TrainJobSpec, batch: usize) -> TrainJobSpec {
+    let mut spec = base.clone();
+    spec.batch = batch;
+    spec
+}
+
+/// The sequential ground truth for one sweep cell: a fresh per-device
+/// `Estimator` over a fresh profile run.
+fn sequential_cell(spec: &TrainJobSpec, device: GpuDevice) -> Estimate {
+    Estimator::new(EstimatorConfig::for_device(device))
+        .estimate_job(spec)
+        .expect("sequential estimate succeeds")
+}
+
+/// A pair of services over the same fleet: one with the incremental
+/// sweep (the default), one with it forced off.
+fn service_pair(fleet: &[(&str, GpuDevice)]) -> (EstimationService, EstimationService) {
+    let build = |incremental: bool| {
+        let registry = DeviceRegistry::empty();
+        for &(name, device) in fleet {
+            registry.register(name, device);
+        }
+        EstimationService::new(
+            ServiceConfig::for_device(GpuDevice::rtx3060())
+                .with_registry(registry)
+                .with_incremental_sweep(incremental),
+        )
+    };
+    (build(true), build(false))
+}
+
+#[test]
+fn incremental_sweep_is_bit_identical_to_the_sequential_estimator() {
+    let base = base_job();
+    let service = EstimationService::for_device(GpuDevice::rtx3060());
+    let cells = service.sweep(&base, &BATCHES);
+
+    assert_eq!(cells.len(), BATCHES.len());
+    for (batch, estimate) in &cells {
+        let estimate = estimate.as_ref().expect("sweep cells estimate");
+        assert_eq!(
+            estimate,
+            &sequential_cell(&job_at(&base, *batch), GpuDevice::rtx3060()),
+            "sweep cell at batch {batch} diverged from the sequential path"
+        );
+    }
+
+    // The incremental contract, straight from the counters: three anchor
+    // profiles, one parameterized fit, every cell derived from it.
+    assert_eq!(service.profile_runs(), 3, "a sweep profiles 3 anchors");
+    let sims = service.sim_stats();
+    assert_eq!(sims.param_replays, 1, "one fit per sweep family");
+    assert_eq!(sims.incremental_cells, BATCHES.len() as u64);
+    assert_eq!(sims.full_replays, 0);
+    assert_eq!(
+        sims.fast_path_hits + sims.full_replays + sims.incremental_cells,
+        sims.sim_runs,
+        "the replay-strategy split must be exact and exhaustive"
+    );
+}
+
+#[test]
+fn repeated_sweeps_reuse_one_parameterized_fit() {
+    let base = base_job();
+    let service = EstimationService::for_device(GpuDevice::rtx3060());
+    let first = service.sweep(&base, &BATCHES);
+    let second = service.sweep(&base, &BATCHES);
+    assert_eq!(first.len(), second.len());
+    for ((b1, e1), (b2, e2)) in first.iter().zip(&second) {
+        assert_eq!(b1, b2);
+        assert_eq!(e1.as_ref().unwrap(), e2.as_ref().unwrap());
+    }
+    // A narrower re-sweep inside the fitted range reuses the same fit.
+    service.sweep(&base, &[2, 3, 4, 6]);
+    assert_eq!(service.profile_runs(), 3, "anchors profile once");
+    assert_eq!(service.sim_stats().param_replays, 1, "the fit is cached");
+}
+
+#[test]
+fn sweep_matrix_is_identical_across_roomy_and_pressured_devices() {
+    // One roomy column (derived from an unbounded buffer replay) and two
+    // pressured columns (bounded replays of the same materialized
+    // buffer), byte-granular capacities.
+    let fleet = [
+        ("roomy", GpuDevice::a100_40g()),
+        (
+            "tiny",
+            GpuDevice {
+                name: "sweep-tiny",
+                capacity: (1 << 30) + 777_777,
+                framework_bytes: 512 << 20,
+                init_bytes: 0,
+            },
+        ),
+        (
+            "cramped",
+            GpuDevice {
+                name: "sweep-cramped",
+                capacity: (2 << 30) + 55_555,
+                framework_bytes: 529 << 20,
+                init_bytes: 128 << 20,
+            },
+        ),
+    ];
+    let base = base_job();
+    let names: Vec<&str> = fleet.iter().map(|&(name, _)| name).collect();
+    let (incremental, full) = service_pair(&fleet);
+
+    let inc_matrix = incremental
+        .sweep_matrix(&base, &BATCHES, &names)
+        .expect("names resolve");
+    let full_matrix = full
+        .sweep_matrix(&base, &BATCHES, &names)
+        .expect("names resolve");
+    assert_eq!(
+        inc_matrix, full_matrix,
+        "incremental sweep matrix diverged from per-batch profiling"
+    );
+
+    // Cell-level anchor against the sequential estimator.
+    for (row, &batch) in inc_matrix.rows.iter().zip(&BATCHES) {
+        let spec = job_at(&base, batch);
+        assert_eq!(row.spec, spec, "rows keep the swept batch order");
+        for &(name, device) in &fleet {
+            assert_eq!(
+                row.cell(name).expect("cell").estimate.as_ref().unwrap(),
+                &sequential_cell(&spec, device),
+                "cell (batch {batch}, {name}) diverged from the sequential estimator"
+            );
+        }
+    }
+
+    // Counters: the incremental service profiled only the anchors; the
+    // forced-off service profiled every batch.
+    assert_eq!(incremental.profile_runs(), 3);
+    assert_eq!(full.profile_runs(), BATCHES.len() as u64);
+    let sims = incremental.sim_stats();
+    assert_eq!(sims.param_replays, 1);
+    assert_eq!(sims.incremental_cells, (BATCHES.len() * fleet.len()) as u64);
+    assert_eq!(
+        sims.fast_path_hits + sims.full_replays + sims.incremental_cells,
+        sims.sim_runs
+    );
+}
+
+#[test]
+fn pseudo_random_fleets_agree_across_sweep_strategies() {
+    // Deterministic xorshift over capacities/overheads: many oddly sized
+    // fleets, no external RNG dependency in the root test crate.
+    const NAMES: [&str; 3] = ["rand-0", "rand-1", "rand-2"];
+    let mut state = 0xA076_1D64_78BD_642Fu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let base = base_job();
+    for _round in 0..3 {
+        let fleet: Vec<(&str, GpuDevice)> = NAMES
+            .iter()
+            .map(|&name| {
+                (
+                    name,
+                    GpuDevice {
+                        name: "sweep-rand",
+                        // 1.4 GB .. ~18 GB, byte-granular.
+                        capacity: 1_400_000_000 + next() % 17_000_000_000,
+                        framework_bytes: 500_000_000 + next() % 90_000_000,
+                        init_bytes: next() % 130_000_000,
+                    },
+                )
+            })
+            .collect();
+        let names: Vec<&str> = fleet.iter().map(|&(name, _)| name).collect();
+        let (incremental, full) = service_pair(&fleet);
+        assert_eq!(
+            incremental
+                .sweep_matrix(&base, &BATCHES, &names)
+                .expect("names resolve"),
+            full.sweep_matrix(&base, &BATCHES, &names)
+                .expect("names resolve"),
+            "sweep strategies diverged on a pseudo-random fleet"
+        );
+        assert_eq!(incremental.profile_runs(), 3);
+        assert_eq!(full.profile_runs(), BATCHES.len() as u64);
+    }
+}
+
+#[test]
+fn admission_bisection_agrees_across_sweep_strategies() {
+    // The admission answer must be strategy-independent on a device the
+    // model actually pressures (the bisection brackets an interior OOM
+    // boundary, so probes mix fitting and OOMing batches).
+    let base = TrainJobSpec::new(ModelId::DistilGpt2, OptimizerKind::AdamW, 1).with_iterations(2);
+    let (incremental, full) = service_pair(&[]);
+    let device = GpuDevice::rtx4060();
+    let inc_answer = incremental
+        .max_batch_for_device(&base, device, 1, 32)
+        .expect("estimates");
+    let full_answer = full
+        .max_batch_for_device(&base, device, 1, 32)
+        .expect("estimates");
+    assert_eq!(inc_answer, full_answer, "admission-control answer diverged");
+    assert_eq!(
+        incremental.profile_runs(),
+        3,
+        "incremental admission profiles exactly the 3 anchors, however many batches the bisection probes"
+    );
+    let sims = incremental.sim_stats();
+    assert_eq!(sims.param_replays, 1);
+    assert_eq!(sims.full_replays, 0);
+    assert_eq!(
+        sims.fast_path_hits + sims.full_replays + sims.incremental_cells,
+        sims.sim_runs
+    );
+}
+
+#[test]
+fn ineligible_configs_produce_identical_cells_via_full_replay() {
+    // A timeline-recording estimator cannot use the parameterized path
+    // (the fit has no per-op timeline); the sweep must silently fall
+    // back and still agree cell-for-cell with the default service.
+    let base = base_job();
+    let mut config = ServiceConfig::for_device(GpuDevice::rtx3060());
+    config.estimator.record_timeline = true;
+    let timeline = EstimationService::new(config);
+    let cells = timeline.sweep(&base, &BATCHES);
+    assert_eq!(timeline.sim_stats().param_replays, 0, "gate must reject");
+    assert_eq!(timeline.sim_stats().incremental_cells, 0);
+
+    let default = EstimationService::for_device(GpuDevice::rtx3060());
+    let default_cells = default.sweep(&base, &BATCHES);
+    for ((b1, e1), (b2, e2)) in cells.iter().zip(&default_cells) {
+        assert_eq!(b1, b2);
+        let (e1, e2) = (e1.as_ref().unwrap(), e2.as_ref().unwrap());
+        assert_eq!(e1.peak_bytes, e2.peak_bytes, "batch {b1}");
+        assert_eq!(e1.oom_predicted, e2.oom_predicted, "batch {b1}");
+    }
+}
