@@ -14,7 +14,7 @@
 use crate::wire::{json_string, Request, Response};
 use serde::Value;
 use std::time::{Duration, Instant};
-use xmem_core::{DeviceMatrix, DevicePlacement, Estimate, EstimateError};
+use xmem_core::{AnalysisStats, DeviceMatrix, DevicePlacement, Estimate, EstimateError};
 use xmem_runtime::TrainJobSpec;
 use xmem_service::jobspec::{self, job_from_value, usize_field};
 use xmem_service::{AsyncEstimationService, SubmitError};
@@ -33,6 +33,25 @@ pub fn error_body(kind: &str, message: &str) -> String {
 #[must_use]
 pub fn bad_request(message: &str) -> Response {
     Response::json(400, error_body("bad_request", message))
+}
+
+/// The jobspec layer's batch range error, verbatim — the one job
+/// validation failure that is a *semantic* range violation rather than a
+/// grammar error, so it maps to `422` instead of `400`.
+pub const BATCH_RANGE_ERROR: &str = "`batch` must be >= 1";
+
+/// Maps a jobspec validation failure to its wire shape: the batch range
+/// violation is `422 invalid_job` (the body parsed; the job is
+/// semantically out of range), every other message stays the `400`
+/// grammar error. Matched by suffix so route-added prefixes
+/// (`jobs[3]: ...`) keep the mapping.
+#[must_use]
+pub fn job_error_response(message: &str) -> Response {
+    if message.ends_with(BATCH_RANGE_ERROR) {
+        Response::json(422, error_body("invalid_job", message))
+    } else {
+        bad_request(message)
+    }
 }
 
 /// The backpressure answer: `503` + `Retry-After`, a stable `busy` body.
@@ -112,6 +131,55 @@ pub fn estimate_value(estimate: &Estimate) -> Value {
             ]),
         ),
     ])
+}
+
+/// Parses the JSON value [`estimate_value`] renders back into an
+/// [`Estimate`] — the inverse the cluster tier uses to fill a local sim
+/// cell from a forwarded node's `200` response. The usage curve is not on
+/// the wire (timeline recording is off on every serving path), so it
+/// reconstructs empty — exactly what the owner's own cell holds.
+#[must_use]
+pub fn estimate_from_value(value: &Value) -> Option<Estimate> {
+    let entries = value.as_object()?;
+    let field_u64 = |field: &str| serde::obj_get(entries, field).and_then(Value::as_u64);
+    let oom_predicted = match serde::obj_get(entries, "oom_predicted")? {
+        Value::Bool(b) => *b,
+        _ => return None,
+    };
+    let stats_entries = serde::obj_get(entries, "stats")?.as_object()?;
+    let stats_usize = |field: &str| {
+        serde::obj_get(stats_entries, field)
+            .and_then(Value::as_u64)
+            .and_then(|n| usize::try_from(n).ok())
+    };
+    let mut categories = Vec::new();
+    for item in serde::obj_get(stats_entries, "categories")?.as_array()? {
+        let triple = item.as_array()?;
+        if triple.len() != 3 {
+            return None;
+        }
+        let Value::Str(name) = &triple[0] else {
+            return None;
+        };
+        categories.push((
+            name.clone(),
+            usize::try_from(triple[1].as_u64()?).ok()?,
+            triple[2].as_u64()?,
+        ));
+    }
+    Some(Estimate {
+        peak_bytes: field_u64("peak_bytes")?,
+        job_peak_bytes: field_u64("job_peak_bytes")?,
+        tensor_peak_bytes: field_u64("tensor_peak_bytes")?,
+        oom_predicted,
+        curve: Vec::new(),
+        stats: AnalysisStats {
+            categories,
+            filtered_blocks: stats_usize("filtered_blocks")?,
+            adjusted_blocks: stats_usize("adjusted_blocks")?,
+            unmatched_frees: stats_usize("unmatched_frees")?,
+        },
+    })
 }
 
 fn render(value: &Value) -> String {
@@ -275,7 +343,7 @@ fn job_of_with_batch(body: &Value, default_batch: Option<usize>) -> Result<Train
         .as_object()
         .ok_or_else(|| bad_request("body must be a JSON object"))?;
     let job_value = serde::obj_get(entries, "job").unwrap_or(body);
-    jobspec::job_from_value_with_batch(job_value, default_batch).map_err(|e| bad_request(&e))
+    jobspec::job_from_value_with_batch(job_value, default_batch).map_err(|e| job_error_response(&e))
 }
 
 /// A string field of the body object.
@@ -351,7 +419,7 @@ pub fn handle_matrix(service: &AsyncEstimationService, request: &Request) -> Res
     for (i, job) in jobs_value.iter().enumerate() {
         match job_from_value(job) {
             Ok(spec) => specs.push(spec),
-            Err(e) => return bad_request(&format!("jobs[{i}]: {e}")),
+            Err(e) => return job_error_response(&format!("jobs[{i}]: {e}")),
         }
     }
     let devices: Vec<String> = match serde::obj_get(entries, "devices") {
@@ -391,11 +459,19 @@ pub fn handle_sweep(service: &AsyncEstimationService, request: &Request) -> Resp
     };
     let batches: Vec<usize> = match serde::obj_get(entries, "batches").and_then(Value::as_array) {
         Some(items) if !items.is_empty() => {
+            // Duplicates collapse (first occurrence keeps its slot) —
+            // repeated grid points would just repeat cache hits; zero
+            // points are the jobspec range violation, same stable 422.
             let mut batches = Vec::with_capacity(items.len());
             for item in items {
                 match item.as_u64().and_then(|n| usize::try_from(n).ok()) {
-                    Some(batch) if batch >= 1 => batches.push(batch),
-                    _ => return bad_request("`batches` must be positive integers"),
+                    Some(0) => return job_error_response(BATCH_RANGE_ERROR),
+                    Some(batch) => {
+                        if !batches.contains(&batch) {
+                            batches.push(batch);
+                        }
+                    }
+                    None => return bad_request("`batches` must be positive integers"),
                 }
             }
             batches

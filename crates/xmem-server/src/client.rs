@@ -41,7 +41,29 @@ fn protocol_error(message: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
 }
 
+/// Whether a transport error is the shape a server-closed idle
+/// connection produces: EOF before any response byte, or the TCP-level
+/// reset/abort spellings the close races into on the write side.
+fn is_stale_connection(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
+}
+
 /// A blocking client holding one keep-alive connection.
+///
+/// A reused connection can race the server's idle keep-alive timeout:
+/// the server closes just as the next request departs, and the write (or
+/// the first read) surfaces a transport error even though the request
+/// never reached a handler. [`request`](Self::request) detects that
+/// exact shape — the connection already served a response, and **zero**
+/// bytes of a new response have arrived — and transparently reconnects
+/// once before surfacing the error. A failure after response bytes
+/// arrived is never retried (the server may have acted on the request).
 #[derive(Debug)]
 pub struct HttpClient {
     stream: TcpStream,
@@ -49,6 +71,10 @@ pub struct HttpClient {
     /// Bytes read past the previous response (response framing never
     /// splits exactly on read boundaries).
     leftover: Vec<u8>,
+    /// Whether this connection has completed an exchange — only a
+    /// *reused* connection is eligible for the reconnect-once retry; a
+    /// failure on a fresh connection is a real error.
+    used: bool,
 }
 
 impl HttpClient {
@@ -67,6 +93,7 @@ impl HttpClient {
             stream,
             addr,
             leftover: Vec::new(),
+            used: false,
         })
     }
 
@@ -170,10 +197,33 @@ impl HttpClient {
     /// Performs one request/response exchange on the keep-alive
     /// connection.
     ///
+    /// A transport error on a *reused* connection before any response
+    /// byte arrived is the idle-timeout race (the server closed the idle
+    /// connection between requests); the exchange reconnects once and
+    /// resends before surfacing anything.
+    ///
     /// # Errors
-    /// Propagates socket and framing failures (e.g. the server closed the
-    /// connection — reconnect and retry if the request is idempotent).
+    /// Propagates socket and framing failures that survive the
+    /// reconnect-once policy.
     pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        match self.exchange(method, path, headers, body) {
+            Err(error) if self.used && self.leftover.is_empty() && is_stale_connection(&error) => {
+                self.reconnect()?;
+                self.exchange(method, path, headers, body)
+            }
+            outcome => outcome,
+        }
+    }
+
+    /// One raw request/response exchange, marking the connection used on
+    /// success.
+    fn exchange(
         &mut self,
         method: &str,
         path: &str,
@@ -192,7 +242,22 @@ impl HttpClient {
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;
-        self.read_response()
+        let response = self.read_response()?;
+        self.used = true;
+        Ok(response)
+    }
+
+    /// Replaces the dead connection with a fresh one, carrying over the
+    /// configured read timeout.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let timeout = self.stream.read_timeout().ok().flatten();
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        self.stream = stream;
+        self.leftover.clear();
+        self.used = false;
+        Ok(())
     }
 
     /// `GET path`.
@@ -243,6 +308,84 @@ impl HttpClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// A one-response-per-connection server: answers the first request
+    /// on each accepted connection, then closes it — the shape of a
+    /// server whose idle keep-alive timeout fires between requests.
+    fn close_after_one_server() -> (SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let mut connections = 0usize;
+            // Two connections are enough for the reconnect-once test;
+            // stop listening afterwards so the thread exits.
+            for stream in listener.incoming().take(2) {
+                let mut stream = stream.expect("accept");
+                connections += 1;
+                let mut buf = [0u8; 4096];
+                let mut seen = Vec::new();
+                // Read until the request head is complete (GETs carry
+                // `content-length: 0`, so the head is the request).
+                while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let n = stream.read(&mut buf).expect("read request");
+                    if n == 0 {
+                        break;
+                    }
+                    seen.extend_from_slice(&buf[..n]);
+                }
+                let body = format!("{{\"connection\":{connections}}}");
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                stream
+                    .write_all(response.as_bytes())
+                    .expect("write response");
+                // Dropping the stream closes the connection.
+            }
+            connections
+        });
+        (addr, handle)
+    }
+
+    /// The idle-timeout race: the server closes the keep-alive
+    /// connection after one exchange; the next `request` must reconnect
+    /// once and succeed instead of surfacing the raw io error.
+    #[test]
+    fn reused_connection_closed_by_the_server_reconnects_once() {
+        let (addr, server) = close_after_one_server();
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let first = client.get("/one").expect("first request");
+        assert_eq!(first.status, 200);
+        assert_eq!(first.text(), "{\"connection\":1}");
+        let second = client.get("/two").expect("second request must reconnect");
+        assert_eq!(second.status, 200);
+        assert_eq!(
+            second.text(),
+            "{\"connection\":2}",
+            "the retry must have arrived on a fresh connection"
+        );
+        assert_eq!(server.join().expect("server thread"), 2);
+    }
+
+    /// A dead server on a *fresh* connection is a real error: the
+    /// reconnect-once policy only covers reused connections, so the
+    /// failure surfaces instead of looping.
+    #[test]
+    fn fresh_connection_failure_is_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let closer = std::thread::spawn(move || {
+            // Accept and immediately close without answering.
+            let _ = listener.accept();
+        });
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let error = client.get("/").expect_err("no response must surface");
+        assert!(is_stale_connection(&error), "unexpected kind: {error:?}");
+        closer.join().expect("closer thread");
+    }
 
     /// A misbehaving peer sending non-UTF-8 bytes must not crash the
     /// client: `text` decodes lossily instead of panicking.

@@ -28,6 +28,12 @@
 //!   direct service call's result.
 //! * [`client`] — a minimal blocking keep-alive client, reused by the
 //!   load bench, the examples, and the integration tests.
+//! * [`cluster`] — the consistent-hash scale-out tier: ring placement
+//!   over [`JobKey`](xmem_service::JobKey) / family placement over
+//!   [`SweepKey`](xmem_service::SweepKey), owner forwarding with an
+//!   `x-xmem-forwarded` hop guard, shared-secret ingress auth
+//!   (`x-xmem-auth`), per-peer health probing, and the ring-aware
+//!   [`ClusterClient`] with bounded failover.
 //! * [`metrics`] — wire counters and per-route latency histograms, plus
 //!   the Prometheus rendering of every counter the service already
 //!   tracks.
@@ -62,11 +68,13 @@
 
 pub mod api;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientResponse, HttpClient};
+pub use cluster::{ClusterClient, ClusterConfig, ClusterState, AUTH_HEADER, FORWARDED_HEADER};
 pub use metrics::{LatencyHistogram, Route, ServerMetrics};
 pub use server::{DrainReport, ServerConfig, ServerHandle};
 pub use wire::{Request, RequestParser, Response, WireError, WireLimits};

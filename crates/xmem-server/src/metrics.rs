@@ -145,7 +145,7 @@ impl Route {
 
 /// Response status codes get exact counters for the codes this server
 /// emits; anything else lands in its class bucket.
-const TRACKED_STATUS: [u16; 11] = [200, 400, 404, 405, 413, 422, 431, 500, 501, 503, 504];
+const TRACKED_STATUS: [u16; 12] = [200, 400, 401, 404, 405, 413, 422, 431, 500, 501, 503, 504];
 
 /// Wire- and route-level counters for one server instance. All methods
 /// take `&self`; everything is atomics.

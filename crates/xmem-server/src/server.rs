@@ -30,13 +30,14 @@
 //! elsewhere).
 
 use crate::api;
+use crate::cluster::{self, ClusterConfig, ClusterState};
 use crate::metrics::{Route, ServerMetrics};
 use crate::wire::{self, RequestParser, Response, WireLimits};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xmem_service::AsyncEstimationService;
@@ -44,6 +45,9 @@ use xmem_service::AsyncEstimationService;
 /// How often blocked reads wake up to re-check the drain flag and idle
 /// budget.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How often the cluster prober re-checks down peers.
+const PROBE_INTERVAL: Duration = Duration::from_millis(250);
 
 /// Configuration of an [`ServerHandle`]-managed HTTP server.
 #[derive(Debug, Clone)]
@@ -123,11 +127,21 @@ struct Shared {
     draining: AtomicBool,
     /// Signals [`ServerHandle::wait`]ers when a drain is triggered.
     drain_signal: (Mutex<bool>, Condvar),
+    /// The cluster tier, when installed ([`ServerHandle::install_cluster`]).
+    cluster: RwLock<Option<Arc<ClusterState>>>,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The installed cluster view, if any.
+    fn cluster(&self) -> Option<Arc<ClusterState>> {
+        self.cluster
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Flips the drain flag (idempotently) and wakes the acceptor with a
@@ -171,6 +185,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The down-peer prober, running while a cluster is installed.
+    prober: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -193,6 +209,7 @@ impl ServerHandle {
             addr,
             draining: AtomicBool::new(false),
             drain_signal: (Mutex::new(false), Condvar::new()),
+            cluster: RwLock::new(None),
         });
         let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
         let receiver = Arc::new(Mutex::new(receiver));
@@ -217,7 +234,48 @@ impl ServerHandle {
             shared,
             acceptor: Some(acceptor),
             workers,
+            prober: None,
         })
+    }
+
+    /// Installs the cluster tier on a running server: consistent-hash
+    /// routing with owner forwarding on the `/v1` estimation routes,
+    /// shared-secret ingress auth, and a background prober that flips
+    /// down peers back up when their `/healthz` answers again.
+    ///
+    /// Installed *after* [`bind`](Self::bind) because ring identities
+    /// are listen addresses — an in-process ring on ephemeral ports only
+    /// knows them once every member is bound.
+    ///
+    /// # Errors
+    /// A human-readable message for degenerate configs (empty token,
+    /// fewer than two ring members).
+    pub fn install_cluster(&mut self, config: &ClusterConfig) -> Result<(), String> {
+        let state = Arc::new(ClusterState::new(config)?);
+        *self
+            .shared
+            .cluster
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::clone(&state));
+        let shared = Arc::clone(&self.shared);
+        self.prober = Some(
+            std::thread::Builder::new()
+                .name("xmem-cluster-probe".to_string())
+                .spawn(move || {
+                    while !shared.draining() {
+                        state.probe_down_peers();
+                        std::thread::sleep(PROBE_INTERVAL);
+                    }
+                })
+                .expect("spawn cluster prober"),
+        );
+        Ok(())
+    }
+
+    /// The installed cluster view, if any.
+    #[must_use]
+    pub fn cluster(&self) -> Option<Arc<ClusterState>> {
+        self.shared.cluster()
     }
 
     /// The bound address (with the real port when `:0` was requested).
@@ -286,6 +344,11 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        if let Some(prober) = self.prober.take() {
+            // Exits on its next drain-flag check (bounded by one probe
+            // sweep of short-timeout connects).
+            let _ = prober.join();
+        }
         // Workers exit on their own: every blocking operation they
         // perform either has a timeout or is an in-flight estimate that
         // completes. Bound the wait for stragglers rather than joining
@@ -327,10 +390,15 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, sender: &SyncSender<TcpS
         match sender.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
-                // Hard edge: answer 503 inline and close.
+                // Hard edge: answer 503 inline and close. The inline
+                // rendering is the *same* `busy_response` the worker
+                // path sends, and it counts toward the byte totals like
+                // any other write — a scraper must not be able to tell
+                // the two 503 shapes apart.
                 shared.metrics.connection_rejected();
                 shared.metrics.record_status(503);
                 let response = api::busy_response().to_bytes(false);
+                shared.metrics.add_bytes_written(response.len() as u64);
                 let mut stream = stream;
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let _ = stream.write_all(&response);
@@ -458,9 +526,125 @@ fn write_response(
     stream.write_all(&bytes).is_ok() && stream.flush().is_ok()
 }
 
+/// The metrics route label for a path (any method).
+fn route_of(path: &str) -> Route {
+    match path {
+        "/healthz" => Route::Healthz,
+        "/metrics" => Route::Metrics,
+        "/v1/estimate" => Route::Estimate,
+        "/v1/matrix" => Route::Matrix,
+        "/v1/sweep" => Route::Sweep,
+        "/v1/plan" => Route::Plan,
+        "/v1/best-device" => Route::BestDevice,
+        "/v1/shutdown" => Route::Shutdown,
+        _ => Route::Unmatched,
+    }
+}
+
+/// Cluster placement for one unforwarded `/v1` POST. `Some` when the
+/// request was answered remotely (or straight from a local sim cell);
+/// `None` falls through to the local handlers — the request is owned
+/// here, unplaceable (malformed bodies keep their single-node error
+/// shapes), or its owner is unreachable (local fallback trades the
+/// exactly-once economy for availability; estimates are deterministic,
+/// so the answer is still bit-identical).
+fn cluster_route(
+    shared: &Shared,
+    cluster: &ClusterState,
+    request: &wire::Request,
+) -> Option<Response> {
+    let path = request.path();
+    let body: serde::Value = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| serde_json::from_str(text).ok())?;
+    let (spec, hash) = cluster::route_placement(path, &body)?;
+    let owner = cluster.ring().owner_index(hash)?;
+    if owner == cluster.self_index() {
+        return None;
+    }
+    let device = if path == "/v1/estimate" {
+        match body.as_object().and_then(|o| serde::obj_get(o, "device")) {
+            Some(serde::Value::Str(name)) => Some(name.clone()),
+            Some(serde::Value::Null) | None => None,
+            // Malformed device field: the local handler owns the 400.
+            Some(_) => return None,
+        }
+    } else {
+        None
+    };
+    // A cell an earlier forward already filled answers locally — the
+    // rendering is byte-identical to the owner's (deterministic values,
+    // shared rendering functions).
+    if path == "/v1/estimate" {
+        if let Some(estimate) = shared
+            .service
+            .service()
+            .cached_cell_estimate(&spec, device.as_deref())
+        {
+            return Some(Response::json(200, api::estimate_body(&estimate)));
+        }
+    }
+    if !cluster.peer_up(owner) {
+        cluster.note_local_fallback();
+        return None;
+    }
+    let response = match cluster.forward(owner, request) {
+        Some(response) => response,
+        None => {
+            cluster.note_local_fallback();
+            return None;
+        }
+    };
+    // Local fill: the owner's estimate lands in this node's sim cell
+    // (journaled like any local insert), so the next query for this key
+    // is a local hit instead of another forward.
+    if path == "/v1/estimate" && response.status == 200 {
+        let parsed: Option<serde::Value> = serde_json::from_str(&response.text()).ok();
+        if let Some(estimate) = parsed
+            .as_ref()
+            .and_then(serde::Value::as_object)
+            .and_then(|o| serde::obj_get(o, "estimate"))
+            .and_then(api::estimate_from_value)
+        {
+            if shared
+                .service
+                .service()
+                .fill_sim_cell(&spec, device.as_deref(), estimate)
+            {
+                cluster.note_cell_fill();
+            }
+        }
+    }
+    Some(cluster::relay_response(&response))
+}
+
 /// The route table.
 fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
     let service = &shared.service;
+    let cluster_view = shared.cluster();
+    if let Some(cluster) = &cluster_view {
+        // Peer traffic must not be anonymous: with a cluster installed,
+        // every `/v1` route demands the shared secret. `/healthz` and
+        // `/metrics` stay open (probes and scrapers are read-only).
+        if request.path().starts_with("/v1/") && !cluster.authorized(request) {
+            return (
+                route_of(request.path()),
+                Response::json(
+                    401,
+                    api::error_body("unauthorized", "missing or invalid `x-xmem-auth` token"),
+                ),
+            );
+        }
+        if request.header(cluster::FORWARDED_HEADER).is_some() {
+            // Hop guard: a forwarded request is computed locally, never
+            // re-forwarded — loops are impossible by construction.
+            cluster.note_forwarded_request();
+        } else if request.method == "POST" {
+            if let Some(response) = cluster_route(shared, cluster, request) {
+                return (route_of(request.path()), response);
+            }
+        }
+    }
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => {
             let status = if shared.draining() { "draining" } else { "ok" };
@@ -469,10 +653,13 @@ fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
                 Response::json(200, format!("{{\"status\":\"{status}\"}}")),
             )
         }
-        ("GET", "/metrics") => (
-            Route::Metrics,
-            Response::text(200, shared.metrics.render_prometheus(service.service())),
-        ),
+        ("GET", "/metrics") => {
+            let mut exposition = shared.metrics.render_prometheus(service.service());
+            if let Some(cluster) = &cluster_view {
+                exposition.push_str(&cluster.render_prometheus());
+            }
+            (Route::Metrics, Response::text(200, exposition))
+        }
         ("POST", "/v1/estimate") => (Route::Estimate, api::handle_estimate(service, request)),
         ("POST", "/v1/matrix") => (Route::Matrix, api::handle_matrix(service, request)),
         ("POST", "/v1/sweep") => (Route::Sweep, api::handle_sweep(service, request)),

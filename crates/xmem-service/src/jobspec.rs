@@ -88,6 +88,9 @@ impl JobDraft {
             (None, Some(default)) => default,
             (None, None) => return Err("`batch` is required".to_string()),
         };
+        if batch == 0 {
+            return Err("`batch` must be >= 1".to_string());
+        }
         let mut spec = TrainJobSpec::new(model, optimizer, batch);
         if let Some(seq) = self.seq.as_deref() {
             spec.seq = seq.parse().map_err(|_| "`seq` must be a number")?;
@@ -317,6 +320,36 @@ mod tests {
         assert_eq!(specs.len(), 2);
         let err = parse_jobs_text("MobeNetV3Small Adam 8\n\nbad line here\n").unwrap_err();
         assert!(err.starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn batch_zero_is_rejected_with_one_stable_error_on_every_surface() {
+        let want = "`batch` must be >= 1";
+        // Job-line spelling.
+        assert_eq!(parse_job_line("gpt2 Adam 0").unwrap_err(), want);
+        // Flag-map spelling (CLI `--batch 0`).
+        let mut draft = JobDraft::new();
+        draft.set("model", "gpt2").unwrap();
+        draft.set("optimizer", "Adam").unwrap();
+        draft.set("batch", "0").unwrap();
+        assert_eq!(draft.build(None).unwrap_err(), want);
+        // JSON spelling, number and string forms.
+        let json: Value =
+            serde_json::from_str(r#"{"model":"gpt2","optimizer":"Adam","batch":0}"#).unwrap();
+        assert_eq!(job_from_value(&json).unwrap_err(), want);
+        let json: Value =
+            serde_json::from_str(r#"{"model":"gpt2","optimizer":"Adam","batch":"0"}"#).unwrap();
+        assert_eq!(job_from_value(&json).unwrap_err(), want);
+        // Grid-driven default batch (a zero sweep-grid point).
+        let mut grid = JobDraft::new();
+        grid.set("model", "gpt2").unwrap();
+        grid.set("optimizer", "Adam").unwrap();
+        assert_eq!(grid.build(Some(0)).unwrap_err(), want);
+        // Negative numbers stay a parse error, not a range error.
+        assert_eq!(
+            parse_job_line("gpt2 Adam -3").unwrap_err(),
+            "`batch` must be a number"
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod jobspec;
 mod key;
 mod negative;
 mod persist;
+pub mod placement;
 mod registry;
 mod service;
 mod simcache;
@@ -72,6 +73,7 @@ pub use negative::{NegativeCache, NegativeStats};
 pub use persist::{
     PersistStats, Snapshotter, JOURNAL_FILE, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, STATE_FORMAT_VERSION,
 };
+pub use placement::{hash_family, hash_job, HashRing};
 pub use registry::{DeviceRegistry, RegistryParseError};
 pub use service::{
     AsyncEstimationService, AsyncServiceConfig, EstimateFuture, EstimationService, MatrixFuture,

@@ -1,0 +1,262 @@
+//! Consistent-hash placement for the cluster tier.
+//!
+//! A ring of N `xmem-server` nodes owns the [`JobKey`] space: every node
+//! hashes an incoming job to the same owner, so each profile/analysis is
+//! computed exactly once cluster-wide and forwarded everywhere else.
+//! Placement must therefore be a pure function of the key and the peer
+//! list — no process-local state, no randomness — and stable across
+//! processes and restarts, which rules out [`std::hash::RandomState`].
+//! The ring hashes with the same FNV-1a the persistence layer frames
+//! with, over the key's canonical JSON spelling (serde field order is
+//! fixed by declaration order, so the spelling is deterministic).
+//!
+//! Virtual nodes smooth the partition: each node contributes
+//! [`VNODES_PER_NODE`] points, keeping the per-node share within a few
+//! percent of `1/N` for small rings. Node identity is the listen address
+//! string, sorted before ring construction so every peer builds an
+//! identical ring regardless of the order `--peers` spelled it.
+
+use serde::Serialize;
+
+use crate::key::{JobKey, SweepKey};
+
+/// Virtual-node multiplier: ring points contributed per node.
+pub const VNODES_PER_NODE: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes` — the same constants as the persistence frames,
+/// reimplemented here so placement stays independent of the persist
+/// module's crate-private API.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn hash_serialized<T: Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("keys serialize infallibly");
+    fnv1a64(json.as_bytes())
+}
+
+/// The ring position of a job: per-batch routes (`estimate`,
+/// `best-device`) place by the full [`JobKey`].
+#[must_use]
+pub fn hash_job(key: &JobKey) -> u64 {
+    hash_serialized(key)
+}
+
+/// The ring position of a job *family*: grid routes (`sweep`, `plan`)
+/// place by the batchless [`SweepKey`], so a whole sweep lands on one
+/// owner and its incremental-fit cache is built exactly once.
+#[must_use]
+pub fn hash_family(key: &SweepKey) -> u64 {
+    hash_serialized(key)
+}
+
+/// A consistent-hash ring over a static node list.
+///
+/// Construction sorts and dedupes the addresses, then scatters
+/// [`VNODES_PER_NODE`] points per node (point `i` of node `a` hashes
+/// `"{a}#{i}"`). Ownership of a key hash is the first ring point at or
+/// clockwise-after it, wrapping at the top.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Node identities (listen addresses), sorted and deduped.
+    nodes: Vec<String>,
+    /// `(ring point, index into nodes)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring over `nodes` (listen addresses; order-insensitive,
+    /// duplicates collapse). An empty list yields an empty ring that owns
+    /// nothing.
+    #[must_use]
+    pub fn new<S: AsRef<str>>(nodes: &[S]) -> Self {
+        let mut sorted: Vec<String> = nodes.iter().map(|n| n.as_ref().to_string()).collect();
+        sorted.sort();
+        sorted.dedup();
+        let mut points = Vec::with_capacity(sorted.len() * VNODES_PER_NODE);
+        for (index, node) in sorted.iter().enumerate() {
+            for vnode in 0..VNODES_PER_NODE {
+                points.push((fnv1a64(format!("{node}#{vnode}").as_bytes()), index));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            nodes: sorted,
+            points,
+        }
+    }
+
+    /// Number of distinct nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sorted node list.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The index of `addr` in the sorted node list.
+    #[must_use]
+    pub fn index_of(&self, addr: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n == addr)
+    }
+
+    /// The node address at `index`.
+    #[must_use]
+    pub fn node(&self, index: usize) -> &str {
+        &self.nodes[index]
+    }
+
+    /// The owning node index for a key hash: the first ring point at or
+    /// after `hash`, wrapping. `None` only on an empty ring.
+    #[must_use]
+    pub fn owner_index(&self, hash: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, index) = self.points[at % self.points.len()];
+        Some(index)
+    }
+
+    /// Every distinct node in ring order starting at `hash`'s owner — the
+    /// failover sequence a cluster client walks when the owner is down.
+    /// Each node appears exactly once.
+    #[must_use]
+    pub fn successors(&self, hash: u64) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        for offset in 0..self.points.len() {
+            let (_, index) = self.points[(start + offset) % self.points.len()];
+            if !seen[index] {
+                seen[index] = true;
+                order.push(index);
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_models::ModelId;
+    use xmem_optim::OptimizerKind;
+    use xmem_runtime::TrainJobSpec;
+
+    fn ring3() -> HashRing {
+        HashRing::new(&["127.0.0.1:7501", "127.0.0.1:7502", "127.0.0.1:7503"])
+    }
+
+    fn key(batch: usize) -> JobKey {
+        JobKey::of(&TrainJobSpec::new(
+            ModelId::MobileNetV3Small,
+            OptimizerKind::Adam,
+            batch,
+        ))
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_insensitive() {
+        let a = ring3();
+        let b = HashRing::new(&["127.0.0.1:7503", "127.0.0.1:7501", "127.0.0.1:7502"]);
+        for batch in 1..=64 {
+            let hash = hash_job(&key(batch));
+            assert_eq!(a.owner_index(hash), b.owner_index(hash));
+        }
+    }
+
+    #[test]
+    fn every_node_owns_a_share() {
+        let ring = ring3();
+        let mut counts = [0usize; 3];
+        for batch in 1..=256 {
+            counts[ring.owner_index(hash_job(&key(batch))).unwrap()] += 1;
+        }
+        for (node, &count) in counts.iter().enumerate() {
+            assert!(count > 0, "node {node} owns nothing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn successors_cover_all_nodes_starting_at_the_owner() {
+        let ring = ring3();
+        let hash = hash_job(&key(8));
+        let order = ring.successors(hash);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], ring.owner_index(hash).unwrap());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_own_keys() {
+        let full = ring3();
+        let reduced = HashRing::new(&["127.0.0.1:7501", "127.0.0.1:7502"]);
+        let mut moved = 0usize;
+        let mut kept = 0usize;
+        for batch in 1..=256 {
+            let hash = hash_job(&key(batch));
+            let before = full.node(full.owner_index(hash).unwrap());
+            let after = reduced.node(reduced.owner_index(hash).unwrap());
+            if before == "127.0.0.1:7503" {
+                moved += 1;
+            } else {
+                assert_eq!(before, after, "surviving owner must not move");
+                kept += 1;
+            }
+        }
+        assert!(moved > 0 && kept > 0);
+    }
+
+    #[test]
+    fn family_hash_ignores_batch() {
+        let a = SweepKey::of(&TrainJobSpec::new(
+            ModelId::MobileNetV3Small,
+            OptimizerKind::Adam,
+            4,
+        ));
+        let b = SweepKey::of(&TrainJobSpec::new(
+            ModelId::MobileNetV3Small,
+            OptimizerKind::Adam,
+            32,
+        ));
+        assert_eq!(hash_family(&a), hash_family(&b));
+    }
+
+    #[test]
+    fn empty_and_single_rings_degenerate_sanely() {
+        let empty: HashRing = HashRing::new::<String>(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.owner_index(42), None);
+        assert!(empty.successors(42).is_empty());
+        let single = HashRing::new(&["127.0.0.1:7501"]);
+        assert_eq!(single.owner_index(hash_job(&key(4))), Some(0));
+    }
+}

@@ -1074,6 +1074,69 @@ impl EstimationService {
         Ok(self.simulate_on(&JobKey::of(spec), &stages, device))
     }
 
+    /// The device a cluster sim-cell exchange resolves to: a registered
+    /// name, or — for the plain-estimate route — the primary device
+    /// *when* the service estimator is its paper-default configuration
+    /// ([`EstimatorConfig::for_device`]). A customized primary estimator
+    /// (ablation knobs, timeline recording) is not shard-representable:
+    /// its estimates are not bit-identical to a paper-default cell, so
+    /// the cell paths refuse rather than cache a lying entry.
+    fn cell_device(&self, device_name: Option<&str>) -> Option<GpuDevice> {
+        match device_name {
+            Some(name) => self.registry().get(name),
+            None => {
+                let config = self.estimator.config();
+                let default = EstimatorConfig::for_device(config.device);
+                (!config.record_timeline
+                    && config.orchestrator == default.orchestrator
+                    && config.allocator == default.allocator
+                    && config.context_allowance == default.context_allowance)
+                    .then_some(config.device)
+            }
+        }
+    }
+
+    /// The locally cached simulation cell for `spec`, if present —
+    /// `device_name = None` resolves to the primary device (only under a
+    /// paper-default estimator, see the cell-device gate). Cluster nodes
+    /// use this to serve a non-owned request locally when a forwarded
+    /// result already filled the cell, without re-forwarding.
+    #[must_use]
+    pub fn cached_cell_estimate(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: Option<&str>,
+    ) -> Option<Estimate> {
+        let device = self.cell_device(device_name)?;
+        self.sims.shard(&device).get(&JobKey::of(spec))
+    }
+
+    /// Fills the local simulation cell for `spec` with an estimate
+    /// computed elsewhere (a forwarded cluster response), journaling it
+    /// like any locally computed cell. Returns whether the cell was
+    /// newly filled — `false` for unknown devices, a non-paper-default
+    /// primary estimator, or an already-present cell (which is never
+    /// overwritten: cells are deterministic, and the incumbent was
+    /// journaled first).
+    pub fn fill_sim_cell(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: Option<&str>,
+        estimate: Estimate,
+    ) -> bool {
+        let Some(device) = self.cell_device(device_name) else {
+            return false;
+        };
+        let key = JobKey::of(spec);
+        let shard = self.sims.shard(&device);
+        if shard.peek(&key).is_some() {
+            return false;
+        }
+        shard.insert(key.clone(), estimate.clone());
+        self.journal_sim(&DeviceFingerprint::of(&device), &key, &estimate);
+        true
+    }
+
     /// Batched replay: estimates every job in `specs` on every named
     /// device, running the expensive profile + analyze stages **once per
     /// distinct job** and fanning the cached analyses out to concurrent

@@ -38,7 +38,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmem::core::{layer_report, render_layer_report, render_report, Analyzer, Orchestrator};
 use xmem::prelude::*;
-use xmem::server::{ServerConfig, ServerHandle};
+use xmem::server::{ClusterConfig, ServerConfig, ServerHandle};
 use xmem::service::jobspec::{parse_jobs_text, JobDraft};
 use xmem::service::AsyncServiceConfig;
 use xmem::trace::Trace;
@@ -65,12 +65,20 @@ fn usage() -> &'static str {
        listen          --addr <host:port> [--device ...] [--registry <file.json>]\n\
                        [--workers <n>] [--queue <n>] [--conns <n>] [--drain-ms <n>]\n\
                        [--state-dir <dir>] [--snapshot-ms <n>]\n\
+                       [--peers <a1,a2,...> --auth-token <secret>\n\
+                       [--advertise <host:port>]]\n\
                        HTTP/1.1 server: POST /v1/estimate|matrix|sweep|plan|best-device\n\
                        (JSON jobs, same grammar), GET /healthz, GET /metrics\n\
                        (Prometheus); POST /v1/shutdown drains and exits;\n\
                        --state-dir persists cache state (snapshot + journal)\n\
                        across restarts: a warm boot re-serves prior jobs\n\
-                       without re-profiling\n\
+                       without re-profiling;\n\
+                       --peers joins a consistent-hash cluster: requests\n\
+                       route to the key's owner (forwarded over HTTP with\n\
+                       an x-xmem-forwarded hop guard), and every /v1/*\n\
+                       request must carry the shared x-xmem-auth secret;\n\
+                       --advertise overrides the ring identity when the\n\
+                       bind address is not peer-reachable\n\
        profile         (same job options) --out <trace.json>\n\
        estimate-trace  --trace <trace.json> [--device ...]\n\
        layers          (same job options) [--top <n>]\n\
@@ -437,8 +445,36 @@ fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
     let config = ServerConfig::default()
         .with_workers(conns)
         .with_drain_timeout(Duration::from_millis(drain_ms as u64));
-    let server = ServerHandle::bind(addr.as_str(), Arc::clone(&service), config)
+    let mut server = ServerHandle::bind(addr.as_str(), Arc::clone(&service), config)
         .map_err(|e| format!("bind {addr} failed: {e}"))?;
+    if let Some(peer_list) = flags.get("peers") {
+        let auth_token = flags
+            .get("auth-token")
+            .cloned()
+            .ok_or("--peers requires --auth-token (the shared x-xmem-auth secret)")?;
+        let peers: Vec<String> = peer_list
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+        let self_addr = flags
+            .get("advertise")
+            .cloned()
+            .unwrap_or_else(|| server.local_addr().to_string());
+        let cluster = ClusterConfig {
+            self_addr,
+            peers,
+            auth_token,
+        };
+        server.install_cluster(&cluster)?;
+        let ring_len = server.cluster().map(|c| c.ring().len()).unwrap_or(0);
+        println!(
+            "cluster: {} in a {ring_len}-node ring (x-xmem-auth required on /v1/*)",
+            cluster.self_addr,
+        );
+    } else if flags.contains_key("auth-token") {
+        return Err("--auth-token requires --peers (cluster mode)".to_string());
+    }
     println!("listening on http://{}", server.local_addr());
     println!(
         "routes: POST /v1/estimate /v1/matrix /v1/sweep /v1/plan /v1/best-device | \
@@ -492,12 +528,23 @@ fn run() -> Result<(), String> {
         "sweep" => {
             let spec = job_with_batch(&flags, Some(1))?;
             let device = device_of(&flags, &registry_of(&flags)?)?;
-            let batches: Vec<usize> = flags
+            let mut batches: Vec<usize> = Vec::new();
+            for raw in flags
                 .get("batches")
                 .ok_or("--batches is required (e.g. --batches 1,2,4,8)")?
                 .split(',')
-                .map(|b| b.trim().parse().map_err(|_| format!("bad batch `{b}`")))
-                .collect::<Result<_, _>>()?;
+            {
+                let batch: usize = raw
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad batch `{raw}`"))?;
+                if batch == 0 {
+                    return Err("`batch` must be >= 1".to_string());
+                }
+                if !batches.contains(&batch) {
+                    batches.push(batch);
+                }
+            }
             if batches.is_empty() {
                 return Err("--batches must name at least one batch size".to_string());
             }

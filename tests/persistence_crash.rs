@@ -308,6 +308,79 @@ fn corrupt_snapshot_header_falls_back_to_the_journal() {
     assert_eq!(service.profile_runs(), 0);
 }
 
+/// Downgrade tolerance: a reader that predates the `Param` record kind
+/// (PR 7's parameterized sweep fits) stops replay at the first record it
+/// cannot decode. For that prefix to carry the whole pre-`Param` state,
+/// snapshots must export every Stage/Replay/Sim record *before* any
+/// `Param` record — this test pins that export-order claim structurally
+/// (no `Stage`/`Replay`/`Sim` frame after the first `Param` frame) and
+/// behaviourally (a snapshot truncated at the first `Param` frame still
+/// warm-boots every estimate bit-identically with zero profile runs).
+#[test]
+fn reader_without_param_support_still_recovers_all_stage_replay_sim_entries() {
+    let dir = StateDir::new("downgrade");
+    let batches = [4usize, 8];
+    let expected = populate(dir.path(), &batches);
+    // Produce a Param record: an incremental-eligible sweep spanning
+    // enough distinct points to pay the three-anchor fit.
+    {
+        let service = EstimationService::new(config(dir.path()));
+        for (_, outcome) in service.sweep(&spec(1), &[1, 2, 4, 8, 16]) {
+            outcome.expect("sweep estimates");
+        }
+    }
+    // One more boot compacts everything into the snapshot.
+    drop(EstimationService::new(config(dir.path())));
+
+    // Walk the snapshot frames ([4-byte len][8-byte sum][JSON]) and tag
+    // each record by its externally-tagged enum variant; frame 0 is the
+    // version header.
+    let snapshot = fs::read(dir.path().join(SNAPSHOT_FILE)).expect("snapshot");
+    let mut frames: Vec<(usize, String)> = Vec::new(); // (start offset, variant)
+    let mut off = 0usize;
+    while off + 12 <= snapshot.len() {
+        let len = u32::from_le_bytes(snapshot[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let payload = std::str::from_utf8(&snapshot[off + 12..off + 12 + len])
+            .expect("frame payload is JSON text");
+        if off > 0 {
+            let value: serde::Value = serde_json::from_str(payload).expect("frame decodes");
+            let variant = value
+                .as_object()
+                .and_then(|entries| entries.first())
+                .map(|(tag, _)| tag.clone())
+                .expect("record frames are single-variant objects");
+            frames.push((off, variant));
+        }
+        off += 12 + len;
+    }
+    assert_eq!(off, snapshot.len(), "snapshot must be whole frames");
+
+    let first_param = frames
+        .iter()
+        .find(|(_, variant)| variant == "Param")
+        .map(|&(start, _)| start)
+        .expect("the sweep must have produced a Param record");
+    let mut pre_param = 0usize;
+    for (start, variant) in &frames {
+        if matches!(variant.as_str(), "Stage" | "Replay" | "Sim") {
+            assert!(
+                *start < first_param,
+                "a {variant} record after the first Param breaks downgrade tolerance"
+            );
+            pre_param += 1;
+        }
+    }
+    assert!(pre_param > 0, "snapshot must carry pre-Param records");
+
+    // The old reader's effective state is exactly this prefix: boot from
+    // it and the full pre-Param contract must hold.
+    let scratch = StateDir::new("downgrade-prefix");
+    fs::create_dir_all(scratch.path()).expect("scratch dir");
+    fs::write(scratch.path().join(SNAPSHOT_FILE), &snapshot[..first_param])
+        .expect("prefix snapshot");
+    assert_warm_boot(scratch.path(), &batches, &expected);
+}
+
 /// Sim cells whose device fingerprint matches no registered device are
 /// skipped (counted), not resurrected against the wrong hardware.
 #[test]

@@ -453,6 +453,141 @@ fn deadlines_and_backpressure_map_to_504_and_503() {
     assert!(report.clean);
 }
 
+/// The two 503 producers — the acceptor's inline accept-queue-overflow
+/// answer and the worker path's submission-queue `Busy` answer — must be
+/// **byte-identical** on the wire, and the inline one must participate
+/// in the per-status counter and the bytes-written accounting exactly
+/// like a worker-written response (the bug this pins: the inline write
+/// bypassed `write_response`, so scrapers undercounted rejected load).
+#[test]
+fn inline_and_worker_path_503s_are_byte_identical() {
+    use std::io::{Read, Write};
+    let canonical = api::busy_response().to_bytes(false);
+
+    // Worker path: one async worker and a one-deep submission queue.
+    // Two slow cold estimates saturate both slots; polling with
+    // `connection: close` requests must then surface a 503, captured raw
+    // to EOF so the comparison covers every byte on the wire.
+    let worker_bytes = {
+        let service = Arc::new(AsyncEstimationService::new(
+            AsyncServiceConfig::for_device(GpuDevice::rtx3060())
+                .with_workers(1)
+                .with_queue_depth(1),
+        ));
+        let server = ServerHandle::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig::default().with_workers(8),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let captured = std::thread::scope(|scope| {
+            // Two saturator threads keep the single async worker and the
+            // one-deep queue occupied with distinct cold profiles until
+            // the probe has its 503 in hand.
+            for t in 0..2usize {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect saturator");
+                    let mut round = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let slow = TrainJobSpec::new(
+                            ModelId::ResNet101,
+                            OptimizerKind::Adam,
+                            20 + t * 500 + round,
+                        )
+                        .with_iterations(2);
+                        round += 1;
+                        let response = client
+                            .post_json("/v1/estimate", &job_json(&slow))
+                            .expect("saturator answer");
+                        assert!(matches!(response.status, 200 | 503), "{}", response.text());
+                    }
+                });
+            }
+            // Make sure a saturator is really executing before probing.
+            let patience = std::time::Instant::now();
+            while service.service().profile_runs() == 0
+                && patience.elapsed() < Duration::from_secs(10)
+            {
+                std::thread::yield_now();
+            }
+            let body = job_json(&small_spec(2));
+            let request = format!(
+                "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\n\
+                 content-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let patience = std::time::Instant::now();
+            let bytes = loop {
+                assert!(
+                    patience.elapsed() < Duration::from_secs(30),
+                    "no worker-path 503 surfaced against a saturated service"
+                );
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect probe");
+                stream.write_all(request.as_bytes()).expect("send probe");
+                let mut bytes = Vec::new();
+                stream.read_to_end(&mut bytes).expect("read to close");
+                if bytes.starts_with(b"HTTP/1.1 503") {
+                    break bytes;
+                }
+            };
+            stop.store(true, Ordering::Relaxed);
+            bytes
+        });
+        assert!(server.metrics().responses_with_status(503) >= 1);
+        server.shutdown();
+        captured
+    };
+    assert_eq!(
+        worker_bytes, canonical,
+        "worker-path 503 must render exactly `busy_response`"
+    );
+
+    // Inline path: one connection worker and a one-deep accept queue.
+    // An idle connection claims the worker, a second fills the queue,
+    // and the third is rejected at accept time — the only bytes this
+    // server ever writes, so the accounting is exact.
+    let (server, _service) =
+        start_server(ServerConfig::default().with_workers(1).with_queue_depth(1));
+    let addr = server.local_addr();
+    let claim_worker = std::net::TcpStream::connect(addr).expect("connect claimer");
+    std::thread::sleep(Duration::from_millis(150)); // worker takes it
+    let fill_queue = std::net::TcpStream::connect(addr).expect("connect queue filler");
+    std::thread::sleep(Duration::from_millis(150)); // acceptor enqueues it
+    let mut rejected = std::net::TcpStream::connect(addr).expect("connect overflow");
+    let mut inline_bytes = Vec::new();
+    rejected
+        .read_to_end(&mut inline_bytes)
+        .expect("read inline 503 to close");
+    assert_eq!(
+        inline_bytes, canonical,
+        "inline 503 must be byte-identical to the worker path"
+    );
+    assert_eq!(
+        server.metrics().responses_with_status(503),
+        1,
+        "the inline 503 must count toward the per-status totals"
+    );
+    // Free the worker, then scrape: the counter renders *before* the
+    // metrics response itself is written, so at that instant the inline
+    // 503 is the only write the server has ever made.
+    drop(claim_worker);
+    drop(fill_queue);
+    std::thread::sleep(Duration::from_millis(150));
+    let mut scraper = HttpClient::connect(addr).expect("connect scraper");
+    let metrics = scraper.get("/metrics").expect("metrics");
+    let needle = format!("xmem_server_bytes_written_total {}", canonical.len());
+    assert!(
+        metrics.text().contains(&needle),
+        "inline 503 bytes must be accounted: wanted `{needle}` in:\n{}",
+        metrics.text()
+    );
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
 /// `/healthz` and `/metrics` expose liveness and the full counter
 /// surface, including the service-layer counters.
 #[test]
