@@ -383,6 +383,116 @@ impl ServerMetrics {
                 "xmem_stage_cache_events_total{{event=\"{event}\"}} {value}"
             );
         }
+        // --- adaptive cache tiering, one row per cache tier ------------
+        let tiers = [
+            ("stage", service.cache_stats(), service.stage_tier_stats()),
+            (
+                "replay",
+                service.replay_cache_stats(),
+                service.replay_tier_stats(),
+            ),
+            (
+                "param",
+                service.param_cache_stats(),
+                service.param_tier_stats(),
+            ),
+            ("sim", service.sim_stats().cache, service.sim_tier_stats()),
+        ];
+        let labeled_gauge = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+        };
+        let labeled_counter = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+        };
+        labeled_gauge(
+            &mut out,
+            "xmem_cache_entries",
+            "Resident entries per cache tier and SLRU segment",
+        );
+        for (name, _, tier) in &tiers {
+            let _ = writeln!(
+                out,
+                "xmem_cache_entries{{cache=\"{name}\",segment=\"probation\"}} {}",
+                tier.probation_entries
+            );
+            let _ = writeln!(
+                out,
+                "xmem_cache_entries{{cache=\"{name}\",segment=\"protected\"}} {}",
+                tier.protected_entries
+            );
+        }
+        for (metric, help, pick) in [
+            (
+                "xmem_cache_capacity",
+                "Entry capacity per cache tier",
+                (|t| t.capacity) as fn(&xmem_service::TierStats) -> u64,
+            ),
+            (
+                "xmem_cache_protected_capacity",
+                "Protected-segment entry cap per cache tier (live, tuner-adjusted)",
+                |t| t.protected_cap,
+            ),
+            (
+                "xmem_cache_bytes_in_use",
+                "Resident bytes per cache tier (0 when unweighted)",
+                |t| t.bytes_in_use,
+            ),
+            (
+                "xmem_cache_bytes_budget",
+                "Bytes budget per cache tier (0 when unbudgeted)",
+                |t| t.bytes_budget,
+            ),
+            (
+                "xmem_cache_protected_frac_permille",
+                "Live learned (or pinned) protected fraction per cache tier, in permille",
+                |t| u64::from(t.protected_frac_permille),
+            ),
+            (
+                "xmem_cache_segmented",
+                "1 when the tier runs SLRU (static or adaptive) admission",
+                |t| u64::from(t.segmented),
+            ),
+            (
+                "xmem_cache_adaptive",
+                "1 when the tier's protected split is tuner-adjusted online",
+                |t| u64::from(t.adaptive),
+            ),
+        ] {
+            labeled_gauge(&mut out, metric, help);
+            for (name, _, tier) in &tiers {
+                let _ = writeln!(out, "{metric}{{cache=\"{name}\"}} {}", pick(tier));
+            }
+        }
+        for (metric, help, pick) in [
+            (
+                "xmem_cache_ghost_hits_total",
+                "Misses whose key was remembered by a ghost list",
+                (|s| s.ghost_hits) as fn(&xmem_service::CacheStats) -> u64,
+            ),
+            (
+                "xmem_cache_tuner_steps_total",
+                "Online tuner adjustments of the protected fraction",
+                |s| s.tuner_steps,
+            ),
+            (
+                "xmem_cache_sketch_resets_total",
+                "Frequency-sketch halving decays",
+                |s| s.sketch_resets,
+            ),
+            (
+                "xmem_cache_admission_denied_total",
+                "Inserts denied by the TinyLFU admission gate",
+                |s| s.admission_denied,
+            ),
+        ] {
+            labeled_counter(&mut out, metric, help);
+            for (name, stats, _) in &tiers {
+                let _ = writeln!(out, "{metric}{{cache=\"{name}\"}} {}", pick(stats));
+            }
+        }
+
         let flights = service.flight_stats();
         counter(
             &mut out,

@@ -1,6 +1,6 @@
 //! Sharded, mutex-per-shard LRU cache with O(1) eviction, an optional
-//! bytes budget, and an optional segmented (probation/protected)
-//! admission policy.
+//! bytes budget, and segmented (probation/protected) admission that can
+//! be pinned statically or tuned adaptively online.
 //!
 //! Keys are spread across `shards` independent maps by hash, so concurrent
 //! estimation threads contend only when they touch the same shard. Each
@@ -32,12 +32,37 @@
 //! first. One-shot keys then die in probation without ever displacing a
 //! re-referenced entry. Both recency segments are threaded through the
 //! same slab, so every operation stays O(1).
+//!
+//! **Adaptive tiering** ([`ShardedLruCache::with_adaptive_tiering`], the
+//! service default via [`TieringMode::Adaptive`]): the segmented
+//! discipline, self-tuned. Each shard additionally keeps a TinyLFU-style
+//! frequency sketch, two bounded ghost lists (recent probation/protected
+//! evictions, key hashes only), and a hill-climbing tuner — see the
+//! [`tiering`](crate::tiering) module docs. Three behaviors ride on it:
+//!
+//! 1. **Sketch-gated admission**: a *new* key that would force an
+//!    eviction is admitted only when its estimated frequency strictly
+//!    exceeds the would-be victim's; otherwise the insert is dropped
+//!    (counted in [`CacheStats::admission_denied`]; the caller keeps its
+//!    computed value). One-shot scans no longer displace anything.
+//! 2. **Ghost feedback**: a miss that matches a remembered eviction
+//!    counts a [`CacheStats::ghost_hits`] and tells the tuner which
+//!    segment was undersized.
+//! 3. **Learned split with smoothed transitions**: the tuner's fraction
+//!    (hard floor/ceiling, integer permille) re-caps the protected
+//!    segment — and its share of the bytes budget — with at most one
+//!    protected→probation demotion per operation, so a tuner step never
+//!    causes a demotion storm. All tier state is integral and advanced
+//!    only by cache operations: behavior is deterministic given the
+//!    access sequence.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::tiering::{permille_from_frac, TierState, TierStats, TieringMode};
 
 /// Monotonic hit/miss/insert/evict counters for a [`ShardedLruCache`].
 ///
@@ -59,6 +84,19 @@ pub struct CacheStats {
     /// Probation entries promoted to the protected segment on a hit
     /// (always 0 unless segmented admission is configured).
     pub promoted: u64,
+    /// Misses that matched a remembered eviction in a ghost list
+    /// (always 0 unless adaptive tiering is live).
+    pub ghost_hits: u64,
+    /// Hill-climbing steps the tier tuner took (always 0 unless adaptive
+    /// tiering is live).
+    pub tuner_steps: u64,
+    /// Halving decays of the per-shard frequency sketches (always 0
+    /// unless adaptive tiering is live).
+    pub sketch_resets: u64,
+    /// New entries the frequency-sketch admission gate refused because
+    /// the eviction victim was at least as hot (the value was still
+    /// returned to the caller).
+    pub admission_denied: u64,
 }
 
 impl CacheStats {
@@ -71,7 +109,30 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.rejected += other.rejected;
         self.promoted += other.promoted;
+        self.ghost_hits += other.ghost_hits;
+        self.tuner_steps += other.tuner_steps;
+        self.sketch_resets += other.sketch_resets;
+        self.admission_denied += other.admission_denied;
     }
+}
+
+/// Per-operation tier event deltas a shard reports back to the cache's
+/// atomic counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct TierEvents {
+    ghost_hits: u64,
+    tuner_steps: u64,
+    sketch_resets: u64,
+    admission_denied: u64,
+}
+
+/// What one shard-level insert did.
+#[derive(Debug, Clone, Copy, Default)]
+struct InsertOutcome {
+    evicted: u64,
+    rejected: bool,
+    denied: bool,
+    events: TierEvents,
 }
 
 /// Sentinel index terminating the intrusive list.
@@ -82,6 +143,16 @@ const NIL: u32 = u32::MAX;
 const PROBATION: usize = 0;
 /// The re-referenced segment of a segmented shard.
 const PROTECTED: usize = 1;
+
+/// The cache's key hash — shard selection, the frequency sketch, and the
+/// ghost lists all derive from this one hash, computed once per
+/// operation. `DefaultHasher::new()` uses fixed keys, so the hash (and
+/// with it every tiering decision) is deterministic across runs.
+fn key_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
 
 #[derive(Debug)]
 struct Node<K, V> {
@@ -94,6 +165,11 @@ struct Node<K, V> {
     /// Which recency list ([`PROBATION`] or [`PROTECTED`]) threads this
     /// node.
     segment: usize,
+    /// Whether this entry was ever promoted. Eviction files the ghost
+    /// under the segment that shaped the entry: a demoted-then-evicted
+    /// entry still signals an undersized protected segment when it is
+    /// re-referenced.
+    hot: bool,
 }
 
 /// Head/tail indices of one intrusive recency list (head = MRU,
@@ -126,6 +202,8 @@ struct Shard<K, V> {
     protected_len: usize,
     /// Sum of live entry costs.
     bytes: u64,
+    /// Adaptive tiering state (sketch, ghosts, tuner), when configured.
+    tier: Option<Box<TierState>>,
 }
 
 impl<K, V> Default for Shard<K, V> {
@@ -137,6 +215,7 @@ impl<K, V> Default for Shard<K, V> {
             lists: [ListEnds::default(); 2],
             protected_len: 0,
             bytes: 0,
+            tier: None,
         }
     }
 }
@@ -156,9 +235,9 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
 
     /// Detaches `index` from its recency list (it stays in the slab/map).
     fn unlink(&mut self, index: u32) {
-        let (prev, next, segment) = {
+        let (prev, next, segment, cost) = {
             let n = self.node(index);
-            (n.prev, n.next, n.segment)
+            (n.prev, n.next, n.segment, n.cost)
         };
         if prev == NIL {
             self.lists[segment].head = next;
@@ -172,11 +251,15 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         }
         if segment == PROTECTED {
             self.protected_len -= 1;
+            if let Some(tier) = &mut self.tier {
+                tier.protected_bytes -= cost;
+            }
         }
     }
 
     /// Links `index` at the MRU end of `segment`.
     fn push_front(&mut self, index: u32, segment: usize) {
+        let cost = self.node(index).cost;
         let old_head = self.lists[segment].head;
         {
             let n = self.node_mut(index);
@@ -193,21 +276,115 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         }
         if segment == PROTECTED {
             self.protected_len += 1;
+            if let Some(tier) = &mut self.tier {
+                tier.protected_bytes += cost;
+            }
         }
     }
 
-    /// Refreshes `key`'s recency. In segmented mode (`protected_cap > 0`)
-    /// a probation hit promotes the entry into the protected segment,
-    /// demoting that segment's LRU back to probation's MRU when it
-    /// overflows. Returns the value and whether a promotion happened.
-    fn touch(&mut self, key: &K, protected_cap: usize) -> (Option<V>, bool) {
-        let Some(&index) = self.map.get(key) else {
-            return (None, false);
+    /// Feeds one access into the live tier machinery: the frequency
+    /// sketch counts it, the tuner's window ticks (re-capping the
+    /// protected segment on a step), and one smoothed rebalance demotion
+    /// runs. A no-op for static/frozen shards.
+    fn tier_access(&mut self, hash: u64, events: &mut TierEvents) {
+        {
+            let Some(tier) = &mut self.tier else {
+                return;
+            };
+            if !tier.active {
+                return;
+            }
+            if tier.sketch.increment(hash) {
+                events.sketch_resets += 1;
+            }
+            if tier.tuner.on_access() {
+                events.tuner_steps += 1;
+                tier.recompute_cap();
+            }
+        }
+        self.rebalance_one();
+    }
+
+    /// Smoothed transition toward a shrunk learned split: when protected
+    /// occupancy exceeds the live entry cap or byte share, demote at most
+    /// **one** protected LRU back to probation's MRU. Called once per
+    /// operation on live adaptive shards, so a tuner step drains overflow
+    /// gradually instead of in a demotion storm.
+    fn rebalance_one(&mut self) {
+        let Some(tier) = &self.tier else {
+            return;
         };
+        if !tier.active {
+            return;
+        }
+        let over_entries = self.protected_len > tier.protected_cap;
+        let over_bytes = tier
+            .protected_byte_share()
+            .is_some_and(|share| tier.protected_bytes > share);
+        if (over_entries || over_bytes) && self.lists[PROTECTED].tail != NIL {
+            let demoted = self.lists[PROTECTED].tail;
+            self.unlink(demoted);
+            self.push_front(demoted, PROBATION);
+        }
+    }
+
+    /// The byte-split guarantee behind a promotion: if the newly promoted
+    /// entry pushed the protected segment over its byte share, demote
+    /// from the protected LRU until the share holds — possibly demoting
+    /// the just-promoted entry itself when its cost alone exceeds the
+    /// share. Bytes accounting is never stranded in an over-share
+    /// protected segment.
+    fn enforce_protected_byte_share(&mut self) {
+        loop {
+            let Some(tier) = &self.tier else {
+                return;
+            };
+            if !tier.active {
+                return;
+            }
+            let Some(share) = tier.protected_byte_share() else {
+                return;
+            };
+            if tier.protected_bytes <= share || self.lists[PROTECTED].tail == NIL {
+                return;
+            }
+            let demoted = self.lists[PROTECTED].tail;
+            self.unlink(demoted);
+            self.push_front(demoted, PROBATION);
+        }
+    }
+
+    /// Refreshes `key`'s recency. In segmented mode (a positive protected
+    /// cap) a probation hit promotes the entry into the protected
+    /// segment, demoting that segment's LRU back to probation's MRU when
+    /// it overflows. On adaptive shards the access also feeds the sketch
+    /// and tuner, and a miss consults the ghost lists. Returns the value,
+    /// whether a promotion happened, and the tier event deltas.
+    fn touch(
+        &mut self,
+        key: &K,
+        static_protected_cap: usize,
+        hash: u64,
+    ) -> (Option<V>, bool, TierEvents) {
+        let mut events = TierEvents::default();
+        self.tier_access(hash, &mut events);
+        let Some(&index) = self.map.get(key) else {
+            if let Some(tier) = &mut self.tier {
+                if tier.active && tier.ghost_hit(hash) {
+                    events.ghost_hits += 1;
+                }
+            }
+            return (None, false, events);
+        };
+        let protected_cap = self
+            .tier
+            .as_ref()
+            .map_or(static_protected_cap, |t| t.protected_cap);
         let segment = self.node(index).segment;
         let mut promoted = false;
         if protected_cap > 0 && segment == PROBATION {
             self.unlink(index);
+            self.node_mut(index).hot = true;
             self.push_front(index, PROTECTED);
             promoted = true;
             // At most one entry over the cap: demote the protected LRU.
@@ -216,11 +393,12 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 self.unlink(demoted);
                 self.push_front(demoted, PROBATION);
             }
+            self.enforce_protected_byte_share();
         } else if self.lists[segment].head != index {
             self.unlink(index);
             self.push_front(index, segment);
         }
-        (Some(self.node(index).value.clone()), promoted)
+        (Some(self.node(index).value.clone()), promoted, events)
     }
 
     fn peek(&self, key: &K) -> Option<V> {
@@ -238,8 +416,10 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
     }
 
     /// Removes the LRU entry — probation's tail when probation is
-    /// non-empty (one-shot keys die first), otherwise protected's. Must
-    /// not be called on an empty shard.
+    /// non-empty (one-shot keys die first), otherwise protected's. On
+    /// live adaptive shards the victim's key hash is remembered in the
+    /// ghost list of the segment that shaped it. Must not be called on an
+    /// empty shard.
     fn evict_tail(&mut self) {
         let victim = if self.lists[PROBATION].tail != NIL {
             self.lists[PROBATION].tail
@@ -247,12 +427,30 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             self.lists[PROTECTED].tail
         };
         debug_assert_ne!(victim, NIL, "evict on empty shard");
+        if let Some(tier) = &mut self.tier {
+            if tier.active {
+                let node = self.nodes[victim as usize]
+                    .as_ref()
+                    .expect("vacant lru slot");
+                tier.ghosts[usize::from(node.hot)].record(key_hash(&node.key));
+            }
+        }
         self.remove_index(victim);
     }
 
+    /// The LRU entry a capacity/budget-pressed insert would evict first.
+    fn eviction_victim(&self) -> u32 {
+        if self.lists[PROBATION].tail != NIL {
+            self.lists[PROBATION].tail
+        } else {
+            self.lists[PROTECTED].tail
+        }
+    }
+
     /// Inserts (or replaces) `key → value` with `cost` bytes, then evicts
-    /// LRU entries until both `capacity` and `budget` hold. Returns
-    /// `(evictions, rejected)`.
+    /// LRU entries until both `capacity` and `budget` hold. On live
+    /// adaptive shards, a **new** key that needs an eviction must beat
+    /// the would-be victim's sketched frequency to be admitted at all.
     fn insert(
         &mut self,
         key: K,
@@ -260,7 +458,10 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         cost: u64,
         capacity: usize,
         budget: Option<u64>,
-    ) -> (u64, bool) {
+        hash: u64,
+    ) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
+        self.tier_access(hash, &mut outcome.events);
         if let Some(budget) = budget {
             if cost > budget {
                 // Not cacheable at any occupancy: drop a stale entry under
@@ -269,14 +470,16 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 if let Some(&index) = self.map.get(&key) {
                     self.remove_index(index);
                 }
-                return (0, true);
+                outcome.rejected = true;
+                return outcome;
             }
         }
         if let Some(&index) = self.map.get(&key) {
             // Replacement: refresh value, cost and recency in place. The
             // entry keeps its segment — a write is not the re-reference
             // that earns promotion.
-            self.bytes -= self.node(index).cost;
+            let old_cost = self.node(index).cost;
+            self.bytes -= old_cost;
             self.bytes += cost;
             let segment = {
                 let n = self.node_mut(index);
@@ -284,11 +487,41 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 n.cost = cost;
                 n.segment
             };
+            if segment == PROTECTED {
+                // Keep the protected byte gauge in step with the cost
+                // change (the unlink/relink below nets to zero).
+                if let Some(tier) = &mut self.tier {
+                    tier.protected_bytes = tier.protected_bytes - old_cost + cost;
+                }
+            }
             if self.lists[segment].head != index {
                 self.unlink(index);
                 self.push_front(index, segment);
             }
         } else {
+            if let Some(tier) = &self.tier {
+                if tier.active {
+                    let needs_eviction =
+                        self.map.len() >= capacity || budget.is_some_and(|b| self.bytes + cost > b);
+                    if needs_eviction {
+                        // A pressed shard is never empty (capacity >= 1
+                        // and the oversize check already passed), so the
+                        // victim index is live.
+                        let victim = self.eviction_victim();
+                        let victim_hash = key_hash(
+                            &self.nodes[victim as usize]
+                                .as_ref()
+                                .expect("vacant lru slot")
+                                .key,
+                        );
+                        if tier.sketch.estimate(hash) <= tier.sketch.estimate(victim_hash) {
+                            outcome.events.admission_denied += 1;
+                            outcome.denied = true;
+                            return outcome;
+                        }
+                    }
+                }
+            }
             let node = Node {
                 key: key.clone(),
                 value,
@@ -296,6 +529,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 prev: NIL,
                 next: NIL,
                 segment: PROBATION,
+                hot: false,
             };
             let index = match self.free.pop() {
                 Some(slot) => {
@@ -311,17 +545,17 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             self.bytes += cost;
             self.push_front(index, PROBATION);
         }
-        let mut evicted = 0;
         while self.map.len() > capacity || budget.is_some_and(|b| self.bytes > b) {
             self.evict_tail();
-            evicted += 1;
+            outcome.evicted += 1;
         }
-        (evicted, false)
+        outcome
     }
 }
 
 /// A concurrent LRU cache split into independently locked shards, with
-/// O(1) eviction and an optional bytes budget.
+/// O(1) eviction, an optional bytes budget, and optional (static or
+/// adaptive) segmented admission.
 #[derive(Debug)]
 pub struct ShardedLruCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
@@ -332,8 +566,14 @@ pub struct ShardedLruCache<K, V> {
     budgets: Option<Vec<u64>>,
     /// Per-shard caps on the protected segment; 0 everywhere (the
     /// default) disables segmented admission and the shard behaves as a
-    /// plain LRU.
+    /// plain LRU. Unused (the tier state's live cap rules) when
+    /// `adaptive` is set.
     protected_caps: Vec<usize>,
+    /// Whether shards carry adaptive tier state.
+    adaptive: bool,
+    /// Whether that tier state is live (tuner, sketch gate, ghosts, byte
+    /// split) or frozen for bit-compat testing.
+    tuning: bool,
     /// Computes an entry's budget cost. The default weigher costs
     /// everything 0, so a budget only binds when a real weigher is set.
     weigher: fn(&V) -> u64,
@@ -343,6 +583,10 @@ pub struct ShardedLruCache<K, V> {
     evictions: AtomicU64,
     rejected: AtomicU64,
     promoted: AtomicU64,
+    ghost_hits: AtomicU64,
+    tuner_steps: AtomicU64,
+    sketch_resets: AtomicU64,
+    admission_denied: AtomicU64,
 }
 
 fn zero_weight<V>(_: &V) -> u64 {
@@ -365,6 +609,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             capacities: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
             budgets: None,
             protected_caps: vec![0; shards],
+            adaptive: false,
+            tuning: false,
             weigher: zero_weight::<V>,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -372,24 +618,45 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             promoted: AtomicU64::new(0),
+            ghost_hits: AtomicU64::new(0),
+            tuner_steps: AtomicU64::new(0),
+            sketch_resets: AtomicU64::new(0),
+            admission_denied: AtomicU64::new(0),
         }
     }
 
-    /// Enables segmented (probation/protected) admission: each shard
-    /// reserves `protected_frac` of its capacity slice for entries that
-    /// were hit at least once after insertion. New entries start in
-    /// probation, a hit promotes ([`CacheStats::promoted`]), the protected
-    /// segment's LRU demotes back to probation when the segment overflows,
-    /// and eviction victims come from probation first — so a scan of
-    /// one-shot keys (a batch-size sweep, an admission-probe storm) cannot
-    /// flush re-referenced entries.
+    /// Applies a [`TieringMode`]: [`TieringMode::Off`] clears any
+    /// segmentation, [`TieringMode::Static`] pins a fraction (exactly
+    /// [`with_segmented_admission`](Self::with_segmented_admission)), and
+    /// [`TieringMode::Adaptive`] installs the self-tuning machinery
+    /// ([`with_adaptive_tiering`](Self::with_adaptive_tiering)).
+    #[must_use]
+    pub fn with_tiering(self, mode: TieringMode) -> Self {
+        match mode {
+            TieringMode::Off => self.clear_tiering(),
+            TieringMode::Static(frac) => self.with_segmented_admission(frac),
+            TieringMode::Adaptive { initial_frac } => self.with_adaptive_tiering(initial_frac),
+        }
+    }
+
+    /// Enables segmented (probation/protected) admission at a pinned
+    /// fraction: each shard reserves `protected_frac` of its capacity
+    /// slice for entries that were hit at least once after insertion. New
+    /// entries start in probation, a hit promotes
+    /// ([`CacheStats::promoted`]), the protected segment's LRU demotes
+    /// back to probation when the segment overflows, and eviction victims
+    /// come from probation first — so a scan of one-shot keys (a
+    /// batch-size sweep, an admission-probe storm) cannot flush
+    /// re-referenced entries.
     ///
     /// `protected_frac` is clamped to `[0.0, 1.0]`; a fraction that
     /// rounds to a zero-entry protected segment for some shard leaves
-    /// that shard in plain LRU mode.
+    /// that shard in plain LRU mode. Pinning a static fraction clears any
+    /// previously installed adaptive state.
     #[must_use]
     pub fn with_segmented_admission(mut self, protected_frac: f64) -> Self {
         let frac = protected_frac.clamp(0.0, 1.0);
+        self = self.clear_tiering();
         self.protected_caps = self
             .capacities
             .iter()
@@ -400,6 +667,56 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
                 protected.min(cap)
             })
             .collect();
+        self
+    }
+
+    /// Enables self-tuning segmented admission starting from
+    /// `initial_frac` (see the module docs and [`TieringMode::Adaptive`]):
+    /// sketch-gated admission, ghost-list feedback, and a hill-climbing
+    /// tuner over the protected fraction and bytes-budget split.
+    #[must_use]
+    pub fn with_adaptive_tiering(self, initial_frac: f64) -> Self {
+        self.install_adaptive(initial_frac, true)
+    }
+
+    /// Adaptive tiering with the tuning loop **frozen**: segment caps
+    /// come from the same integer-permille machinery, but the sketch
+    /// gate, ghost lists, tuner, and byte split are all inert — the cache
+    /// is operation-for-operation identical to
+    /// [`with_segmented_admission`](Self::with_segmented_admission) at
+    /// the same fraction. For bit-compat tests.
+    #[must_use]
+    pub fn with_adaptive_tuning_disabled(self, protected_frac: f64) -> Self {
+        self.install_adaptive(protected_frac, false)
+    }
+
+    fn install_adaptive(mut self, frac: f64, tuning: bool) -> Self {
+        self.adaptive = true;
+        self.tuning = tuning;
+        self.protected_caps = vec![0; self.shards.len()];
+        let permille = permille_from_frac(frac, tuning);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let budget = self.budgets.as_ref().map(|b| b[i]);
+            shard.lock().expect("cache shard poisoned").tier = Some(Box::new(TierState::new(
+                self.capacities[i],
+                budget,
+                permille,
+                tuning,
+            )));
+        }
+        self
+    }
+
+    /// Removes any segmentation (static or adaptive); shards behave as
+    /// plain LRUs.
+    #[must_use]
+    fn clear_tiering(mut self) -> Self {
+        self.adaptive = false;
+        self.tuning = false;
+        self.protected_caps = vec![0; self.shards.len()];
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").tier = None;
+        }
         self
     }
 
@@ -415,15 +732,24 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         let shards = self.shards.len() as u64;
         let base = total_bytes / shards;
         let extra = total_bytes % shards;
-        self.budgets = Some((0..shards).map(|i| base + u64::from(i < extra)).collect());
+        let slices: Vec<u64> = (0..shards).map(|i| base + u64::from(i < extra)).collect();
+        // Re-slice any already-installed tier state so builder order
+        // does not matter.
+        for (shard, &slice) in self.shards.iter().zip(&slices) {
+            if let Some(tier) = shard.lock().expect("cache shard poisoned").tier.as_mut() {
+                tier.set_budget(Some(slice));
+            }
+        }
+        self.budgets = Some(slices);
         self.weigher = weigher;
         self
     }
 
-    fn shard_index(&self, key: &K) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+    fn shard_index_of(&self, hash: u64) -> usize {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (hash % self.shards.len() as u64) as usize
+        }
     }
 
     /// The total configured capacity (sum of the per-shard slices).
@@ -474,7 +800,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     /// miss per query" invariant.
     #[must_use]
     pub fn peek(&self, key: &K) -> Option<V> {
-        self.shards[self.shard_index(key)]
+        let hash = key_hash(key);
+        self.shards[self.shard_index_of(hash)]
             .lock()
             .expect("cache shard poisoned")
             .peek(key)
@@ -502,15 +829,36 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         out
     }
 
+    /// Folds one operation's tier event deltas into the atomic counters.
+    fn fold_events(&self, events: TierEvents) {
+        if events.ghost_hits != 0 {
+            self.ghost_hits
+                .fetch_add(events.ghost_hits, Ordering::Relaxed);
+        }
+        if events.tuner_steps != 0 {
+            self.tuner_steps
+                .fetch_add(events.tuner_steps, Ordering::Relaxed);
+        }
+        if events.sketch_resets != 0 {
+            self.sketch_resets
+                .fetch_add(events.sketch_resets, Ordering::Relaxed);
+        }
+        if events.admission_denied != 0 {
+            self.admission_denied
+                .fetch_add(events.admission_denied, Ordering::Relaxed);
+        }
+    }
+
     /// Looks up `key`, refreshing its recency (and, in segmented mode,
     /// promoting a probation entry to the protected segment).
     #[must_use]
     pub fn get(&self, key: &K) -> Option<V> {
-        let index = self.shard_index(key);
-        let (found, promoted) = self.shards[index]
+        let hash = key_hash(key);
+        let index = self.shard_index_of(hash);
+        let (found, promoted, events) = self.shards[index]
             .lock()
             .expect("cache shard poisoned")
-            .touch(key, self.protected_caps[index]);
+            .touch(key, self.protected_caps[index], hash);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -519,24 +867,29 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         if promoted {
             self.promoted.fetch_add(1, Ordering::Relaxed);
         }
+        self.fold_events(events);
         found
     }
 
-    /// Inserts `key → value`, evicting within the shard if needed.
+    /// Inserts `key → value`, evicting within the shard if needed. On an
+    /// adaptive cache under pressure the frequency-sketch gate may refuse
+    /// a cold new key outright ([`CacheStats::admission_denied`]).
     pub fn insert(&self, key: K, value: V) {
-        let index = self.shard_index(&key);
+        let hash = key_hash(&key);
+        let index = self.shard_index_of(hash);
         let cost = (self.weigher)(&value);
         let budget = self.budgets.as_ref().map(|b| b[index]);
-        let (evicted, rejected) = self.shards[index]
+        let outcome = self.shards[index]
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value, cost, self.capacities[index], budget);
-        if rejected {
+            .insert(key, value, cost, self.capacities[index], budget, hash);
+        if outcome.rejected {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-        } else {
+        } else if !outcome.denied {
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.evictions.fetch_add(outcome.evicted, Ordering::Relaxed);
+        self.fold_events(outcome.events);
     }
 
     /// Returns the cached value for `key`, or computes, caches and returns
@@ -567,12 +920,97 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             evictions: self.evictions.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             promoted: self.promoted.load(Ordering::Relaxed),
+            ghost_hits: self.ghost_hits.load(Ordering::Relaxed),
+            tuner_steps: self.tuner_steps.load(Ordering::Relaxed),
+            sketch_resets: self.sketch_resets.load(Ordering::Relaxed),
+            admission_denied: self.admission_denied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A gauge snapshot of the cache's tier geometry and occupancy —
+    /// segment entry counts, entry/byte capacities, and the live
+    /// protected fraction — aggregated over the shards. Fuels the
+    /// `/metrics` `xmem_cache_*` gauges.
+    #[must_use]
+    pub fn tier_stats(&self) -> TierStats {
+        let mut stats = TierStats {
+            segmented: self.adaptive || self.protected_caps.iter().any(|&c| c > 0),
+            adaptive: self.adaptive,
+            capacity: self.capacity() as u64,
+            bytes_budget: self.bytes_budget().unwrap_or(0),
+            ..TierStats::default()
+        };
+        let mut permille_sum: u64 = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("cache shard poisoned");
+            stats.entries += shard.map.len() as u64;
+            stats.protected_entries += shard.protected_len as u64;
+            stats.bytes_in_use += shard.bytes;
+            if let Some(tier) = &shard.tier {
+                stats.protected_cap += tier.protected_cap as u64;
+                permille_sum += u64::from(tier.tuner.permille());
+            } else {
+                stats.protected_cap += self.protected_caps[i] as u64;
+            }
+        }
+        stats.probation_entries = stats.entries - stats.protected_entries;
+        stats.protected_frac_permille = if self.adaptive {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                (permille_sum / self.shards.len() as u64) as u32
+            }
+        } else if stats.segmented && stats.capacity > 0 {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                (stats.protected_cap * 1000 / stats.capacity) as u32
+            }
+        } else {
+            0
+        };
+        stats
+    }
+
+    /// The learned tuner state — the mean protected fraction (permille)
+    /// across shards and the maximum sketch decay epoch — or `None` when
+    /// the cache is not adaptive. Persisted so warm boots resume the
+    /// learned split instead of re-learning from the initial fraction.
+    #[must_use]
+    pub fn learned_state(&self) -> Option<(u32, u64)> {
+        if !self.adaptive {
+            return None;
+        }
+        let mut permille_sum: u64 = 0;
+        let mut epoch: u64 = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let tier = shard.tier.as_ref()?;
+            permille_sum += u64::from(tier.tuner.permille());
+            epoch = epoch.max(tier.sketch.epoch());
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Some(((permille_sum / self.shards.len() as u64) as u32, epoch))
+    }
+
+    /// Seeds every shard's tuner with a persisted learned fraction
+    /// (band-clamped) and sketch decay epoch. A no-op on non-adaptive
+    /// caches; on a live adaptive cache the new split takes effect with
+    /// the usual smoothed transitions.
+    pub fn restore_learned_state(&self, frac_permille: u32, decay_epoch: u64) {
+        if !self.adaptive {
+            return;
+        }
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            if let Some(tier) = shard.tier.as_mut() {
+                tier.restore(frac_permille, decay_epoch);
+            }
         }
     }
 
     /// Exhaustive structural self-check of every shard, used by tests: the
-    /// recency list must thread exactly the mapped nodes, and the byte
-    /// gauge must equal the sum of live costs.
+    /// recency list must thread exactly the mapped nodes, the byte gauge
+    /// must equal the sum of live costs, and on adaptive shards the
+    /// protected byte gauge must equal the protected list's cost sum.
     ///
     /// # Panics
     /// Panics on any violated invariant.
@@ -582,6 +1020,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             assert!(shard.map.len() <= capacity, "shard over capacity");
             let mut seen = 0usize;
             let mut bytes = 0u64;
+            let mut protected_bytes = 0u64;
             for segment in [PROBATION, PROTECTED] {
                 let mut segment_len = 0usize;
                 let mut prev = NIL;
@@ -598,20 +1037,41 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
                     seen += 1;
                     segment_len += 1;
                     bytes += node.cost;
+                    if segment == PROTECTED {
+                        protected_bytes += node.cost;
+                    }
                     prev = cursor;
                     cursor = node.next;
                 }
                 assert_eq!(shard.lists[segment].tail, prev, "tail must end the list");
                 if segment == PROTECTED {
                     assert_eq!(segment_len, shard.protected_len, "protected gauge drift");
-                    assert!(
-                        segment_len <= self.protected_caps[i],
-                        "protected segment over its cap"
-                    );
+                    match &shard.tier {
+                        // A live tuner shrinks caps with smoothed (one
+                        // per op) demotions, so occupancy may transiently
+                        // exceed a fresh cap; only the shard bound is hard.
+                        Some(tier) if tier.active => {
+                            assert!(segment_len <= capacity, "protected over the shard");
+                        }
+                        Some(tier) => assert!(
+                            segment_len <= tier.protected_cap,
+                            "protected segment over its frozen cap"
+                        ),
+                        None => assert!(
+                            segment_len <= self.protected_caps[i],
+                            "protected segment over its cap"
+                        ),
+                    }
                 }
             }
             assert_eq!(seen, shard.map.len(), "list/map size mismatch");
             assert_eq!(bytes, shard.bytes, "byte gauge drift");
+            if let Some(tier) = &shard.tier {
+                assert_eq!(
+                    protected_bytes, tier.protected_bytes,
+                    "protected byte gauge drift"
+                );
+            }
             assert_eq!(shard.free.len() + seen, shard.nodes.len(), "slab slot leak");
         }
     }
@@ -871,6 +1331,253 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.bytes_budget(), None);
         assert_eq!(cache.bytes_in_use(), 0, "default weigher prices 0");
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn adaptive_admission_gate_denies_cold_keys_under_pressure() {
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(4, 1).with_adaptive_tiering(0.5);
+        for k in 0..4 {
+            cache.insert(k, k);
+        }
+        // Heat the residents: their sketched frequency rises above any
+        // unseen key's.
+        for _ in 0..3 {
+            for k in 0..4 {
+                assert_eq!(cache.get(&k), Some(k));
+            }
+        }
+        // A one-shot scan now bounces off the admission gate entirely.
+        for k in 100..120 {
+            cache.insert(k, k);
+            cache.check_invariants();
+        }
+        for k in 0..4 {
+            assert_eq!(cache.peek(&k), Some(k), "hot resident displaced by scan");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "denied inserts must not evict");
+        assert_eq!(stats.admission_denied, 20);
+        assert_eq!(
+            stats.insertions, 4,
+            "denied inserts are not counted as insertions"
+        );
+    }
+
+    #[test]
+    fn adaptive_admission_admits_keys_hotter_than_the_victim() {
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(2, 1).with_adaptive_tiering(0.5);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Key 3 gets hotter than resident LRU 1 (misses still count
+        // accesses in the sketch), so its insert is admitted.
+        for _ in 0..3 {
+            assert_eq!(cache.get(&3), None);
+        }
+        cache.insert(3, 30);
+        assert_eq!(cache.peek(&3), Some(30), "hot key must be admitted");
+        assert_eq!(cache.stats().evictions, 1);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn ghost_hits_are_counted_and_consumed() {
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(2, 1).with_adaptive_tiering(0.5);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Make key 3 hot enough to displace, evicting the probation LRU.
+        for _ in 0..3 {
+            assert_eq!(cache.get(&3), None);
+        }
+        cache.insert(3, 30);
+        assert_eq!(cache.stats().evictions, 1);
+        let ghost_hits_before = cache.stats().ghost_hits;
+        // The evicted key's next miss is a ghost hit; the one after is not
+        // (the hit consumed the ghost).
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.stats().ghost_hits, ghost_hits_before + 1);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.stats().ghost_hits, ghost_hits_before + 1);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn tuner_steps_move_the_learned_fraction() {
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(8, 1).with_adaptive_tiering(0.5);
+        assert_eq!(cache.tier_stats().protected_frac_permille, 500);
+        // Resident hot set, all promoted at least once (hot).
+        for k in 0..8 {
+            cache.insert(k, k);
+        }
+        for k in 0..8 {
+            assert_eq!(cache.get(&k), Some(k));
+        }
+        // Challenger waves: heat a fresh key past the residents so the
+        // gate admits it (evicting a once-promoted resident), then
+        // re-miss the whole original set — evicted members land ghost
+        // hits on the protected history, and the windowed tuner steps
+        // the learned fraction up.
+        for wave in 0..40u32 {
+            let key = 100 + wave;
+            for _ in 0..5 {
+                let _ = cache.get(&key);
+            }
+            cache.insert(key, key);
+            for k in 0..8 {
+                let _ = cache.get(&k);
+            }
+            cache.check_invariants();
+        }
+        let stats = cache.stats();
+        assert!(stats.ghost_hits > 0, "no ghost feedback: {stats:?}");
+        assert!(stats.tuner_steps > 0, "tuner never stepped: {stats:?}");
+        assert!(
+            cache.tier_stats().protected_frac_permille > 500,
+            "protected ghost pressure must raise the learned fraction"
+        );
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn frozen_adaptive_matches_static_slru_operation_for_operation() {
+        let frozen: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(8, 1).with_adaptive_tuning_disabled(0.5);
+        let pinned: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(8, 1).with_segmented_admission(0.5);
+        for op in 0u32..2000 {
+            let key = (op * 7 + op / 3) % 24;
+            if op % 3 == 0 {
+                frozen.insert(key, op);
+                pinned.insert(key, op);
+            } else {
+                assert_eq!(frozen.get(&key), pinned.get(&key), "op {op} diverged");
+            }
+        }
+        let (f, p) = (frozen.stats(), pinned.stats());
+        assert_eq!(f, p, "frozen-adaptive counters diverged from static");
+        assert_eq!(f.ghost_hits, 0);
+        assert_eq!(f.admission_denied, 0);
+        assert_eq!(f.tuner_steps, 0);
+        frozen.check_invariants();
+        pinned.check_invariants();
+    }
+
+    #[test]
+    fn promotion_over_the_protected_byte_share_demotes_cleanly() {
+        // Budget 100, fraction 0.5 → protected byte share 50. Promoting
+        // an 80-cost entry overflows the share: it must demote back in
+        // the same operation, with both byte gauges intact (satellite
+        // regression for the bytes-budget × segmented-admission audit).
+        let cache: ShardedLruCache<u32, u64> = ShardedLruCache::new(10, 1)
+            .with_bytes_budget(100, identity_cost)
+            .with_adaptive_tiering(0.5);
+        cache.insert(1, 80);
+        assert_eq!(cache.get(&1), Some(80)); // promote: cost 80 > share 50
+        let tier = cache.tier_stats();
+        assert_eq!(
+            tier.protected_entries, 0,
+            "over-share promotion must demote back to probation"
+        );
+        assert_eq!(tier.entries, 1, "the entry itself must survive");
+        assert_eq!(tier.bytes_in_use, 80);
+        assert_eq!(cache.stats().promoted, 1, "the promotion still counted");
+        cache.check_invariants();
+        // A small entry promotes and stays; the big one keeps demoting.
+        cache.insert(2, 10);
+        assert_eq!(cache.get(&2), Some(10));
+        let tier = cache.tier_stats();
+        assert_eq!(tier.protected_entries, 1, "within-share promotion sticks");
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn byte_share_rebalances_after_cost_growth_without_stranding() {
+        // A protected resident's cost grows past the share via a
+        // replacement: the smoothed rebalance demotes it on a later
+        // operation and accounting never drifts.
+        let cache: ShardedLruCache<u32, u64> = ShardedLruCache::new(10, 1)
+            .with_bytes_budget(100, identity_cost)
+            .with_adaptive_tiering(0.5);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10)); // promote (within share)
+        assert_eq!(cache.tier_stats().protected_entries, 1);
+        cache.insert(1, 80); // replacement: now over the 50-byte share
+        cache.check_invariants();
+        let _ = cache.get(&1); // next op rebalances (demotes at most one)
+        cache.check_invariants();
+        assert_eq!(
+            cache.tier_stats().protected_entries,
+            0,
+            "over-share resident must eventually demote"
+        );
+        assert_eq!(cache.peek(&1), Some(80), "the entry itself survives");
+    }
+
+    #[test]
+    fn learned_state_round_trips_through_restore() {
+        let cache: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(16, 2).with_adaptive_tiering(0.5);
+        assert_eq!(cache.learned_state(), Some((500, 0)));
+        cache.restore_learned_state(250, 7);
+        assert_eq!(cache.learned_state(), Some((250, 7)));
+        // Out-of-band fractions clamp into the tuner band.
+        cache.restore_learned_state(0, 7);
+        assert_eq!(cache.learned_state(), Some((125, 7)));
+        // Non-adaptive caches have no learned state and ignore restores.
+        let plain: ShardedLruCache<u32, u32> = ShardedLruCache::new(16, 2);
+        assert_eq!(plain.learned_state(), None);
+        plain.restore_learned_state(250, 7);
+        assert_eq!(plain.learned_state(), None);
+    }
+
+    #[test]
+    fn tier_stats_report_geometry_for_every_mode() {
+        let off: ShardedLruCache<u32, u32> = ShardedLruCache::new(8, 2);
+        let stats = off.tier_stats();
+        assert!(!stats.segmented);
+        assert_eq!(stats.protected_frac_permille, 0);
+        assert_eq!(stats.capacity, 8);
+
+        let pinned: ShardedLruCache<u32, u32> =
+            ShardedLruCache::new(8, 2).with_segmented_admission(0.5);
+        let stats = pinned.tier_stats();
+        assert!(stats.segmented && !stats.adaptive);
+        assert_eq!(stats.protected_cap, 4);
+        assert_eq!(stats.protected_frac_permille, 500);
+
+        let adaptive: ShardedLruCache<u32, u64> = ShardedLruCache::new(8, 2)
+            .with_bytes_budget(1000, identity_cost)
+            .with_adaptive_tiering(0.5);
+        adaptive.insert(1, 30);
+        let _ = adaptive.get(&1);
+        let stats = adaptive.tier_stats();
+        assert!(stats.segmented && stats.adaptive);
+        assert_eq!(stats.bytes_budget, 1000);
+        assert_eq!(stats.bytes_in_use, 30);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.protected_entries, 1, "promoted on the hit");
+        assert_eq!(stats.probation_entries, 0);
+        assert_eq!(stats.protected_frac_permille, 500);
+    }
+
+    #[test]
+    fn budget_builder_order_does_not_matter_for_adaptive_byte_split() {
+        // Tiering installed before the budget must still learn the
+        // budget's shard slices.
+        let cache: ShardedLruCache<u32, u64> = ShardedLruCache::new(10, 1)
+            .with_adaptive_tiering(0.5)
+            .with_bytes_budget(100, identity_cost);
+        cache.insert(1, 80);
+        assert_eq!(cache.get(&1), Some(80));
+        assert_eq!(
+            cache.tier_stats().protected_entries,
+            0,
+            "byte share must bind regardless of builder order"
+        );
         cache.check_invariants();
     }
 }

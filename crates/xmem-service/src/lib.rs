@@ -63,6 +63,7 @@ mod registry;
 mod service;
 mod simcache;
 mod singleflight;
+mod tiering;
 mod timer;
 
 pub use cache::{CacheStats, ShardedLruCache};
@@ -81,3 +82,4 @@ pub use service::{
 };
 pub use simcache::{DeviceFingerprint, SimShards, SimStats};
 pub use singleflight::{FlightStats, SingleFlight};
+pub use tiering::{TierStats, TieringMode};

@@ -112,6 +112,18 @@ pub(crate) enum StateRecord {
         family: SweepKey,
         replay: ParamReplay,
     },
+    /// The learned adaptive-tiering state of one cache tier (`"stage"`,
+    /// `"replay"`, `"param"`, or `"sim"`): the mean learned protected
+    /// fraction in permille and the frequency sketch's decay epoch.
+    /// Integers only, so the record is bit-exact across round trips.
+    /// Exported **last** — after `Param`, keeping the downgrade-tolerant
+    /// prefix convention: binaries that predate the variant still
+    /// recover every earlier record kind.
+    Tuner {
+        cache: String,
+        frac_permille: u32,
+        decay_epoch: u64,
+    },
 }
 
 /// Counters and gauges describing persistence activity, surfaced through

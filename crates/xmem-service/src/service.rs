@@ -12,6 +12,7 @@ use crate::persist::{PersistStats, PersistedDevice, Persister, StateRecord};
 use crate::registry::DeviceRegistry;
 use crate::simcache::{DeviceFingerprint, SimShards, SimStats};
 use crate::singleflight::{FlightStats, SingleFlight};
+use crate::tiering::{TierStats, TieringMode};
 use crate::timer::DeadlineTimer;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -123,13 +124,13 @@ pub struct ServiceConfig {
     /// least-recently-used device shard is retired (counter history
     /// preserved). Bounds memory for registries churned programmatically.
     pub max_device_shards: usize,
-    /// Optional segmented (probation/protected) admission on the stage
-    /// cache: the fraction of each cache shard reserved for entries hit
-    /// at least once after insertion, so one-shot sweep/probe keys cannot
-    /// flush hot analyses (see
-    /// [`ShardedLruCache::with_segmented_admission`]). `None` (default)
-    /// keeps plain LRU admission.
-    pub segmented_protected_frac: Option<f64>,
+    /// Tiering policy applied to every cache tier the service owns
+    /// (stage, replay, param, and per-device sim shards): adaptive
+    /// self-tuning SLRU by default, a pinned static split via
+    /// [`with_segmented_admission`](Self::with_segmented_admission), or
+    /// [`TieringMode::Off`] for plain LRU (bit-compat baselines and
+    /// defect isolation). See [`ShardedLruCache::with_tiering`].
+    pub tiering: TieringMode,
     /// Optional state directory for crash-consistent persistence: cache
     /// inserts are journaled, snapshots compact the journal, and boot
     /// replays the on-disk state so restarts are warm (see the
@@ -165,18 +166,27 @@ impl ServiceConfig {
             retain_traces: true,
             fast_path: true,
             max_device_shards: 64,
-            segmented_protected_frac: None,
+            tiering: TieringMode::default(),
             state_dir: None,
             incremental_sweep: true,
         }
     }
 
-    /// Enables segmented (probation/protected) admission on the stage
-    /// cache (see
-    /// [`segmented_protected_frac`](Self::segmented_protected_frac)).
+    /// Pins a *static* segmented (probation/protected) split on every
+    /// cache tier, disabling the online tuner (see
+    /// [`tiering`](Self::tiering)).
     #[must_use]
     pub fn with_segmented_admission(mut self, protected_frac: f64) -> Self {
-        self.segmented_protected_frac = Some(protected_frac);
+        self.tiering = TieringMode::Static(protected_frac);
+        self
+    }
+
+    /// Overrides the tiering policy for every cache tier (see
+    /// [`tiering`](Self::tiering)). `TieringMode::Off` restores plain
+    /// LRU; `TieringMode::adaptive()` is the default.
+    #[must_use]
+    pub fn with_tiering(mut self, mode: TieringMode) -> Self {
+        self.tiering = mode;
         self
     }
 
@@ -329,17 +339,18 @@ impl EstimationService {
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         let estimator = Estimator::new(config.estimator.clone());
-        let mut cache = ShardedLruCache::new(config.cache_capacity, config.shards);
+        let tiering = config.tiering;
+        let mut cache =
+            ShardedLruCache::new(config.cache_capacity, config.shards).with_tiering(tiering);
         if let Some(budget) = config.cache_bytes_budget {
             cache = cache.with_bytes_budget(budget, stages_weight);
         }
-        if let Some(frac) = config.segmented_protected_frac {
-            cache = cache.with_segmented_admission(frac);
-        }
         let negative = NegativeCache::new(config.negative_ttl, config.negative_capacity);
         let sims = SimShards::new(config.cache_capacity, config.shards)
-            .with_max_devices(config.max_device_shards);
-        let replays = ShardedLruCache::new(config.cache_capacity, config.shards);
+            .with_max_devices(config.max_device_shards)
+            .with_tiering(tiering);
+        let replays =
+            ShardedLruCache::new(config.cache_capacity, config.shards).with_tiering(tiering);
         let mut service = EstimationService {
             config,
             estimator,
@@ -350,7 +361,7 @@ impl EstimationService {
             sim_flights: SingleFlight::new(),
             replays,
             replay_flights: SingleFlight::new(),
-            params: ShardedLruCache::new(PARAM_CACHE_CAPACITY, 4),
+            params: ShardedLruCache::new(PARAM_CACHE_CAPACITY, 4).with_tiering(tiering),
             param_flights: SingleFlight::new(),
             profiles: AtomicU64::new(0),
             persist: None,
@@ -450,16 +461,44 @@ impl EstimationService {
                     );
                     imported += 1;
                 }
+                StateRecord::Tuner {
+                    cache,
+                    frac_permille,
+                    decay_epoch,
+                } => match cache.as_str() {
+                    "stage" => {
+                        self.cache.restore_learned_state(frac_permille, decay_epoch);
+                        imported += 1;
+                    }
+                    "replay" => {
+                        self.replays
+                            .restore_learned_state(frac_permille, decay_epoch);
+                        imported += 1;
+                    }
+                    "param" => {
+                        self.params
+                            .restore_learned_state(frac_permille, decay_epoch);
+                        imported += 1;
+                    }
+                    "sim" => {
+                        self.sims.restore_learned_state(frac_permille, decay_epoch);
+                        imported += 1;
+                    }
+                    // A tier this binary does not know about (or a name
+                    // from a future version): ignore, don't refuse boot.
+                    _ => skipped += 1,
+                },
             }
         }
         (imported, skipped)
     }
 
     /// Every resident cache entry as persistence records, in snapshot
-    /// order: stage entries, unbounded replays, sim cells, then
-    /// parameterized-replay fits (each layer LRU-first, so replaying the
-    /// sequence restores recency). `Param` records come last so binaries
-    /// that predate them still recover the whole preceding prefix.
+    /// order: stage entries, unbounded replays, sim cells,
+    /// parameterized-replay fits, then learned tuner state (each cache
+    /// layer LRU-first, so replaying the sequence restores recency).
+    /// Newer record variants sort after older ones so binaries that
+    /// predate them still recover the whole preceding prefix.
     fn export_records(&self) -> Vec<StateRecord> {
         let mut records = Vec::new();
         for (job, stages) in self.cache.export() {
@@ -497,6 +536,24 @@ impl EstimationService {
                 records.push(StateRecord::Param {
                     family,
                     replay: (**fit).clone(),
+                });
+            }
+        }
+        // Tuner records come last — newest variant, same downgrade
+        // convention as `Param` above: older binaries recover the whole
+        // preceding prefix and only lose the learned splits.
+        let tuners: [(&str, Option<(u32, u64)>); 4] = [
+            ("stage", self.cache.learned_state()),
+            ("replay", self.replays.learned_state()),
+            ("param", self.params.learned_state()),
+            ("sim", self.sims.learned_state()),
+        ];
+        for (cache, state) in tuners {
+            if let Some((frac_permille, decay_epoch)) = state {
+                records.push(StateRecord::Tuner {
+                    cache: cache.to_owned(),
+                    frac_permille,
+                    decay_epoch,
                 });
             }
         }
@@ -542,6 +599,47 @@ impl EstimationService {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Counters of the unbounded-replay seed cache (the fast path's
+    /// device-independent tier).
+    #[must_use]
+    pub fn replay_cache_stats(&self) -> CacheStats {
+        self.replays.stats()
+    }
+
+    /// Counters of the parameterized-replay fit cache (the incremental
+    /// sweep's tier).
+    #[must_use]
+    pub fn param_cache_stats(&self) -> CacheStats {
+        self.params.stats()
+    }
+
+    /// Tier geometry and occupancy of the stage cache: segment
+    /// occupancy, bytes in use vs budget, and the live learned
+    /// protected fraction.
+    #[must_use]
+    pub fn stage_tier_stats(&self) -> TierStats {
+        self.cache.tier_stats()
+    }
+
+    /// Tier geometry and occupancy of the unbounded-replay cache.
+    #[must_use]
+    pub fn replay_tier_stats(&self) -> TierStats {
+        self.replays.tier_stats()
+    }
+
+    /// Tier geometry and occupancy of the parameterized-replay fit cache.
+    #[must_use]
+    pub fn param_tier_stats(&self) -> TierStats {
+        self.params.tier_stats()
+    }
+
+    /// Tier geometry and occupancy aggregated across the live per-device
+    /// simulation shards.
+    #[must_use]
+    pub fn sim_tier_stats(&self) -> TierStats {
+        self.sims.tier_stats()
     }
 
     /// Single-flight counters: leader executions vs coalesced followers.

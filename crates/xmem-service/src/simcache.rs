@@ -26,9 +26,10 @@
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::key::JobKey;
+use crate::tiering::{TierStats, TieringMode};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use xmem_core::Estimate;
 use xmem_runtime::GpuDevice;
 
@@ -142,6 +143,14 @@ pub struct SimShards {
     lock_shards: usize,
     /// Maximum live device shards; the LRU shard is retired beyond it.
     max_devices: usize,
+    /// Tiering discipline applied to every per-device LRU (the service
+    /// threads its configured mode through, so sim shards share the
+    /// adaptive tuner machinery of the other cache tiers).
+    tiering: TieringMode,
+    /// Learned tuner state restored from a persisted snapshot — also the
+    /// seed for device shards created *after* the restore, so a warm
+    /// boot's learned split applies to the whole fleet.
+    restored: Mutex<Option<(u32, u64)>>,
     /// Recency clock for the fleet cap.
     clock: AtomicU64,
     runs: AtomicU64,
@@ -170,6 +179,8 @@ impl SimShards {
             capacity,
             lock_shards,
             max_devices: usize::MAX,
+            tiering: TieringMode::Off,
+            restored: Mutex::new(None),
             clock: AtomicU64::new(0),
             runs: AtomicU64::new(0),
             fast_path: AtomicU64::new(0),
@@ -204,6 +215,16 @@ impl SimShards {
     #[must_use]
     pub fn max_devices(&self) -> usize {
         self.max_devices
+    }
+
+    /// Applies a [`TieringMode`] to every per-device LRU (existing and
+    /// future): the sim shards run the same plain/static/adaptive
+    /// discipline as the service's other cache tiers. Defaults to
+    /// [`TieringMode::Off`].
+    #[must_use]
+    pub fn with_tiering(mut self, mode: TieringMode) -> Self {
+        self.tiering = mode;
+        self
     }
 
     /// The simulation LRU for `device`, created on first use (retiring
@@ -241,11 +262,100 @@ impl SimShards {
                 self.evicted_shards.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let slot = shards.entry(fingerprint).or_insert_with(|| ShardSlot {
-            cache: Arc::new(ShardedLruCache::new(self.capacity, self.lock_shards)),
-            last_use: AtomicU64::new(tick),
+        let slot = shards.entry(fingerprint).or_insert_with(|| {
+            let cache =
+                ShardedLruCache::new(self.capacity, self.lock_shards).with_tiering(self.tiering);
+            // New shards join the fleet at the learned split, not the
+            // initial fraction, once a restore has happened.
+            if let Some((permille, epoch)) = *self.restored.lock().expect("restore seed poisoned") {
+                cache.restore_learned_state(permille, epoch);
+            }
+            ShardSlot {
+                cache: Arc::new(cache),
+                last_use: AtomicU64::new(tick),
+            }
         });
         Arc::clone(&slot.cache)
+    }
+
+    /// The aggregated learned tuner state over the fleet — the mean
+    /// learned protected fraction (permille) across live device shards
+    /// and the maximum sketch decay epoch — or `None` when the sim tier
+    /// is not adaptive. With no live shards, falls back to the restored
+    /// (or initial) state so the persisted record never regresses.
+    #[must_use]
+    pub fn learned_state(&self) -> Option<(u32, u64)> {
+        let TieringMode::Adaptive { initial_frac } = self.tiering else {
+            return None;
+        };
+        let shards = self.shards.read().expect("sim shard map poisoned");
+        let mut permille_sum: u64 = 0;
+        let mut counted: u64 = 0;
+        let mut epoch: u64 = 0;
+        for slot in shards.values() {
+            if let Some((permille, shard_epoch)) = slot.cache.learned_state() {
+                permille_sum += u64::from(permille);
+                counted += 1;
+                epoch = epoch.max(shard_epoch);
+            }
+        }
+        if let Some(mean) = permille_sum.checked_div(counted) {
+            #[allow(clippy::cast_possible_truncation)]
+            return Some((mean as u32, epoch));
+        }
+        if let Some(state) = *self.restored.lock().expect("restore seed poisoned") {
+            return Some(state);
+        }
+        Some((crate::tiering::permille_from_frac(initial_frac, true), 0))
+    }
+
+    /// Seeds every live device shard — and, via the remembered seed,
+    /// every future one — with a persisted learned fraction and sketch
+    /// decay epoch. A no-op unless the sim tier is adaptive.
+    pub fn restore_learned_state(&self, frac_permille: u32, decay_epoch: u64) {
+        if !matches!(self.tiering, TieringMode::Adaptive { .. }) {
+            return;
+        }
+        let clamped = frac_permille.clamp(
+            crate::tiering::FRAC_FLOOR_PERMILLE,
+            crate::tiering::FRAC_CEIL_PERMILLE,
+        );
+        *self.restored.lock().expect("restore seed poisoned") = Some((clamped, decay_epoch));
+        let shards = self.shards.read().expect("sim shard map poisoned");
+        for slot in shards.values() {
+            slot.cache.restore_learned_state(frac_permille, decay_epoch);
+        }
+    }
+
+    /// A tier-geometry gauge snapshot aggregated over every live device
+    /// shard (see [`ShardedLruCache::tier_stats`]): entry and byte
+    /// occupancy sum across shards, and the protected fraction is the
+    /// mean of the per-shard fractions.
+    #[must_use]
+    pub fn tier_stats(&self) -> TierStats {
+        let shards = self.shards.read().expect("sim shard map poisoned");
+        let mut out = TierStats::default();
+        let mut permille_sum: u64 = 0;
+        for slot in shards.values() {
+            let tier = slot.cache.tier_stats();
+            out.segmented |= tier.segmented;
+            out.adaptive |= tier.adaptive;
+            out.entries += tier.entries;
+            out.probation_entries += tier.probation_entries;
+            out.protected_entries += tier.protected_entries;
+            out.capacity += tier.capacity;
+            out.protected_cap += tier.protected_cap;
+            out.bytes_in_use += tier.bytes_in_use;
+            out.bytes_budget += tier.bytes_budget;
+            permille_sum += u64::from(tier.protected_frac_permille);
+        }
+        if !shards.is_empty() {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                out.protected_frac_permille = (permille_sum / shards.len() as u64) as u32;
+            }
+        }
+        out
     }
 
     /// Folds a dropped shard's counters into the monotonic history.
@@ -494,6 +604,32 @@ mod tests {
             after.invalidated_entries, 0,
             "fleet evictions are not configuration invalidations"
         );
+    }
+
+    #[test]
+    fn shards_inherit_tiering_and_restored_state_seeds_new_shards() {
+        let sims = SimShards::new(8, 1).with_tiering(TieringMode::adaptive());
+        assert_eq!(
+            sims.learned_state(),
+            Some((500, 0)),
+            "initial fraction reported before any shard exists"
+        );
+        let first = sims.shard(&device(1 << 30));
+        assert!(first.tier_stats().adaptive, "shards inherit the mode");
+        sims.restore_learned_state(250, 3);
+        assert_eq!(first.learned_state(), Some((250, 3)));
+        let second = sims.shard(&device(2 << 30));
+        assert_eq!(
+            second.learned_state(),
+            Some((250, 3)),
+            "new shards join the fleet at the learned split"
+        );
+        assert_eq!(sims.learned_state(), Some((250, 3)));
+        assert!(sims.tier_stats().adaptive);
+        // A non-adaptive fleet has no learned state to persist.
+        let plain = SimShards::new(8, 1);
+        assert_eq!(plain.learned_state(), None);
+        assert!(!plain.tier_stats().segmented);
     }
 
     #[test]

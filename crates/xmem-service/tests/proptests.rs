@@ -422,6 +422,65 @@ proptest! {
             prop_assert_eq!(stats.promoted, 0, "plain mode must never promote");
         }
     }
+
+    /// Adaptive tiering with the tuner frozen against the same SLRU
+    /// reference model, operation for operation: with tuning disabled the
+    /// sketch, ghost lists, admission gate, and byte-split are all inert,
+    /// so the machinery must be bit-identical to a static split at the
+    /// same fraction. (Eighths have exact permille representations, so
+    /// the integer tier caps equal the static path's float rounding.)
+    #[test]
+    fn frozen_adaptive_matches_the_slru_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        capacity in 1usize..24,
+        eighths in 0u32..9,
+        budget in (any::<bool>(), 1u64..400).prop_map(|(on, b)| on.then_some(b)),
+    ) {
+        let frac = f64::from(eighths) / 8.0;
+        let mut cache: ShardedLruCache<u16, u64> =
+            ShardedLruCache::new(capacity, 1).with_adaptive_tuning_disabled(frac);
+        if let Some(budget) = budget {
+            cache = cache.with_bytes_budget(budget, |v: &u64| *v);
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let protected_cap = ((capacity as f64 * frac).round() as usize).min(capacity);
+        let mut model = SegmentedModel {
+            protected_cap,
+            ..SegmentedModel::default()
+        };
+
+        for &op in &ops {
+            match op {
+                CacheOp::Get(key) => {
+                    prop_assert_eq!(cache.get(&key), model.get(key), "get({}) diverged", key);
+                }
+                CacheOp::Peek(key) => {
+                    prop_assert_eq!(cache.peek(&key), model.peek(key), "peek({}) diverged", key);
+                }
+                CacheOp::Insert(key) => {
+                    let value = op_value(key);
+                    cache.insert(key, value);
+                    let cost = if budget.is_some() { value } else { 0 };
+                    model.insert(key, value, cost, capacity, budget);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.map.len(), "resident count diverged");
+            prop_assert_eq!(cache.bytes_in_use(), model.bytes(), "byte gauge diverged");
+            cache.check_invariants();
+        }
+
+        for (&key, &(value, _, _, _)) in &model.map {
+            prop_assert_eq!(cache.peek(&key), Some(value), "model key {} missing", key);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions, model.evictions, "eviction counts diverged");
+        prop_assert_eq!(stats.rejected, model.rejected, "rejection counts diverged");
+        prop_assert_eq!(stats.promoted, model.promoted, "promotion counts diverged");
+        prop_assert_eq!(stats.ghost_hits, 0, "frozen tuner must not consult ghosts");
+        prop_assert_eq!(stats.admission_denied, 0, "frozen tuner must not gate admission");
+        prop_assert_eq!(stats.tuner_steps, 0, "frozen tuner must not step");
+    }
 }
 
 /// Registry-key names for randomly generated fleets (`GpuDevice::name`
@@ -544,8 +603,12 @@ fn eviction_and_recomputation_reproduce_identical_estimates() {
     use xmem_runtime::GpuDevice;
     use xmem_service::{EstimationService, ServiceConfig};
 
-    // Capacity 1 over 1 shard: the second spec always evicts the first.
-    let mut config = ServiceConfig::for_device(GpuDevice::rtx3060()).with_cache_capacity(1);
+    // Capacity 1 over 1 shard with plain LRU (the adaptive admission
+    // gate would deny the second key instead): the second spec always
+    // evicts the first.
+    let mut config = ServiceConfig::for_device(GpuDevice::rtx3060())
+        .with_cache_capacity(1)
+        .with_tiering(xmem_service::TieringMode::Off);
     config.shards = 1;
     let service = EstimationService::new(config);
 

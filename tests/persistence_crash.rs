@@ -381,6 +381,158 @@ fn reader_without_param_support_still_recovers_all_stage_replay_sim_entries() {
     assert_warm_boot(scratch.path(), &batches, &expected);
 }
 
+/// FNV-1a 64-bit — the persistence layer's frame checksum, duplicated
+/// here to hand-craft journal frames.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Frames `payload` as `[u32 len LE][u64 FNV-1a LE][payload]`.
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("payload fits a frame");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Walks a framed state file, returning `(start offset, variant tag)` per
+/// record frame (frame 0, the version header, is skipped).
+fn record_frames(data: &[u8]) -> Vec<(usize, String)> {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    while off + 12 <= data.len() {
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let payload =
+            std::str::from_utf8(&data[off + 12..off + 12 + len]).expect("frame payload is JSON");
+        if off > 0 {
+            let value: serde::Value = serde_json::from_str(payload).expect("frame decodes");
+            let variant = value
+                .as_object()
+                .and_then(|entries| entries.first())
+                .map(|(tag, _)| tag.clone())
+                .expect("record frames are single-variant objects");
+            frames.push((off, variant));
+        }
+        off += 12 + len;
+    }
+    assert_eq!(off, data.len(), "state file must be whole frames");
+    frames
+}
+
+/// The adaptive tuner's learned split survives restarts: a `Tuner`
+/// journal record (as a long-lived process would have written at its last
+/// snapshot) is applied at boot, visible through the tier stats, and
+/// re-exported bit-exactly by the boot compaction — *after* every other
+/// record kind, so binaries that predate the variant still recover the
+/// whole cache-state prefix.
+#[test]
+fn warm_boot_resumes_the_learned_tuner_split_and_exports_it_last() {
+    let dir = StateDir::new("tuner");
+    let batches = [4usize, 8];
+    let expected = populate(dir.path(), &batches);
+
+    // Hand-craft the learned state: a 25% protected split after three
+    // sketch decays. Appending the frame directly (rather than churning
+    // the cache until the tuner drifts) keeps the fixture exact.
+    let mut frame = Vec::new();
+    push_frame(
+        &mut frame,
+        br#"{"Tuner":{"cache":"stage","frac_permille":250,"decay_epoch":3}}"#,
+    );
+    let mut journal = fs::read(dir.path().join(JOURNAL_FILE)).expect("journal");
+    journal.extend_from_slice(&frame);
+    fs::write(dir.path().join(JOURNAL_FILE), &journal).expect("journal with tuner record");
+
+    // The warm boot resumes the learned split.
+    let service = EstimationService::new(config(dir.path()));
+    let tier = service.stage_tier_stats();
+    assert!(tier.adaptive, "the default service tier is adaptive");
+    assert_eq!(
+        tier.protected_frac_permille, 250,
+        "warm boot must resume the learned fraction"
+    );
+    drop(service);
+
+    // The boot compaction re-exported it: integers only, bit-exact, and
+    // strictly after every Stage/Replay/Sim/Param frame.
+    let snapshot = fs::read(dir.path().join(SNAPSHOT_FILE)).expect("snapshot");
+    let frames = record_frames(&snapshot);
+    let first_tuner = frames
+        .iter()
+        .find(|(_, variant)| variant == "Tuner")
+        .map(|&(start, _)| start)
+        .expect("adaptive caches must export tuner records");
+    for (start, variant) in &frames {
+        assert!(
+            variant == "Tuner" || *start < first_tuner,
+            "a {variant} record after the first Tuner breaks downgrade tolerance"
+        );
+    }
+    let stage_tuner = frames
+        .iter()
+        .filter(|(_, variant)| variant == "Tuner")
+        .map(|&(start, _)| {
+            let len = u32::from_le_bytes(snapshot[start..start + 4].try_into().expect("4 bytes"))
+                as usize;
+            std::str::from_utf8(&snapshot[start + 12..start + 12 + len]).expect("JSON")
+        })
+        .find(|payload| payload.contains("\"stage\""))
+        .expect("a stage tuner record");
+    assert!(
+        stage_tuner.contains("\"frac_permille\":250") && stage_tuner.contains("\"decay_epoch\":3"),
+        "learned state must round-trip bit-exactly, got {stage_tuner}"
+    );
+
+    // A reader that predates `Tuner` effectively boots from the prefix
+    // before the first Tuner frame: the whole cache state must still
+    // recover (it only loses the learned split).
+    let scratch = StateDir::new("tuner-prefix");
+    fs::create_dir_all(scratch.path()).expect("scratch dir");
+    fs::write(scratch.path().join(SNAPSHOT_FILE), &snapshot[..first_tuner])
+        .expect("prefix snapshot");
+    assert_warm_boot(scratch.path(), &batches, &expected);
+}
+
+/// Tuner records for cache tiers this binary does not recognize are
+/// skipped (counted), exactly like orphaned sim cells — a name from a
+/// future version must not poison boot.
+#[test]
+fn tuner_records_for_unknown_tiers_are_skipped() {
+    let dir = StateDir::new("tuner-unknown");
+    let batches = [4usize];
+    let expected = populate(dir.path(), &batches);
+    let mut frame = Vec::new();
+    push_frame(
+        &mut frame,
+        br#"{"Tuner":{"cache":"negative","frac_permille":700,"decay_epoch":1}}"#,
+    );
+    let mut journal = fs::read(dir.path().join(JOURNAL_FILE)).expect("journal");
+    journal.extend_from_slice(&frame);
+    fs::write(dir.path().join(JOURNAL_FILE), &journal).expect("journal with unknown tier");
+
+    let service = EstimationService::new(config(dir.path()));
+    let stats = service.persist_stats();
+    assert!(
+        stats.recovery_skipped > 0,
+        "unknown tier names must be counted, not fatal: {stats:?}"
+    );
+    assert_eq!(
+        service.stage_tier_stats().protected_frac_permille,
+        500,
+        "no known tier may have absorbed the unknown record"
+    );
+    for (&b, want) in batches.iter().zip(&expected) {
+        let got = service.estimate(&spec(b)).expect("warm estimate");
+        assert_eq!(&got, want);
+    }
+    assert_eq!(service.profile_runs(), 0);
+}
+
 /// Sim cells whose device fingerprint matches no registered device are
 /// skipped (counted), not resurrected against the wrong hardware.
 #[test]

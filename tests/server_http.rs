@@ -615,6 +615,20 @@ fn health_and_metrics_expose_the_counter_surface() {
         "xmem_profile_runs_total 1",
         "xmem_sim_runs_total",
         "xmem_server_draining 0",
+        // Adaptive tiering families: the estimated job sits in the stage
+        // cache's probation segment, and the tuner starts at the default
+        // 50% split on every tier.
+        "xmem_cache_entries{cache=\"stage\",segment=\"probation\"} 1",
+        "xmem_cache_entries{cache=\"stage\",segment=\"protected\"} 0",
+        "xmem_cache_adaptive{cache=\"stage\"} 1",
+        "xmem_cache_segmented{cache=\"replay\"} 1",
+        "xmem_cache_protected_frac_permille{cache=\"stage\"} 500",
+        "xmem_cache_bytes_budget{cache=\"stage\"}",
+        "xmem_cache_capacity{cache=\"param\"}",
+        "xmem_cache_ghost_hits_total{cache=\"stage\"} 0",
+        "xmem_cache_tuner_steps_total{cache=\"sim\"} 0",
+        "xmem_cache_sketch_resets_total{cache=\"stage\"} 0",
+        "xmem_cache_admission_denied_total{cache=\"stage\"} 0",
     ] {
         assert!(text.contains(needle), "metrics missing `{needle}`:\n{text}");
     }
