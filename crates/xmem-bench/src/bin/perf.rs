@@ -1,7 +1,8 @@
 //! `perf` — the estimate-serving performance harness.
 //!
 //! Times the hot paths the service layers optimize — single estimates
-//! (cold and warm), N×D matrix replay with the pressure-aware fast path
+//! (cold, warm, and warm with the full request-tracing envelope on),
+//! N×D matrix replay with the pressure-aware fast path
 //! on and off, contended simulation-cell cache hits, raw allocator replay
 //! throughput, the O(1) LRU against a scan-based reference, the
 //! crash-consistent persistence layer (snapshot write cost, warm-boot
@@ -23,7 +24,7 @@ use xmem_core::{Analyzer, Orchestrator, Simulator};
 use xmem_models::ModelId;
 use xmem_optim::OptimizerKind;
 use xmem_runtime::{profile_on_cpu, GpuDevice, TrainJobSpec};
-use xmem_service::{EstimationService, ServiceConfig, ShardedLruCache};
+use xmem_service::{EstimationService, ServiceConfig, ShardedLruCache, Telemetry, TelemetryConfig};
 
 /// One timed benchmark.
 #[derive(Debug, Serialize)]
@@ -78,6 +79,11 @@ struct Derived {
     /// replay) sweep time, both cold: the win of profiling 3 anchors and
     /// deriving every other batch point instead of profiling all of them.
     sweep_incremental_speedup: f64,
+    /// Warm-estimate slowdown with request tracing on, in percent:
+    /// `(estimate_warm_traced - estimate_warm) / estimate_warm * 100`.
+    /// The telemetry contract is "free enough to leave on"; the harness
+    /// asserts this stays ≤ 5%.
+    tracing_overhead_pct: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -221,9 +227,32 @@ fn main() {
     });
     let cold_ns = cold.ns_per_op;
     benchmarks.push(cold);
-    benchmarks.push(bench("estimate_warm", "estimate", warm_reps, || {
+    let warm = bench("estimate_warm", "estimate", warm_reps, || {
         service.estimate(&single).expect("estimates");
-    }));
+    });
+    let warm_ns = warm.ns_per_op;
+    benchmarks.push(warm);
+
+    // --- tracing overhead on the warm path ---------------------------------
+    // The same warm estimate with the full request-telemetry envelope a
+    // served request pays: trace begun, every pipeline span recorded,
+    // trace finished into the ring + stage histograms. The contract is
+    // that tracing is cheap enough to leave on in production.
+    let tracing_overhead_pct = {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        let traced = bench("estimate_warm_traced", "estimate", warm_reps, || {
+            let ctx = telemetry.begin_trace(None);
+            service.estimate_traced(&single, &ctx).expect("estimates");
+            telemetry.finish(&ctx, "BENCH", "/v1/estimate", 200, false);
+        });
+        let pct = (traced.ns_per_op - warm_ns) / warm_ns.max(1.0) * 100.0;
+        benchmarks.push(traced);
+        assert!(
+            pct <= 5.0,
+            "tracing overhead on the warm path must stay within 5% (measured {pct:.2}%)"
+        );
+        pct
+    };
 
     // --- N x D matrix replay: fast path vs forced full replays -----------
     let fast_service = EstimationService::for_device(GpuDevice::rtx3060());
@@ -487,16 +516,18 @@ fn main() {
             lru_o1_speedup_vs_scan,
             warm_restart_first_estimate_speedup,
             sweep_incremental_speedup,
+            tracing_overhead_pct,
         },
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write benchmark report");
     println!(
-        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x | warm restart {:.0}x | incremental sweep {:.2}x",
+        "fast-path speedup {:.2}x | O(1) LRU vs scan {:.2}x | warm restart {:.0}x | incremental sweep {:.2}x | tracing overhead {:.2}%",
         report.derived.matrix_fast_path_speedup,
         report.derived.lru_o1_speedup_vs_scan,
         report.derived.warm_restart_first_estimate_speedup,
-        report.derived.sweep_incremental_speedup
+        report.derived.sweep_incremental_speedup,
+        report.derived.tracing_overhead_pct
     );
     println!("wrote {out}");
 }

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use xmem_core::{AnalysisStats, DeviceMatrix, DevicePlacement, Estimate, EstimateError};
 use xmem_runtime::TrainJobSpec;
 use xmem_service::jobspec::{self, job_from_value, usize_field};
-use xmem_service::{AsyncEstimationService, SubmitError};
+use xmem_service::{AsyncEstimationService, SubmitError, TraceContext};
 
 /// Renders a stable JSON error body.
 #[must_use]
@@ -377,7 +377,11 @@ where
 /// "name"}`); answers the estimate on the service's default device, or on
 /// the named registered device.
 #[must_use]
-pub fn handle_estimate(service: &AsyncEstimationService, request: &Request) -> Response {
+pub fn handle_estimate(
+    service: &AsyncEstimationService,
+    request: &Request,
+    ctx: &TraceContext,
+) -> Response {
     let (deadline, body) = match (deadline_of(request), body_json(request)) {
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
@@ -390,19 +394,18 @@ pub fn handle_estimate(service: &AsyncEstimationService, request: &Request) -> R
         Ok(d) => d,
         Err(e) => return e,
     };
-    let submitted = match (&device, deadline) {
-        (Some(name), Some(deadline)) => service.submit_on_with_deadline(&spec, name, deadline),
-        (Some(name), None) => service.submit_on(&spec, name),
-        (None, Some(deadline)) => service.submit_with_deadline(&spec, deadline),
-        (None, None) => service.submit(&spec),
-    };
+    let submitted = service.submit_traced(&spec, device.as_deref(), deadline, ctx);
     settle(submitted, estimate_body)
 }
 
 /// `POST /v1/matrix` — body: `{"jobs": [job, ...], "devices": ["name",
 /// ...]?}`; devices default to every registered device.
 #[must_use]
-pub fn handle_matrix(service: &AsyncEstimationService, request: &Request) -> Response {
+pub fn handle_matrix(
+    service: &AsyncEstimationService,
+    request: &Request,
+    ctx: &TraceContext,
+) -> Response {
     let (deadline, body) = match (deadline_of(request), body_json(request)) {
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
@@ -440,16 +443,17 @@ pub fn handle_matrix(service: &AsyncEstimationService, request: &Request) -> Res
         return bad_request("no devices to simulate against");
     }
     let names: Vec<&str> = devices.iter().map(String::as_str).collect();
-    let submitted = match deadline {
-        Some(deadline) => service.submit_matrix_with_deadline(&specs, &names, deadline),
-        None => service.submit_matrix(&specs, &names),
-    };
+    let submitted = service.matrix_traced(&specs, &names, deadline, ctx);
     settle(submitted, matrix_body)
 }
 
 /// `POST /v1/sweep` — body: `{"job": job, "batches": [n, ...]}`.
 #[must_use]
-pub fn handle_sweep(service: &AsyncEstimationService, request: &Request) -> Response {
+pub fn handle_sweep(
+    service: &AsyncEstimationService,
+    request: &Request,
+    ctx: &TraceContext,
+) -> Response {
     let (deadline, body) = match (deadline_of(request), body_json(request)) {
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
@@ -484,10 +488,7 @@ pub fn handle_sweep(service: &AsyncEstimationService, request: &Request) -> Resp
         Ok(spec) => spec,
         Err(e) => return e,
     };
-    let submitted = match deadline {
-        Some(deadline) => service.sweep_async_with_deadline(&spec, &batches, deadline),
-        None => service.sweep_async(&spec, &batches),
-    };
+    let submitted = service.sweep_traced(&spec, &batches, deadline, ctx);
     match submitted {
         Err(SubmitError::Busy) => busy_response(),
         Ok(future) => match future.wait() {
@@ -501,7 +502,11 @@ pub fn handle_sweep(service: &AsyncEstimationService, request: &Request) -> Resp
 /// "max": 1024?}`; answers admission control
 /// ([`max_batch_for_device`](xmem_service::EstimationService::max_batch_for_device)).
 #[must_use]
-pub fn handle_plan(service: &AsyncEstimationService, request: &Request) -> Response {
+pub fn handle_plan(
+    service: &AsyncEstimationService,
+    request: &Request,
+    ctx: &TraceContext,
+) -> Response {
     let (deadline, body) = match (deadline_of(request), body_json(request)) {
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
@@ -530,19 +535,18 @@ pub fn handle_plan(service: &AsyncEstimationService, request: &Request) -> Respo
         Ok(spec) => spec,
         Err(e) => return e,
     };
-    let submitted = match deadline {
-        Some(deadline) => {
-            service.max_batch_for_device_async_with_deadline(&spec, device, lo, hi, deadline)
-        }
-        None => service.max_batch_for_device_async(&spec, device, lo, hi),
-    };
+    let submitted = service.plan_traced(&spec, device, lo, hi, deadline, ctx);
     settle(submitted, |max_batch| plan_body(*max_batch))
 }
 
 /// `POST /v1/best-device` — body: a job object (or `{"job": ...}`);
 /// answers best-fit placement across the registered fleet.
 #[must_use]
-pub fn handle_best_device(service: &AsyncEstimationService, request: &Request) -> Response {
+pub fn handle_best_device(
+    service: &AsyncEstimationService,
+    request: &Request,
+    ctx: &TraceContext,
+) -> Response {
     let (deadline, body) = match (deadline_of(request), body_json(request)) {
         (Err(e), _) | (_, Err(e)) => return e,
         (Ok(d), Ok(b)) => (d, b),
@@ -551,9 +555,6 @@ pub fn handle_best_device(service: &AsyncEstimationService, request: &Request) -
         Ok(spec) => spec,
         Err(e) => return e,
     };
-    let submitted = match deadline {
-        Some(deadline) => service.best_device_for_job_async_with_deadline(&spec, deadline),
-        None => service.best_device_for_job_async(&spec),
-    };
+    let submitted = service.placement_traced(&spec, deadline, ctx);
     settle(submitted, |placement| placement_body(placement.as_ref()))
 }

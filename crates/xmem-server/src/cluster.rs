@@ -36,7 +36,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 use xmem_runtime::TrainJobSpec;
 use xmem_service::jobspec::job_from_value_with_batch;
-use xmem_service::{hash_family, hash_job, HashRing, JobKey, SweepKey};
+use xmem_service::{hash_family, hash_job, HashRing, JobKey, SweepKey, TraceContext, TRACE_HEADER};
 
 /// Shared-secret ingress header. When a node has a cluster configured,
 /// every `/v1` request must carry it; `/healthz` and `/metrics` stay
@@ -173,13 +173,25 @@ impl ClusterState {
     }
 
     /// Forwards `request` verbatim to the ring node at `owner` — same
-    /// method/path/body, plus the auth secret, the hop guard, and a
+    /// method/path/body, plus the auth secret, the hop guard, the trace
+    /// id (so the remote hop records under the same trace), and the
     /// propagated deadline. `None` means the exchange failed transport
     /// and the owner was marked down; the caller answers locally.
+    ///
+    /// `elapsed` is how long this hop has already held the request: the
+    /// forwarded deadline budget is decremented by it, so a relayed
+    /// request can never be granted more time than the origin has left.
     #[must_use]
-    pub fn forward(&self, owner: usize, request: &Request) -> Option<ClientResponse> {
+    pub fn forward(
+        &self,
+        owner: usize,
+        request: &Request,
+        ctx: &TraceContext,
+        elapsed: Duration,
+    ) -> Option<ClientResponse> {
         let peer = &self.peers[owner];
         self.forwards_total.fetch_add(1, Ordering::Relaxed);
+        let mut span = ctx.span("cluster.forward");
         let mut pooled = peer
             .client
             .lock()
@@ -187,7 +199,20 @@ impl ClusterState {
         if pooled.is_none() {
             *pooled = connect_peer(&peer.addr);
         }
-        let deadline = request.header(api::DEADLINE_HEADER).map(str::to_string);
+        let deadline = request
+            .header(api::DEADLINE_HEADER)
+            .map(|raw| match raw.parse::<u64>() {
+                // Spend this hop's elapsed time before relaying the
+                // budget; the remote hop answers 504 when nothing is
+                // left, exactly as this hop would have.
+                Ok(ms) => ms
+                    .saturating_sub(u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX))
+                    .to_string(),
+                // Non-numeric budgets relay verbatim: the remote's
+                // `deadline_of` owns the 400 shape.
+                Err(_) => raw.to_string(),
+            });
+        let trace_id = ctx.trace_id_hex();
         let outcome = pooled.as_mut().and_then(|client| {
             let mut headers: Vec<(&str, &str)> = vec![
                 ("content-type", "application/json"),
@@ -197,16 +222,23 @@ impl ClusterState {
             if let Some(ms) = &deadline {
                 headers.push((api::DEADLINE_HEADER, ms));
             }
+            if let Some(id) = &trace_id {
+                headers.push((TRACE_HEADER, id));
+            }
             client
                 .request(&request.method, request.path(), &headers, &request.body)
                 .ok()
         });
         match outcome {
-            Some(response) => Some(response),
+            Some(response) => {
+                span.set_outcome("forwarded");
+                Some(response)
+            }
             None => {
                 *pooled = None;
                 peer.up.store(false, Ordering::Relaxed);
                 self.forward_failures.fetch_add(1, Ordering::Relaxed);
+                span.set_outcome("fallback");
                 None
             }
         }
@@ -576,6 +608,129 @@ mod tests {
         state.probe_down_peers();
         assert!(state.peer_up(peer), "an answering peer must flip back up");
         serve.join().expect("probe target thread");
+    }
+
+    /// Serves `hops` forwarded exchanges on a fresh listener, sending
+    /// each captured request head (as text) down the channel.
+    fn capture_forwards(
+        hops: usize,
+    ) -> (
+        String,
+        std::sync::mpsc::Receiver<String>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake owner");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let serve = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < hops {
+                let (mut stream, _) = listener.accept().expect("accept forward");
+                let mut seen = Vec::new();
+                let mut buf = [0u8; 1024];
+                // The forwarded body is tiny; read until the head
+                // terminator has arrived (the test only inspects headers).
+                while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let n = stream.read(&mut buf).expect("read forward");
+                    if n == 0 {
+                        break;
+                    }
+                    seen.extend_from_slice(&buf[..n]);
+                }
+                if seen.is_empty() {
+                    // `connect_peer` reachability probe: a bare connect
+                    // that closes without sending a request.
+                    continue;
+                }
+                tx.send(String::from_utf8_lossy(&seen).into_owned())
+                    .expect("report head");
+                let _ = stream.write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+                      content-length: 2\r\nconnection: close\r\n\r\n{}",
+                );
+                served += 1;
+            }
+        });
+        (addr, rx, serve)
+    }
+
+    /// The header a captured request head carried, if any.
+    fn head_header(head: &str, name: &str) -> Option<String> {
+        head.lines().find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            (n.eq_ignore_ascii_case(name)).then(|| v.trim().to_string())
+        })
+    }
+
+    #[test]
+    fn forward_decrements_the_deadline_budget_by_time_already_spent() {
+        let (addr, rx, serve) = capture_forwards(3);
+        let state = ClusterState::new(&ClusterConfig {
+            self_addr: "127.0.0.1:1".to_string(),
+            peers: vec![addr.clone()],
+            auth_token: "secret".to_string(),
+        })
+        .expect("valid config");
+        let owner = state.ring().index_of(&addr).expect("owner in ring");
+        let request_with_deadline = |deadline: &str| Request {
+            method: "POST".to_string(),
+            target: "/v1/estimate".to_string(),
+            headers: vec![
+                ("content-type".to_string(), "application/json".to_string()),
+                (api::DEADLINE_HEADER.to_string(), deadline.to_string()),
+            ],
+            body: b"{}".to_vec(),
+            http11: true,
+        };
+        let ctx = TraceContext::disabled();
+
+        // 40 of the 50ms budget already burned at this hop: the peer
+        // must see only the remaining 10.
+        let answer = state.forward(
+            owner,
+            &request_with_deadline("50"),
+            &ctx,
+            Duration::from_millis(40),
+        );
+        assert!(answer.is_some(), "fake owner answered");
+        let head = rx.recv().expect("captured head");
+        assert_eq!(
+            head_header(&head, api::DEADLINE_HEADER).as_deref(),
+            Some("10"),
+            "head: {head}"
+        );
+
+        // A near-expired budget saturates at zero rather than
+        // underflowing or vanishing — the remote still sees the header
+        // and issues its own 504.
+        let _ = state.forward(
+            owner,
+            &request_with_deadline("50"),
+            &ctx,
+            Duration::from_millis(75),
+        );
+        let head = rx.recv().expect("captured head");
+        assert_eq!(
+            head_header(&head, api::DEADLINE_HEADER).as_deref(),
+            Some("0"),
+            "head: {head}"
+        );
+
+        // A non-numeric value relays verbatim: the remote's own parser
+        // owns the 400.
+        let _ = state.forward(
+            owner,
+            &request_with_deadline("soonish"),
+            &ctx,
+            Duration::from_millis(5),
+        );
+        let head = rx.recv().expect("captured head");
+        assert_eq!(
+            head_header(&head, api::DEADLINE_HEADER).as_deref(),
+            Some("soonish"),
+            "head: {head}"
+        );
+        serve.join().expect("fake owner thread");
     }
 
     #[test]

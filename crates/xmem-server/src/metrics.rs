@@ -101,12 +101,14 @@ pub enum Route {
     Metrics,
     /// `POST /v1/shutdown`
     Shutdown,
+    /// `GET /v1/debug/traces`
+    DebugTraces,
     /// Anything that matched no route (404/405 answers).
     Unmatched,
 }
 
 /// Every route, in rendering order.
-pub const ROUTES: [Route; 9] = [
+pub const ROUTES: [Route; 10] = [
     Route::Estimate,
     Route::Matrix,
     Route::Sweep,
@@ -115,6 +117,7 @@ pub const ROUTES: [Route; 9] = [
     Route::Healthz,
     Route::Metrics,
     Route::Shutdown,
+    Route::DebugTraces,
     Route::Unmatched,
 ];
 
@@ -131,6 +134,7 @@ impl Route {
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
             Route::Shutdown => "shutdown",
+            Route::DebugTraces => "debug_traces",
             Route::Unmatched => "unmatched",
         }
     }

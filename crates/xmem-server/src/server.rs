@@ -40,7 +40,9 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xmem_service::AsyncEstimationService;
+use xmem_service::{
+    AsyncEstimationService, Telemetry, TelemetryConfig, TraceContext, TRACE_HEADER,
+};
 
 /// How often blocked reads wake up to re-check the drain flag and idle
 /// budget.
@@ -64,11 +66,17 @@ pub struct ServerConfig {
     /// During drain, how long a worker waits for the rest of a
     /// mid-transmission request before giving up on the connection.
     pub drain_timeout: Duration,
+    /// The telemetry sink: per-request traces, stage histograms, and the
+    /// request log. Enabled by default (ring + histograms; the request
+    /// log defaults to [`xmem_service::LogLevel::Off`], so embedded and
+    /// test servers stay silent).
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServerConfig {
     /// 64 connection workers, a 128-deep accept queue, default wire
-    /// limits, 30 s keep-alive idle budget, 5 s drain grace.
+    /// limits, 30 s keep-alive idle budget, 5 s drain grace, telemetry
+    /// on (silent request log).
     fn default() -> Self {
         ServerConfig {
             workers: 64,
@@ -76,6 +84,7 @@ impl Default for ServerConfig {
             limits: WireLimits::default(),
             keep_alive_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
+            telemetry: Telemetry::new(TelemetryConfig::default()),
         }
     }
 }
@@ -115,6 +124,14 @@ impl ServerConfig {
         self.drain_timeout = timeout;
         self
     }
+
+    /// Overrides the telemetry sink (e.g. a logging one from the CLI, or
+    /// [`Telemetry::disabled`] to turn tracing off entirely).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// State shared by the acceptor, the workers, and the handle.
@@ -123,7 +140,13 @@ struct Shared {
     service: Arc<AsyncEstimationService>,
     config: ServerConfig,
     metrics: ServerMetrics,
+    /// The telemetry sink (mirrors `config.telemetry`; kept separate for
+    /// direct access on the hot path).
+    telemetry: Telemetry,
     addr: SocketAddr,
+    /// When the server bound its listener — the uptime epoch `/healthz`
+    /// reports.
+    started: Instant,
     draining: AtomicBool,
     /// Signals [`ServerHandle::wait`]ers when a drain is triggered.
     drain_signal: (Mutex<bool>, Condvar),
@@ -204,9 +227,11 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             service,
+            telemetry: config.telemetry.clone(),
             config: config.clone(),
             metrics: ServerMetrics::new(),
             addr,
+            started: Instant::now(),
             draining: AtomicBool::new(false),
             drain_signal: (Mutex::new(false), Condvar::new()),
             cluster: RwLock::new(None),
@@ -288,6 +313,12 @@ impl ServerHandle {
     #[must_use]
     pub fn metrics(&self) -> &ServerMetrics {
         &self.shared.metrics
+    }
+
+    /// This server's telemetry sink (trace ring + stage histograms).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// The served estimation service.
@@ -505,10 +536,21 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 /// connection.
 fn serve_request(shared: &Shared, stream: &mut TcpStream, request: &wire::Request) -> bool {
     let started = Instant::now();
-    let (route, response) = respond(shared, request);
+    // Adopt the trace id a forwarding hop (or tracing-aware client) sent;
+    // otherwise this request starts a fresh trace.
+    let ctx = shared.telemetry.begin_trace(request.header(TRACE_HEADER));
+    let (route, response) = respond(shared, request, &ctx, started);
     shared
         .metrics
         .record_request(route, response.status, started.elapsed());
+    let forwarded = request.header(cluster::FORWARDED_HEADER).is_some();
+    shared.telemetry.finish(
+        &ctx,
+        &request.method,
+        request.path(),
+        response.status,
+        forwarded,
+    );
     // A drain observed after this request was parsed still answers it —
     // that is the "drain in-flight" contract — but closes afterwards.
     let keep_alive = request.wants_keep_alive() && !shared.draining();
@@ -537,6 +579,7 @@ fn route_of(path: &str) -> Route {
         "/v1/plan" => Route::Plan,
         "/v1/best-device" => Route::BestDevice,
         "/v1/shutdown" => Route::Shutdown,
+        "/v1/debug/traces" => Route::DebugTraces,
         _ => Route::Unmatched,
     }
 }
@@ -552,6 +595,8 @@ fn cluster_route(
     shared: &Shared,
     cluster: &ClusterState,
     request: &wire::Request,
+    ctx: &TraceContext,
+    received: Instant,
 ) -> Option<Response> {
     let path = request.path();
     let body: serde::Value = std::str::from_utf8(&request.body)
@@ -581,14 +626,16 @@ fn cluster_route(
             .service()
             .cached_cell_estimate(&spec, device.as_deref())
         {
+            ctx.event("cache.sim", "cell-hit");
             return Some(Response::json(200, api::estimate_body(&estimate)));
         }
     }
     if !cluster.peer_up(owner) {
         cluster.note_local_fallback();
+        ctx.event("cluster.forward", "fallback");
         return None;
     }
-    let response = match cluster.forward(owner, request) {
+    let response = match cluster.forward(owner, request, ctx, received.elapsed()) {
         Some(response) => response,
         None => {
             cluster.note_local_fallback();
@@ -618,8 +665,60 @@ fn cluster_route(
     Some(cluster::relay_response(&response))
 }
 
+/// Renders the `/healthz` JSON body: liveness status, crate version,
+/// uptime, and the node's cluster role (`null` when single-node).
+fn healthz_body(shared: &Shared, cluster_view: Option<&Arc<ClusterState>>) -> String {
+    let status = if shared.draining() { "draining" } else { "ok" };
+    let uptime = shared.started.elapsed().as_secs();
+    let cluster_json = match cluster_view {
+        Some(cluster) => format!(
+            "{{\"peers\":{},\"self\":{}}}",
+            cluster.ring().len() - 1,
+            wire::json_string(cluster.ring().node(cluster.self_index())),
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"status\":\"{status}\",\"version\":\"{}\",\"uptime_seconds\":{uptime},\"cluster\":{cluster_json}}}",
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
+/// Answers `GET /v1/debug/traces`: the last-N completed traces, newest
+/// first, optionally filtered to requests slower than `?slow_ms=`.
+fn debug_traces_response(shared: &Shared, request: &wire::Request) -> Response {
+    /// Traces returned when `?n=` is absent.
+    const DEFAULT_LAST_N: usize = 64;
+    let query = request
+        .target
+        .split_once('?')
+        .map_or("", |(_, query)| query);
+    let mut last_n = DEFAULT_LAST_N;
+    let mut slow_ms = None;
+    for pair in query.split('&').filter(|pair| !pair.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "n" => match value.parse() {
+                Ok(n) => last_n = n,
+                Err(_) => return api::bad_request("`n` must be a non-negative integer"),
+            },
+            "slow_ms" => match value.parse() {
+                Ok(ms) => slow_ms = Some(ms),
+                Err(_) => return api::bad_request("`slow_ms` must be a non-negative integer"),
+            },
+            other => return api::bad_request(&format!("unknown query parameter `{other}`")),
+        }
+    }
+    Response::json(200, shared.telemetry.traces_json(last_n, slow_ms))
+}
+
 /// The route table.
-fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
+fn respond(
+    shared: &Shared,
+    request: &wire::Request,
+    ctx: &TraceContext,
+    received: Instant,
+) -> (Route, Response) {
     let service = &shared.service;
     let cluster_view = shared.cluster();
     if let Some(cluster) = &cluster_view {
@@ -640,33 +739,33 @@ fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
             // re-forwarded — loops are impossible by construction.
             cluster.note_forwarded_request();
         } else if request.method == "POST" {
-            if let Some(response) = cluster_route(shared, cluster, request) {
+            if let Some(response) = cluster_route(shared, cluster, request, ctx, received) {
                 return (route_of(request.path()), response);
             }
         }
     }
     match (request.method.as_str(), request.path()) {
-        ("GET", "/healthz") => {
-            let status = if shared.draining() { "draining" } else { "ok" };
-            (
-                Route::Healthz,
-                Response::json(200, format!("{{\"status\":\"{status}\"}}")),
-            )
-        }
+        ("GET", "/healthz") => (
+            Route::Healthz,
+            Response::json(200, healthz_body(shared, cluster_view.as_ref())),
+        ),
         ("GET", "/metrics") => {
             let mut exposition = shared.metrics.render_prometheus(service.service());
             if let Some(cluster) = &cluster_view {
                 exposition.push_str(&cluster.render_prometheus());
             }
+            shared.telemetry.render_prometheus(&mut exposition);
             (Route::Metrics, Response::text(200, exposition))
         }
-        ("POST", "/v1/estimate") => (Route::Estimate, api::handle_estimate(service, request)),
-        ("POST", "/v1/matrix") => (Route::Matrix, api::handle_matrix(service, request)),
-        ("POST", "/v1/sweep") => (Route::Sweep, api::handle_sweep(service, request)),
-        ("POST", "/v1/plan") => (Route::Plan, api::handle_plan(service, request)),
-        ("POST", "/v1/best-device") => {
-            (Route::BestDevice, api::handle_best_device(service, request))
-        }
+        ("GET", "/v1/debug/traces") => (Route::DebugTraces, debug_traces_response(shared, request)),
+        ("POST", "/v1/estimate") => (Route::Estimate, api::handle_estimate(service, request, ctx)),
+        ("POST", "/v1/matrix") => (Route::Matrix, api::handle_matrix(service, request, ctx)),
+        ("POST", "/v1/sweep") => (Route::Sweep, api::handle_sweep(service, request, ctx)),
+        ("POST", "/v1/plan") => (Route::Plan, api::handle_plan(service, request, ctx)),
+        ("POST", "/v1/best-device") => (
+            Route::BestDevice,
+            api::handle_best_device(service, request, ctx),
+        ),
         ("POST", "/v1/shutdown") => {
             shared.trigger_drain();
             (
@@ -677,7 +776,7 @@ fn respond(shared: &Shared, request: &wire::Request) -> (Route, Response) {
         (
             _,
             "/healthz" | "/metrics" | "/v1/estimate" | "/v1/matrix" | "/v1/sweep" | "/v1/plan"
-            | "/v1/best-device" | "/v1/shutdown",
+            | "/v1/best-device" | "/v1/shutdown" | "/v1/debug/traces",
         ) => (
             Route::Unmatched,
             Response::json(405, api::error_body("method_not_allowed", "wrong method")),

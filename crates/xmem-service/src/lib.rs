@@ -63,6 +63,7 @@ mod registry;
 mod service;
 mod simcache;
 mod singleflight;
+pub mod telemetry;
 mod tiering;
 mod timer;
 
@@ -82,4 +83,8 @@ pub use service::{
 };
 pub use simcache::{DeviceFingerprint, SimShards, SimStats};
 pub use singleflight::{FlightStats, SingleFlight};
+pub use telemetry::{
+    CompletedTrace, LogLevel, Span, SpanRecord, Telemetry, TelemetryConfig, TraceContext,
+    TRACE_HEADER,
+};
 pub use tiering::{TierStats, TieringMode};

@@ -12,6 +12,7 @@ use crate::persist::{PersistStats, PersistedDevice, Persister, StateRecord};
 use crate::registry::DeviceRegistry;
 use crate::simcache::{DeviceFingerprint, SimShards, SimStats};
 use crate::singleflight::{FlightStats, SingleFlight};
+use crate::telemetry::TraceContext;
 use crate::tiering::{TierStats, TieringMode};
 use crate::timer::DeadlineTimer;
 use std::path::PathBuf;
@@ -733,14 +734,35 @@ impl EstimationService {
     /// Propagates Analyzer failures for degenerate jobs (possibly from
     /// the negative cache).
     pub fn stages(&self, spec: &TrainJobSpec) -> Result<Arc<ProfiledStages>, EstimateError> {
+        self.stages_traced(spec, &TraceContext::disabled())
+    }
+
+    /// [`stages`](Self::stages) under a request trace: cache hits,
+    /// single-flight coalescing, and the profile/analyze stages record
+    /// spans into `ctx`. A disabled context makes this identical to the
+    /// untraced path.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for degenerate jobs (possibly from
+    /// the negative cache).
+    pub fn stages_traced(
+        &self,
+        spec: &TrainJobSpec,
+        ctx: &TraceContext,
+    ) -> Result<Arc<ProfiledStages>, EstimateError> {
         let key = JobKey::of(spec);
         if let Some(hit) = self.cache.get(&key) {
+            ctx.event("cache.stage", "hit");
             return Ok(hit);
         }
         if let Some(error) = self.negative.get(&key) {
+            ctx.event("cache.negative", "hit");
             return Err(error);
         }
-        self.flights.run(&key, || {
+        ctx.event("cache.stage", "miss");
+        let mut leader = false;
+        let result = self.flights.run(&key, || {
+            leader = true;
             // Winning leadership races a just-retired flight for the same
             // key: its leader published before retiring, so re-check both
             // caches before paying for a profile run.
@@ -751,9 +773,15 @@ impl EstimationService {
                 return Err(error);
             }
             self.profiles.fetch_add(1, Ordering::Relaxed);
-            let trace = profile_on_cpu(spec);
+            let trace = {
+                let _span = ctx.span("stage.profile");
+                profile_on_cpu(spec)
+            };
+            let mut analyze = ctx.span("stage.analyze");
             match Analyzer::new().analyze(&trace) {
                 Ok(analyzed) => {
+                    analyze.set_outcome("ok");
+                    drop(analyze);
                     let stages = Arc::new(ProfiledStages {
                         trace: self.config.retain_traces.then_some(trace),
                         analyzed,
@@ -764,15 +792,22 @@ impl EstimationService {
                             job: key.clone(),
                             analyzed: stages.analyzed.clone(),
                         });
+                        ctx.event("persist.journal", "stage");
                     }
                     Ok(stages)
                 }
                 Err(error) => {
+                    analyze.set_outcome("error");
+                    drop(analyze);
                     self.negative.insert(key.clone(), error.clone());
                     Err(error)
                 }
             }
-        })
+        });
+        if !leader {
+            ctx.event("flight.stage", "coalesced");
+        }
+        result
     }
 
     /// Estimates `spec`'s peak GPU memory on the service's device,
@@ -784,7 +819,19 @@ impl EstimationService {
     /// # Errors
     /// Propagates Analyzer failures for degenerate jobs.
     pub fn estimate(&self, spec: &TrainJobSpec) -> Result<Estimate, EstimateError> {
-        let stages = self.stages(spec)?;
+        self.estimate_traced(spec, &TraceContext::disabled())
+    }
+
+    /// [`estimate`](Self::estimate) under a request trace.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures for degenerate jobs.
+    pub fn estimate_traced(
+        &self,
+        spec: &TrainJobSpec,
+        ctx: &TraceContext,
+    ) -> Result<Estimate, EstimateError> {
+        let stages = self.stages_traced(spec, ctx)?;
         Ok(self.estimator.estimate_analyzed(&stages.analyzed))
     }
 
@@ -822,8 +869,14 @@ impl EstimationService {
     ///
     /// Concurrent identical cells single-flight onto one simulation;
     /// repeats hit the device's shard.
-    fn simulate_on(&self, key: &JobKey, stages: &ProfiledStages, device: GpuDevice) -> Estimate {
-        self.simulate_on_with(key, stages, device, true)
+    fn simulate_on(
+        &self,
+        key: &JobKey,
+        stages: &ProfiledStages,
+        device: GpuDevice,
+        ctx: &TraceContext,
+    ) -> Estimate {
+        self.simulate_on_with(key, stages, device, true, ctx)
     }
 
     /// [`simulate_on`](Self::simulate_on) with control over *seeding* the
@@ -839,25 +892,30 @@ impl EstimationService {
         stages: &ProfiledStages,
         device: GpuDevice,
         seed: bool,
+        ctx: &TraceContext,
     ) -> Estimate {
         if let Some(hit) = self.sims.shard(&device).get(key) {
+            ctx.event("cache.sim", "hit");
             return hit;
         }
         let sim_key = (key.clone(), DeviceFingerprint::of(&device));
-        self.sim_flights.run(&sim_key, || {
+        let mut leader = false;
+        let estimate = self.sim_flights.run(&sim_key, || {
+            leader = true;
             // Re-fetch the shard inside the flight — same re-check as
             // `stages`: a just-retired flight for this cell published
             // before retiring.
             if let Some(hit) = self.sims.shard(&device).peek(key) {
                 return hit;
             }
+            let mut replay_span = ctx.span("sim.replay");
             let estimator = Estimator::new(EstimatorConfig::for_device(device));
             let derived = self
                 .config
                 .fast_path
                 .then(|| {
                     let replay = if seed {
-                        Some(self.unbounded_replay(key, stages, &estimator))
+                        Some(self.unbounded_replay(key, stages, &estimator, ctx))
                     } else {
                         self.replays.peek(key)
                     };
@@ -868,13 +926,16 @@ impl EstimationService {
             let estimate = match derived {
                 Some(estimate) => {
                     self.sims.count_fast_path();
+                    replay_span.set_outcome("fast-path");
                     estimate
                 }
                 None => {
                     self.sims.count_full_replay();
+                    replay_span.set_outcome("full-replay");
                     estimator.estimate_analyzed(&stages.analyzed)
                 }
             };
+            drop(replay_span);
             // Fetch the shard *after* the (possibly multi-ms) replay: a
             // concurrent `register_device` invalidation or fleet-cap
             // eviction during the replay would detach an earlier handle,
@@ -888,7 +949,11 @@ impl EstimationService {
                 .insert(key.clone(), estimate.clone());
             self.journal_sim(&sim_key.1, key, &estimate);
             estimate
-        })
+        });
+        if !leader {
+            ctx.event("cache.sim", "coalesced");
+        }
+        estimate
     }
 
     /// Journals one sim-shard insert when persistence is enabled.
@@ -917,6 +982,7 @@ impl EstimationService {
         key: &JobKey,
         stages: &ProfiledStages,
         estimator: &Estimator,
+        ctx: &TraceContext,
     ) -> Arc<UnboundedReplay> {
         if let Some(hit) = self.replays.get(key) {
             return hit;
@@ -925,6 +991,7 @@ impl EstimationService {
             if let Some(hit) = self.replays.peek(key) {
                 return hit;
             }
+            let _span = ctx.span("sim.unbounded");
             self.sims.count_unbounded();
             let replay = Arc::new(estimator.replay_unbounded(&stages.analyzed));
             self.replays.insert(key.clone(), Arc::clone(&replay));
@@ -933,6 +1000,7 @@ impl EstimationService {
                     job: key.clone(),
                     replay: (*replay).clone(),
                 });
+                ctx.event("persist.journal", "replay");
             }
             replay
         })
@@ -956,7 +1024,13 @@ impl EstimationService {
     /// not be proven exact) or an anchor failed to profile — callers
     /// fall back to the full per-batch path, where errors surface
     /// per-cell.
-    fn param_for(&self, base: &TrainJobSpec, lo: usize, hi: usize) -> Option<Arc<ParamReplay>> {
+    fn param_for(
+        &self,
+        base: &TrainJobSpec,
+        lo: usize,
+        hi: usize,
+        ctx: &TraceContext,
+    ) -> Option<Arc<ParamReplay>> {
         let family = SweepKey::of(base);
         let covering =
             |outcome: &Arc<ParamOutcome>| outcome.batch_lo <= lo && hi <= outcome.batch_hi;
@@ -971,6 +1045,8 @@ impl EstimationService {
                     return Some(hit);
                 }
             }
+            let mut fit_span = ctx.span("sweep.param_fit");
+            fit_span.set_outcome("rejected");
             // Three anchors pin the affine size model: the endpoints fit
             // it, the midpoint validates it (plus full structural
             // identity across all three). Anchor profiles go through the
@@ -982,7 +1058,7 @@ impl EstimationService {
             let anchors: Vec<(usize, Arc<ProfiledStages>)> = self
                 .parallel_fill(3, |i| {
                     let batch = [lo, mid, hi][i];
-                    self.stages(&with_batch(base, batch))
+                    self.stages_traced(&with_batch(base, batch), ctx)
                         .ok()
                         .map(|stages| (batch, stages))
                 })
@@ -995,7 +1071,9 @@ impl EstimationService {
             let fit = self.estimator.fit_param_replay(&refs).ok().map(Arc::new);
             if fit.is_some() {
                 self.sims.count_param_replay();
+                fit_span.set_outcome("fit");
             }
+            drop(fit_span);
             let outcome = Arc::new(ParamOutcome {
                 batch_lo: lo,
                 batch_hi: hi,
@@ -1007,6 +1085,7 @@ impl EstimationService {
                     family: family.clone(),
                     replay: (**fit).clone(),
                 });
+                ctx.event("persist.journal", "param");
             }
             Some(outcome)
         });
@@ -1021,6 +1100,7 @@ impl EstimationService {
         base: &TrainJobSpec,
         batches: &[usize],
         estimator: &Estimator,
+        ctx: &TraceContext,
     ) -> Option<Arc<ParamReplay>> {
         if !self.incremental_eligible(estimator) {
             return None;
@@ -1031,14 +1111,20 @@ impl EstimationService {
         if distinct.len() < MIN_INCREMENTAL_POINTS || distinct[0] == 0 {
             return None;
         }
-        self.param_for(base, distinct[0], *distinct.last().expect("non-empty"))
+        self.param_for(base, distinct[0], *distinct.last().expect("non-empty"), ctx)
     }
 
     /// One incremental sweep cell under the service's own estimator:
     /// materialize the fitted buffer at `batch` and replay it bounded.
-    fn incremental_estimate(&self, param: &ParamReplay, batch: usize) -> Estimate {
+    fn incremental_estimate(
+        &self,
+        param: &ParamReplay,
+        batch: usize,
+        ctx: &TraceContext,
+    ) -> Estimate {
         self.sims.count_run();
         self.sims.count_incremental();
+        ctx.event("sim.incremental", "cell");
         self.estimator
             .estimate_buffer(&param.materialize(batch), param.stats_for(batch))
     }
@@ -1056,6 +1142,7 @@ impl EstimationService {
         batch: usize,
         param: &ParamReplay,
         devices: &[GpuDevice],
+        ctx: &TraceContext,
     ) -> Vec<Estimate> {
         let spec = with_batch(base, batch);
         let key = JobKey::of(&spec);
@@ -1082,6 +1169,7 @@ impl EstimationService {
             let estimator = Estimator::new(EstimatorConfig::for_device(*device));
             self.sims.count_run();
             self.sims.count_incremental();
+            ctx.event("sim.incremental", "cell");
             let estimate = replay
                 .as_ref()
                 .and_then(|replay| estimator.derive_from_replay(replay))
@@ -1105,14 +1193,17 @@ impl EstimationService {
         batch: usize,
         param: &ParamReplay,
         device: GpuDevice,
+        ctx: &TraceContext,
     ) -> Estimate {
         let spec = with_batch(base, batch);
         let key = JobKey::of(&spec);
         if let Some(hit) = self.sims.shard(&device).get(&key) {
+            ctx.event("cache.sim", "hit");
             return hit;
         }
         self.sims.count_run();
         self.sims.count_incremental();
+        ctx.event("sim.incremental", "cell");
         let estimate = Estimator::new(EstimatorConfig::for_device(device))
             .estimate_buffer(&param.materialize(batch), param.stats_for(batch));
         self.sims
@@ -1138,8 +1229,9 @@ impl EstimationService {
         spec: &TrainJobSpec,
         device: GpuDevice,
     ) -> Result<Estimate, EstimateError> {
-        let stages = self.stages(spec)?;
-        Ok(self.simulate_on(&JobKey::of(spec), &stages, device))
+        let ctx = TraceContext::disabled();
+        let stages = self.stages_traced(spec, &ctx)?;
+        Ok(self.simulate_on(&JobKey::of(spec), &stages, device, &ctx))
     }
 
     /// Estimates `spec` on the registered device `device_name`, sharing
@@ -1164,12 +1256,26 @@ impl EstimationService {
         spec: &TrainJobSpec,
         device_name: &str,
     ) -> Result<Estimate, EstimateError> {
+        self.estimate_on_traced(spec, device_name, &TraceContext::disabled())
+    }
+
+    /// [`estimate_on`](Self::estimate_on) under a request trace.
+    ///
+    /// # Errors
+    /// [`EstimateError::UnknownDevice`] for an unregistered name;
+    /// Analyzer failures for degenerate jobs.
+    pub fn estimate_on_traced(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: &str,
+        ctx: &TraceContext,
+    ) -> Result<Estimate, EstimateError> {
         let device = self
             .registry()
             .get(device_name)
             .ok_or_else(|| EstimateError::UnknownDevice(device_name.to_string()))?;
-        let stages = self.stages(spec)?;
-        Ok(self.simulate_on(&JobKey::of(spec), &stages, device))
+        let stages = self.stages_traced(spec, ctx)?;
+        Ok(self.simulate_on(&JobKey::of(spec), &stages, device, ctx))
     }
 
     /// The device a cluster sim-cell exchange resolves to: a registered
@@ -1277,6 +1383,19 @@ impl EstimationService {
         specs: &[TrainJobSpec],
         devices: &[&str],
     ) -> Result<DeviceMatrix, EstimateError> {
+        self.estimate_matrix_traced(specs, devices, &TraceContext::disabled())
+    }
+
+    /// [`estimate_matrix`](Self::estimate_matrix) under a request trace.
+    ///
+    /// # Errors
+    /// [`EstimateError::UnknownDevice`] naming the first unknown device.
+    pub fn estimate_matrix_traced(
+        &self,
+        specs: &[TrainJobSpec],
+        devices: &[&str],
+        ctx: &TraceContext,
+    ) -> Result<DeviceMatrix, EstimateError> {
         let resolved = self.registry().resolve(devices)?;
         let jobs = specs.len();
         // Column-major issue order: the first `jobs` work items cover
@@ -1286,8 +1405,8 @@ impl EstimationService {
             .parallel_fill(jobs * resolved.len(), |c| {
                 let (device_index, job_index) = (c / jobs.max(1), c % jobs.max(1));
                 let spec = &specs[job_index];
-                self.stages(spec).map(|stages| {
-                    self.simulate_on(&JobKey::of(spec), &stages, resolved[device_index])
+                self.stages_traced(spec, ctx).map(|stages| {
+                    self.simulate_on(&JobKey::of(spec), &stages, resolved[device_index], ctx)
                 })
             })
             .into_iter()
@@ -1339,14 +1458,28 @@ impl EstimationService {
         batches: &[usize],
         devices: &[&str],
     ) -> Result<DeviceMatrix, EstimateError> {
+        self.sweep_matrix_traced(base, batches, devices, &TraceContext::disabled())
+    }
+
+    /// [`sweep_matrix`](Self::sweep_matrix) under a request trace.
+    ///
+    /// # Errors
+    /// [`EstimateError::UnknownDevice`] naming the first unknown device.
+    pub fn sweep_matrix_traced(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        devices: &[&str],
+        ctx: &TraceContext,
+    ) -> Result<DeviceMatrix, EstimateError> {
         // Named-device cells always simulate under the paper-default
         // `EstimatorConfig::for_device`, which is incremental-eligible by
         // construction; gate on the service knob and the sweep shape.
         let probe = Estimator::new(EstimatorConfig::for_device(self.config.estimator.device));
-        if let Some(param) = self.sweep_param(base, batches, &probe) {
+        if let Some(param) = self.sweep_param(base, batches, &probe, ctx) {
             let resolved = self.registry().resolve(devices)?;
             let rows_cells = self.parallel_fill(batches.len(), |i| {
-                self.incremental_cells(base, batches[i], &param, &resolved)
+                self.incremental_cells(base, batches[i], &param, &resolved, ctx)
             });
             let device_names: Vec<String> = devices.iter().map(|&d| d.to_string()).collect();
             let rows = batches
@@ -1370,7 +1503,7 @@ impl EstimationService {
             });
         }
         let specs: Vec<TrainJobSpec> = batches.iter().map(|&b| with_batch(base, b)).collect();
-        self.estimate_matrix(&specs, devices)
+        self.estimate_matrix_traced(&specs, devices, ctx)
     }
 
     /// Placement: the best registered device for `spec` — the
@@ -1389,11 +1522,25 @@ impl EstimationService {
         &self,
         spec: &TrainJobSpec,
     ) -> Result<Option<DevicePlacement>, EstimateError> {
+        self.best_device_for_job_traced(spec, &TraceContext::disabled())
+    }
+
+    /// [`best_device_for_job`](Self::best_device_for_job) under a request
+    /// trace.
+    ///
+    /// # Errors
+    /// Propagates Analyzer failures — an estimation error is an error,
+    /// never a "does not fit" verdict.
+    pub fn best_device_for_job_traced(
+        &self,
+        spec: &TrainJobSpec,
+        ctx: &TraceContext,
+    ) -> Result<Option<DevicePlacement>, EstimateError> {
         let mut fleet = self.registry().snapshot();
         if fleet.is_empty() {
             return Ok(None);
         }
-        let stages = self.stages(spec)?;
+        let stages = self.stages_traced(spec, ctx)?;
         let key = JobKey::of(spec);
         // Smallest capacity first (the stable sort keeps the snapshot's
         // name order within equal capacities, preserving the tie-break),
@@ -1401,7 +1548,7 @@ impl EstimationService {
         // costs one simulation, not one per device.
         fleet.sort_by_key(|&(_, device)| device.capacity);
         for (name, device) in fleet {
-            let estimate = self.simulate_on(&key, &stages, device);
+            let estimate = self.simulate_on(&key, &stages, device, ctx);
             if !estimate.oom_predicted {
                 return Ok(Some(DevicePlacement {
                     device: name,
@@ -1469,26 +1616,37 @@ impl EstimationService {
         base: &TrainJobSpec,
         batches: &[usize],
     ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
-        if let Some(param) = self.sweep_param(base, batches, &self.estimator) {
+        self.sweep_traced(base, batches, &TraceContext::disabled())
+    }
+
+    /// [`sweep`](Self::sweep) under a request trace.
+    pub fn sweep_traced(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        ctx: &TraceContext,
+    ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
+        if let Some(param) = self.sweep_param(base, batches, &self.estimator, ctx) {
             let estimates = self.parallel_fill(batches.len(), |i| {
-                Ok(self.incremental_estimate(&param, batches[i]))
+                Ok(self.incremental_estimate(&param, batches[i], ctx))
             });
             return batches.iter().copied().zip(estimates).collect();
         }
-        self.sweep_inner(base, batches, |_, stages| {
+        self.sweep_fill(base, batches, ctx, |_, stages| {
             self.estimator.estimate_analyzed(&stages.analyzed)
         })
     }
 
-    fn sweep_inner(
+    fn sweep_fill(
         &self,
         base: &TrainJobSpec,
         batches: &[usize],
+        ctx: &TraceContext,
         eval: impl Fn(&JobKey, &ProfiledStages) -> Estimate + Sync,
     ) -> Vec<(usize, Result<Estimate, EstimateError>)> {
         let estimates = self.parallel_fill(batches.len(), |i| {
             let spec = with_batch(base, batches[i]);
-            self.stages(&spec)
+            self.stages_traced(&spec, ctx)
                 .map(|stages| eval(&JobKey::of(&spec), &stages))
         });
         batches.iter().copied().zip(estimates).collect()
@@ -1514,6 +1672,26 @@ impl EstimationService {
         lo: usize,
         hi: usize,
     ) -> Result<Option<usize>, EstimateError> {
+        self.max_batch_for_device_traced(base, device, lo, hi, &TraceContext::disabled())
+    }
+
+    /// [`max_batch_for_device`](Self::max_batch_for_device) under a
+    /// request trace.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lo <= hi`, matching the untraced API.
+    ///
+    /// # Errors
+    /// Propagates the first Analyzer failure hit by a probe — an
+    /// estimation error is an error, never a "does not fit" verdict.
+    pub fn max_batch_for_device_traced(
+        &self,
+        base: &TrainJobSpec,
+        device: GpuDevice,
+        lo: usize,
+        hi: usize,
+        ctx: &TraceContext,
+    ) -> Result<Option<usize>, EstimateError> {
         assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
 
         // A wide-enough eligible range rides one parameterized replay:
@@ -1525,7 +1703,7 @@ impl EstimationService {
         let param = if hi - lo + 1 >= MIN_INCREMENTAL_POINTS
             && self.incremental_eligible(&Estimator::new(EstimatorConfig::for_device(device)))
         {
-            self.param_for(base, lo, hi)
+            self.param_for(base, lo, hi, ctx)
         } else {
             None
         };
@@ -1544,11 +1722,11 @@ impl EstimationService {
             Some(param) => self.parallel_fill(grid.len(), |i| {
                 (
                     grid[i],
-                    Ok(self.incremental_cell_on(base, grid[i], param, device)),
+                    Ok(self.incremental_cell_on(base, grid[i], param, device, ctx)),
                 )
             }),
-            None => self.sweep_inner(base, &grid, |key, stages| {
-                self.simulate_on_with(key, stages, device, false)
+            None => self.sweep_fill(base, &grid, ctx, |key, stages| {
+                self.simulate_on_with(key, stages, device, false, ctx)
             }),
         };
         for (batch, estimate) in probes {
@@ -1573,11 +1751,11 @@ impl EstimationService {
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
             let estimate = match &param {
-                Some(param) => self.incremental_cell_on(base, mid, param, device),
+                Some(param) => self.incremental_cell_on(base, mid, param, device, ctx),
                 None => {
                     let spec = with_batch(base, mid);
-                    let stages = self.stages(&spec)?;
-                    self.simulate_on_with(&JobKey::of(&spec), &stages, device, false)
+                    let stages = self.stages_traced(&spec, ctx)?;
+                    self.simulate_on_with(&JobKey::of(&spec), &stages, device, false, ctx)
                 }
             };
             if !estimate.oom_predicted {
@@ -1804,8 +1982,39 @@ impl AsyncEstimationService {
     /// [`SubmitError::Busy`] when the bounded submission queue is full;
     /// resolve some in-flight futures and retry.
     pub fn submit(&self, spec: &TrainJobSpec) -> Result<EstimateFuture, SubmitError> {
+        self.submit_traced(spec, None, None, &TraceContext::disabled())
+    }
+
+    /// Submits one estimation query under a request trace — against the
+    /// primary device, or a *named* registered device when `device_name`
+    /// is given. Queue wait records as a `pool.queue` span, worker
+    /// execution as `service.call`, and every pipeline stage the query
+    /// touches records under the same trace id. A disabled context makes
+    /// this identical to the untraced submit paths.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn submit_traced(
+        &self,
+        spec: &TrainJobSpec,
+        device_name: Option<&str>,
+        deadline: Option<Instant>,
+        ctx: &TraceContext,
+    ) -> Result<EstimateFuture, SubmitError> {
         let spec = spec.clone();
-        self.dispatch(None, move |service| service.estimate(&spec))
+        let device_name = device_name.map(str::to_string);
+        let ctx = ctx.clone();
+        let queue = ctx.span("pool.queue");
+        self.dispatch(deadline, move |service| {
+            drop(queue);
+            let mut call = ctx.span("service.call");
+            let result = match &device_name {
+                Some(name) => service.estimate_on_traced(&spec, name, &ctx),
+                None => service.estimate_traced(&spec, &ctx),
+            };
+            call.set_outcome(if result.is_ok() { "ok" } else { "error" });
+            result
+        })
     }
 
     /// Submits one estimation query that must resolve by `deadline`. If
@@ -1822,8 +2031,7 @@ impl AsyncEstimationService {
         spec: &TrainJobSpec,
         deadline: Instant,
     ) -> Result<EstimateFuture, SubmitError> {
-        let spec = spec.clone();
-        self.dispatch(Some(deadline), move |service| service.estimate(&spec))
+        self.submit_traced(spec, None, Some(deadline), &TraceContext::disabled())
     }
 
     /// Submits a whole batch-size sweep as one pooled query; the worker
@@ -1860,9 +2068,32 @@ impl AsyncEstimationService {
         batches: &[usize],
         deadline: Option<Instant>,
     ) -> Result<SweepFuture, SubmitError> {
+        self.sweep_traced(base, batches, deadline, &TraceContext::disabled())
+    }
+
+    /// [`sweep_async`](Self::sweep_async) under a request trace (see
+    /// [`submit_traced`](Self::submit_traced) for the span layout).
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn sweep_traced(
+        &self,
+        base: &TrainJobSpec,
+        batches: &[usize],
+        deadline: Option<Instant>,
+        ctx: &TraceContext,
+    ) -> Result<SweepFuture, SubmitError> {
         let base = base.clone();
         let batches = batches.to_vec();
-        self.dispatch(deadline, move |service| Ok(service.sweep(&base, &batches)))
+        let ctx = ctx.clone();
+        let queue = ctx.span("pool.queue");
+        self.dispatch(deadline, move |service| {
+            drop(queue);
+            let mut call = ctx.span("service.call");
+            let result = service.sweep_traced(&base, &batches, &ctx);
+            call.set_outcome("ok");
+            Ok(result)
+        })
     }
 
     /// Submits an admission-control query: the largest batch in
@@ -1913,10 +2144,36 @@ impl AsyncEstimationService {
         hi: usize,
         deadline: Option<Instant>,
     ) -> Result<PlanFuture, SubmitError> {
+        self.plan_traced(base, device, lo, hi, deadline, &TraceContext::disabled())
+    }
+
+    /// [`max_batch_for_device_async`](Self::max_batch_for_device_async)
+    /// under a request trace.
+    ///
+    /// # Panics
+    /// Panics (before dispatch) unless `1 <= lo <= hi`.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn plan_traced(
+        &self,
+        base: &TrainJobSpec,
+        device: GpuDevice,
+        lo: usize,
+        hi: usize,
+        deadline: Option<Instant>,
+        ctx: &TraceContext,
+    ) -> Result<PlanFuture, SubmitError> {
         assert!(lo >= 1 && lo <= hi, "invalid batch range [{lo}, {hi}]");
         let base = base.clone();
+        let ctx = ctx.clone();
+        let queue = ctx.span("pool.queue");
         self.dispatch(deadline, move |service| {
-            service.max_batch_for_device(&base, device, lo, hi)
+            drop(queue);
+            let mut call = ctx.span("service.call");
+            let result = service.max_batch_for_device_traced(&base, device, lo, hi, &ctx);
+            call.set_outcome(if result.is_ok() { "ok" } else { "error" });
+            result
         })
     }
 
@@ -1956,11 +2213,7 @@ impl AsyncEstimationService {
         device_name: &str,
         deadline: Option<Instant>,
     ) -> Result<EstimateFuture, SubmitError> {
-        let spec = spec.clone();
-        let device_name = device_name.to_string();
-        self.dispatch(deadline, move |service| {
-            service.estimate_on(&spec, &device_name)
-        })
+        self.submit_traced(spec, Some(device_name), deadline, &TraceContext::disabled())
     }
 
     /// Submits a whole device matrix as one pooled query: every job in
@@ -1999,11 +2252,31 @@ impl AsyncEstimationService {
         devices: &[&str],
         deadline: Option<Instant>,
     ) -> Result<MatrixFuture, SubmitError> {
+        self.matrix_traced(specs, devices, deadline, &TraceContext::disabled())
+    }
+
+    /// [`submit_matrix`](Self::submit_matrix) under a request trace.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn matrix_traced(
+        &self,
+        specs: &[TrainJobSpec],
+        devices: &[&str],
+        deadline: Option<Instant>,
+        ctx: &TraceContext,
+    ) -> Result<MatrixFuture, SubmitError> {
         let specs = specs.to_vec();
         let devices: Vec<String> = devices.iter().map(|&d| d.to_string()).collect();
+        let ctx = ctx.clone();
+        let queue = ctx.span("pool.queue");
         self.dispatch(deadline, move |service| {
+            drop(queue);
+            let mut call = ctx.span("service.call");
             let names: Vec<&str> = devices.iter().map(String::as_str).collect();
-            service.estimate_matrix(&specs, &names)
+            let result = service.estimate_matrix_traced(&specs, &names, &ctx);
+            call.set_outcome(if result.is_ok() { "ok" } else { "error" });
+            result
         })
     }
 
@@ -2038,8 +2311,30 @@ impl AsyncEstimationService {
         spec: &TrainJobSpec,
         deadline: Option<Instant>,
     ) -> Result<PlacementFuture, SubmitError> {
+        self.placement_traced(spec, deadline, &TraceContext::disabled())
+    }
+
+    /// [`best_device_for_job_async`](Self::best_device_for_job_async)
+    /// under a request trace.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the bounded submission queue is full.
+    pub fn placement_traced(
+        &self,
+        spec: &TrainJobSpec,
+        deadline: Option<Instant>,
+        ctx: &TraceContext,
+    ) -> Result<PlacementFuture, SubmitError> {
         let spec = spec.clone();
-        self.dispatch(deadline, move |service| service.best_device_for_job(&spec))
+        let ctx = ctx.clone();
+        let queue = ctx.span("pool.queue");
+        self.dispatch(deadline, move |service| {
+            drop(queue);
+            let mut call = ctx.span("service.call");
+            let result = service.best_device_for_job_traced(&spec, &ctx);
+            call.set_outcome(if result.is_ok() { "ok" } else { "error" });
+            result
+        })
     }
 
     /// Panics that escaped a raw pool job and were caught by the worker

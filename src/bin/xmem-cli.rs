@@ -40,7 +40,7 @@ use xmem::core::{layer_report, render_layer_report, render_report, Analyzer, Orc
 use xmem::prelude::*;
 use xmem::server::{ClusterConfig, ServerConfig, ServerHandle};
 use xmem::service::jobspec::{parse_jobs_text, JobDraft};
-use xmem::service::AsyncServiceConfig;
+use xmem::service::{AsyncServiceConfig, LogLevel, Telemetry, TelemetryConfig};
 use xmem::trace::Trace;
 
 fn usage() -> &'static str {
@@ -65,11 +65,17 @@ fn usage() -> &'static str {
        listen          --addr <host:port> [--device ...] [--registry <file.json>]\n\
                        [--workers <n>] [--queue <n>] [--conns <n>] [--drain-ms <n>]\n\
                        [--state-dir <dir>] [--snapshot-ms <n>]\n\
+                       [--log-level off|error|warn|info] [--slow-ms <n>]\n\
+                       [--trace-capacity <n>]\n\
                        [--peers <a1,a2,...> --auth-token <secret>\n\
                        [--advertise <host:port>]]\n\
                        HTTP/1.1 server: POST /v1/estimate|matrix|sweep|plan|best-device\n\
                        (JSON jobs, same grammar), GET /healthz, GET /metrics\n\
-                       (Prometheus); POST /v1/shutdown drains and exits;\n\
+                       (Prometheus), GET /v1/debug/traces (recent request\n\
+                       traces; ?n= last-N, ?slow_ms= filter);\n\
+                       POST /v1/shutdown drains and exits;\n\
+                       --log-level sets the per-request JSON log on stderr\n\
+                       (default info), --slow-ms marks+warns slow requests;\n\
                        --state-dir persists cache state (snapshot + journal)\n\
                        across restarts: a warm boot re-serves prior jobs\n\
                        without re-profiling;\n\
@@ -411,6 +417,9 @@ fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
     let conns = parse_usize("conns", 64)?;
     let drain_ms = parse_usize("drain-ms", 5000)?;
     let snapshot_ms = parse_usize("snapshot-ms", 2000)?;
+    let slow_ms = parse_usize("slow-ms", 0)?;
+    let trace_capacity = parse_usize("trace-capacity", 256)?;
+    let log_level = LogLevel::parse(flags.get("log-level").map_or("info", String::as_str))?;
 
     let mut service_config = ServiceConfig::for_device(device).with_registry(registry);
     if let Some(dir) = flags.get("state-dir") {
@@ -442,9 +451,16 @@ fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
         workers,
         queue_depth,
     ));
+    let telemetry = Telemetry::new(
+        TelemetryConfig::default()
+            .with_capacity(trace_capacity)
+            .with_log_level(log_level)
+            .with_slow_ms(slow_ms as u64),
+    );
     let config = ServerConfig::default()
         .with_workers(conns)
-        .with_drain_timeout(Duration::from_millis(drain_ms as u64));
+        .with_drain_timeout(Duration::from_millis(drain_ms as u64))
+        .with_telemetry(telemetry);
     let mut server = ServerHandle::bind(addr.as_str(), Arc::clone(&service), config)
         .map_err(|e| format!("bind {addr} failed: {e}"))?;
     if let Some(peer_list) = flags.get("peers") {
@@ -478,7 +494,7 @@ fn listen(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("listening on http://{}", server.local_addr());
     println!(
         "routes: POST /v1/estimate /v1/matrix /v1/sweep /v1/plan /v1/best-device | \
-         GET /healthz /metrics | POST /v1/shutdown drains"
+         GET /healthz /metrics /v1/debug/traces | POST /v1/shutdown drains"
     );
     let report = server.wait();
     if let Some(snapshotter) = snapshotter {

@@ -340,3 +340,170 @@ fn auth_gates_v1_and_the_hop_guard_computes_locally() {
         assert!(node.server.shutdown().clean);
     }
 }
+
+/// One authenticated GET on a keep-alive client.
+fn authed_get(client: &mut HttpClient, path: &str) -> xmem::server::ClientResponse {
+    client
+        .request("GET", path, &[(AUTH_HEADER, TOKEN)], b"")
+        .expect("authenticated exchange")
+}
+
+/// The traces array of a node's `/v1/debug/traces` answer.
+fn debug_traces(client: &mut HttpClient) -> serde::Value {
+    let response = authed_get(client, "/v1/debug/traces?n=32");
+    assert_eq!(response.status, 200, "{}", response.text());
+    serde_json::from_str(&response.text()).expect("traces JSON")
+}
+
+/// The trace with `trace_id` in a `/v1/debug/traces` body, if recorded.
+fn trace_with_id<'a>(value: &'a serde::Value, id: &str) -> Option<&'a serde::Value> {
+    value
+        .as_object()
+        .and_then(|o| serde::obj_get(o, "traces"))
+        .and_then(serde::Value::as_array)?
+        .iter()
+        .find(|trace| {
+            trace
+                .as_object()
+                .and_then(|o| serde::obj_get(o, "trace_id"))
+                .and_then(serde::Value::as_str)
+                == Some(id)
+        })
+}
+
+/// Span `(name, outcome)` pairs of one trace object.
+fn span_outcomes(trace: &serde::Value) -> Vec<(String, String)> {
+    trace
+        .as_object()
+        .and_then(|o| serde::obj_get(o, "spans"))
+        .and_then(serde::Value::as_array)
+        .expect("spans array")
+        .iter()
+        .map(|span| {
+            let entries = span.as_object().expect("span object");
+            (
+                serde::obj_get(entries, "name")
+                    .and_then(serde::Value::as_str)
+                    .expect("span name")
+                    .to_string(),
+                serde::obj_get(entries, "outcome")
+                    .and_then(serde::Value::as_str)
+                    .expect("span outcome")
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+/// The acceptance trace: a request whose key is ring-owned elsewhere,
+/// sent through a 3-node ring, yields ONE stitched trace — the ingress
+/// node records the `cluster.forward` hop and the owner records the
+/// remote compute, both under the same client-pinned trace id.
+#[test]
+fn a_forwarded_request_yields_one_stitched_trace_across_the_ring() {
+    let nodes = start_ring(3);
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+    let ring = HashRing::new(&addrs);
+
+    // A key owned by node 1, presented at node 0: node 0 must forward.
+    let owner_ring_index = ring.index_of(&nodes[1].addr).expect("ring member");
+    let batch = batch_owned_by(&ring, owner_ring_index);
+    let pinned_id = "feedfacefeedfacefeedfacefeedface";
+    let mut ingress = HttpClient::connect(nodes[0].addr.as_str()).expect("connect ingress");
+    let response = ingress
+        .request(
+            "POST",
+            "/v1/estimate",
+            &[
+                ("content-type", "application/json"),
+                (AUTH_HEADER, TOKEN),
+                ("x-xmem-trace-id", pinned_id),
+            ],
+            job_json(&small_spec(batch)).as_bytes(),
+        )
+        .expect("forwarded estimate");
+    assert_eq!(response.status, 200, "{}", response.text());
+
+    // Hop 1, the ingress node: the trace shows the forward and is not
+    // itself marked as a forwarded arrival.
+    let ingress_traces = debug_traces(&mut ingress);
+    let hop1 =
+        trace_with_id(&ingress_traces, pinned_id).expect("ingress recorded the pinned trace id");
+    let entries = hop1.as_object().expect("trace object");
+    assert_eq!(
+        serde::obj_get(entries, "forwarded").cloned(),
+        Some(serde::Value::Bool(false))
+    );
+    let hop1_spans = span_outcomes(hop1);
+    assert!(
+        hop1_spans
+            .iter()
+            .any(|(name, outcome)| name == "cluster.forward" && outcome == "forwarded"),
+        "ingress spans: {hop1_spans:?}"
+    );
+
+    // Hop 2, the owner: same trace id, marked forwarded, carrying the
+    // remote-compute span timeline (the full cold pipeline ran there).
+    let mut owner = HttpClient::connect(nodes[1].addr.as_str()).expect("connect owner");
+    let owner_traces = debug_traces(&mut owner);
+    let hop2 = trace_with_id(&owner_traces, pinned_id).expect("owner adopted the relayed trace id");
+    let entries = hop2.as_object().expect("trace object");
+    assert_eq!(
+        serde::obj_get(entries, "forwarded").cloned(),
+        Some(serde::Value::Bool(true))
+    );
+    let hop2_spans = span_outcomes(hop2);
+    assert!(hop2_spans.len() >= 3, "owner spans: {hop2_spans:?}");
+    for needle in ["pool.queue", "service.call", "stage.profile"] {
+        assert!(
+            hop2_spans.iter().any(|(name, _)| name == needle),
+            "owner trace missing `{needle}`: {hop2_spans:?}"
+        );
+    }
+    // The third node never touched the request and must not have the id.
+    let mut bystander = HttpClient::connect(nodes[2].addr.as_str()).expect("connect bystander");
+    let bystander_traces = debug_traces(&mut bystander);
+    assert!(
+        trace_with_id(&bystander_traces, pinned_id).is_none(),
+        "the bystander must not record the trace"
+    );
+
+    for node in nodes {
+        assert!(node.server.shutdown().clean);
+    }
+}
+
+/// `/healthz` reports the cluster role once a ring is installed: peer
+/// count and the node's own ring address, alongside version and uptime.
+#[test]
+fn healthz_reports_the_cluster_role() {
+    let nodes = start_ring(3);
+    for node in &nodes {
+        let mut client = HttpClient::connect(node.addr.as_str()).expect("connect");
+        let health = client.get("/healthz").expect("healthz stays open");
+        assert_eq!(health.status, 200);
+        let value: serde::Value = serde_json::from_str(&health.text()).expect("healthz JSON");
+        let entries = value.as_object().expect("healthz object");
+        assert_eq!(
+            serde::obj_get(entries, "status").and_then(serde::Value::as_str),
+            Some("ok")
+        );
+        let cluster = serde::obj_get(entries, "cluster")
+            .and_then(serde::Value::as_object)
+            .expect("cluster role object");
+        assert_eq!(
+            serde::obj_get(cluster, "peers").and_then(serde::Value::as_u64),
+            Some(2),
+            "a 3-node ring has two peers"
+        );
+        assert_eq!(
+            serde::obj_get(cluster, "self").and_then(serde::Value::as_str),
+            Some(node.addr.as_str()),
+            "{}",
+            health.text()
+        );
+    }
+    for node in nodes {
+        assert!(node.server.shutdown().clean);
+    }
+}

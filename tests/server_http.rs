@@ -596,7 +596,28 @@ fn health_and_metrics_expose_the_counter_surface() {
     let mut client = HttpClient::connect(server.local_addr()).expect("connect");
     let health = client.get("/healthz").expect("health");
     assert_eq!(health.status, 200);
-    assert_eq!(health.text(), "{\"status\":\"ok\"}");
+    let health_value: serde::Value = serde_json::from_str(&health.text()).expect("healthz is JSON");
+    let entries = health_value.as_object().expect("healthz is an object");
+    assert_eq!(
+        serde::obj_get(entries, "status").and_then(serde::Value::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        serde::obj_get(entries, "version").and_then(serde::Value::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(
+        serde::obj_get(entries, "uptime_seconds")
+            .and_then(serde::Value::as_u64)
+            .is_some(),
+        "uptime_seconds must be a number: {}",
+        health.text()
+    );
+    assert!(
+        matches!(serde::obj_get(entries, "cluster"), Some(serde::Value::Null)),
+        "single-node role is `cluster: null`: {}",
+        health.text()
+    );
 
     let estimate = client
         .post_json("/v1/estimate", &job_json(&small_spec(4)))
@@ -629,6 +650,12 @@ fn health_and_metrics_expose_the_counter_surface() {
         "xmem_cache_tuner_steps_total{cache=\"sim\"} 0",
         "xmem_cache_sketch_resets_total{cache=\"stage\"} 0",
         "xmem_cache_admission_denied_total{cache=\"stage\"} 0",
+        // Per-stage latency histograms from the tracing layer: the
+        // estimate rode the pool queue and the service call.
+        "# TYPE xmem_stage_duration_seconds histogram",
+        "xmem_stage_duration_seconds_bucket{stage=\"pool.queue\",le=\"+Inf\"} 1",
+        "xmem_stage_duration_seconds_bucket{stage=\"service.call\",le=\"+Inf\"} 1",
+        "xmem_stage_duration_seconds_count{stage=\"stage.profile\"} 1",
     ] {
         assert!(text.contains(needle), "metrics missing `{needle}`:\n{text}");
     }
@@ -725,6 +752,293 @@ fn expect_100_continue_is_answered_before_the_body() {
         "follow-up must be answered directly, got: {answer}"
     );
     drop(stream);
+
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+/// `GET /v1/debug/traces` serves the span timelines of recent requests:
+/// last-N ordering, the `?slow_ms=` filter, trace-id adoption from the
+/// `x-xmem-trace-id` header, and clean 400s for malformed queries.
+#[test]
+fn debug_traces_expose_request_span_timelines() {
+    let (server, _service) = start_server(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    // A cold estimate (profile + analyze) and a warm repeat (cache hit).
+    for _ in 0..2 {
+        let response = client
+            .post_json("/v1/estimate", &job_json(&small_spec(4)))
+            .expect("estimate");
+        assert_eq!(response.status, 200);
+    }
+    // A client-supplied trace id must be adopted verbatim.
+    let pinned_id = "00000000000000000000000000abcdef";
+    let pinned = client
+        .request(
+            "POST",
+            "/v1/estimate",
+            &[
+                ("content-type", "application/json"),
+                ("x-xmem-trace-id", pinned_id),
+            ],
+            job_json(&small_spec(4)).as_bytes(),
+        )
+        .expect("pinned-trace estimate");
+    assert_eq!(pinned.status, 200);
+
+    let traces = client.get("/v1/debug/traces?n=10").expect("traces");
+    assert_eq!(traces.status, 200);
+    let value: serde::Value = serde_json::from_str(&traces.text()).expect("traces JSON");
+    let list = value
+        .as_object()
+        .and_then(|o| serde::obj_get(o, "traces"))
+        .and_then(serde::Value::as_array)
+        .expect("a `traces` array");
+    assert!(list.len() >= 3, "three estimates ran: {}", traces.text());
+
+    // Every trace carries the request envelope and a span timeline; the
+    // cold estimate's timeline shows the pipeline stages.
+    let span_names = |trace: &serde::Value| -> Vec<String> {
+        trace
+            .as_object()
+            .and_then(|o| serde::obj_get(o, "spans"))
+            .and_then(serde::Value::as_array)
+            .expect("spans array")
+            .iter()
+            .map(|span| {
+                span.as_object()
+                    .and_then(|o| serde::obj_get(o, "name"))
+                    .and_then(serde::Value::as_str)
+                    .expect("span name")
+                    .to_string()
+            })
+            .collect()
+    };
+    let estimates: Vec<&serde::Value> = list
+        .iter()
+        .filter(|trace| {
+            trace
+                .as_object()
+                .and_then(|o| serde::obj_get(o, "path"))
+                .and_then(serde::Value::as_str)
+                == Some("/v1/estimate")
+        })
+        .collect();
+    assert_eq!(estimates.len(), 3, "{}", traces.text());
+    // Same-millisecond traces tie-break on trace id, so identify the
+    // cold and warm estimates by their span content, not position.
+    let cold_names = estimates
+        .iter()
+        .map(|trace| span_names(trace))
+        .find(|names| names.iter().any(|name| name == "stage.profile"))
+        .expect("one estimate ran the full pipeline");
+    assert!(cold_names.len() >= 3, "cold trace spans: {cold_names:?}");
+    for needle in ["pool.queue", "service.call", "stage.analyze"] {
+        assert!(
+            cold_names.iter().any(|name| name == needle),
+            "cold trace missing `{needle}`: {cold_names:?}"
+        );
+    }
+    // The repeats answered from the stage cache.
+    let warm_hits = estimates
+        .iter()
+        .filter(|trace| {
+            trace
+                .as_object()
+                .and_then(|o| serde::obj_get(o, "spans"))
+                .and_then(serde::Value::as_array)
+                .expect("spans array")
+                .iter()
+                .any(|span| {
+                    let entries = span.as_object().expect("span object");
+                    serde::obj_get(entries, "name").and_then(serde::Value::as_str)
+                        == Some("cache.stage")
+                        && serde::obj_get(entries, "outcome").and_then(serde::Value::as_str)
+                            == Some("hit")
+                })
+        })
+        .count();
+    assert_eq!(
+        warm_hits,
+        2,
+        "both repeats must show the stage-cache hit: {}",
+        traces.text()
+    );
+    // The pinned trace id survived ingress.
+    assert!(
+        list.iter().any(|trace| {
+            trace
+                .as_object()
+                .and_then(|o| serde::obj_get(o, "trace_id"))
+                .and_then(serde::Value::as_str)
+                == Some(pinned_id)
+        }),
+        "client-supplied trace id must be adopted: {}",
+        traces.text()
+    );
+
+    // Nothing here is slower than ten minutes.
+    let filtered = client
+        .get("/v1/debug/traces?slow_ms=600000")
+        .expect("filtered traces");
+    assert_eq!(filtered.status, 200);
+    assert_eq!(filtered.text(), "{\"traces\":[]}");
+    // `?n=` caps the answer.
+    let capped = client.get("/v1/debug/traces?n=1").expect("capped traces");
+    let capped_value: serde::Value = serde_json::from_str(&capped.text()).expect("capped JSON");
+    let capped_list = capped_value
+        .as_object()
+        .and_then(|o| serde::obj_get(o, "traces"))
+        .and_then(serde::Value::as_array)
+        .expect("capped array");
+    assert_eq!(capped_list.len(), 1);
+    // Malformed queries are clean 400s.
+    for bad in [
+        "/v1/debug/traces?n=chunky",
+        "/v1/debug/traces?slow_ms=-3",
+        "/v1/debug/traces?nope=1",
+    ] {
+        let response = client.get(bad).expect("bad-query answer");
+        assert_eq!(response.status, 400, "{bad}: {}", response.text());
+    }
+    // Wrong method on the route is a 405 like every other route.
+    let wrong = client
+        .post_json("/v1/debug/traces", "{}")
+        .expect("405 answer");
+    assert_eq!(wrong.status, 405);
+
+    let report = server.shutdown();
+    assert!(report.clean);
+}
+
+/// Lint-style scrape of `/metrics`: every counter ends in `_total`,
+/// every metric family has exactly one TYPE (and one HELP) line, no
+/// series repeats, every sample value parses, every sample belongs to a
+/// declared family, and label values stay within the escaped charset.
+#[test]
+fn prometheus_exposition_is_lint_clean() {
+    let (server, _service) = start_server(ServerConfig::default());
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    // Exercise enough routes that the families render live samples.
+    for (path, body) in [
+        ("/v1/estimate", job_json(&small_spec(4))),
+        (
+            "/v1/sweep",
+            format!("{{\"job\":{},\"batches\":[2,4]}}", job_json(&small_spec(2))),
+        ),
+        ("/v1/estimate", "not json".to_string()),
+    ] {
+        let _ = client.post_json(path, &body).expect("warm-up exchange");
+    }
+    let _ = client.get("/healthz").expect("health");
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+
+    use std::collections::{HashMap, HashSet};
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashSet<String> = HashSet::new();
+    let mut series: HashSet<String> = HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a metric");
+            assert!(
+                helps.insert(name.to_string()),
+                "duplicate HELP for `{name}`"
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a metric").to_string();
+            let kind = parts.next().expect("TYPE has a kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown TYPE `{kind}` for `{name}`"
+            );
+            if kind == "counter" {
+                assert!(
+                    name.ends_with("_total"),
+                    "counter `{name}` must end in `_total`"
+                );
+            }
+            assert!(
+                types.insert(name.clone(), kind).is_none(),
+                "duplicate TYPE line for `{name}`"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment shape: {line}");
+        // A sample: `name value` or `name{label="v",...} value`.
+        let (key, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in `{line}`"
+        );
+        assert!(series.insert(key.to_string()), "duplicate series `{key}`");
+        let name = key.split('{').next().expect("sample has a name");
+        // Histogram samples attach to their family's base name.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                types.get(base).filter(|k| *k == "histogram").map(|_| base)
+            })
+            .unwrap_or(name);
+        assert!(
+            types.contains_key(family),
+            "sample `{name}` has no TYPE line"
+        );
+        // Label values: quoted, with `\` only introducing a valid escape
+        // and no raw quote/newline inside the value.
+        if let Some(labels) = key
+            .split_once('{')
+            .map(|(_, rest)| rest.strip_suffix('}').expect("balanced label braces"))
+        {
+            let mut chars = labels.chars().peekable();
+            while chars.peek().is_some() {
+                let label_name: String = chars.by_ref().take_while(|&c| c != '=').collect();
+                assert!(
+                    !label_name.is_empty()
+                        && label_name
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad label name `{label_name}` in `{key}`"
+                );
+                assert_eq!(chars.next(), Some('"'), "label value must be quoted: {key}");
+                loop {
+                    match chars.next() {
+                        Some('\\') => {
+                            let escaped = chars.next();
+                            assert!(
+                                matches!(escaped, Some('\\' | '"' | 'n')),
+                                "invalid escape `\\{escaped:?}` in `{key}`"
+                            );
+                        }
+                        Some('"') => break,
+                        Some(c) => assert!(c != '\n', "raw newline in label value: {key}"),
+                        None => panic!("unterminated label value in `{key}`"),
+                    }
+                }
+                match chars.next() {
+                    None => break,
+                    Some(',') => {}
+                    Some(c) => panic!("expected `,` between labels, got `{c}` in `{key}`"),
+                }
+            }
+        }
+    }
+    // Every family that declared a TYPE also rendered at least one sample
+    // under HELP coverage.
+    for name in types.keys() {
+        assert!(helps.contains(name), "TYPE without HELP for `{name}`");
+    }
+    assert!(series.len() > 50, "suspiciously small exposition");
 
     let report = server.shutdown();
     assert!(report.clean);

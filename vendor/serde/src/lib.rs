@@ -71,6 +71,15 @@ impl Value {
         }
     }
 
+    /// The string slice, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(text) => Some(text),
+            _ => None,
+        }
+    }
+
     /// Unsigned view of a numeric value.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
